@@ -1,0 +1,73 @@
+//! Ray-marching throughput models on the edge GPU.
+//!
+//! The Fig. 1 FPS axis compares rendering families on the *same* device.
+//! These models convert per-frame sample counts (measured by the
+//! functional renderers) into frame times on the Orin-NX-class GPU
+//! configuration, using per-sample costs characteristic of each family:
+//! a voxel sample is a cheap 8-texel gather; a factorized/MLP sample adds
+//! feature decode arithmetic (for true MLP NeRFs, orders of magnitude
+//! more — represented by a configurable multiplier).
+
+use gbu_gpu::GpuConfig;
+
+/// Per-sample cost description of a ray-marching renderer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleCost {
+    /// Arithmetic per sample (FLOPs).
+    pub flops: f64,
+    /// Effective DRAM bytes per sample (after cache filtering).
+    pub bytes: f64,
+}
+
+/// Voxel-grid sample: trilinear gather of 8 cells carrying SH-9
+/// coefficients (Plenoxels-class: 28 coefficients per cell), SH
+/// evaluation, and blend. The gather is scatter-heavy, so the byte cost
+/// reflects uncoalesced sector reads.
+pub const VOXEL_SAMPLE: SampleCost = SampleCost { flops: 230.0, bytes: 96.0 };
+
+/// Tri-plane sample: three bilinear feature lookups plus the rank decode
+/// (TensoRF-class).
+pub const TRIPLANE_SAMPLE: SampleCost = SampleCost { flops: 500.0, bytes: 120.0 };
+
+/// MLP-NeRF sample: positional encoding + an 8×256 MLP evaluation —
+/// the "MLP-based NeRFs" family of Fig. 1 (MipNeRF-class).
+pub const MLP_SAMPLE: SampleCost = SampleCost { flops: 530_000.0, bytes: 60.0 };
+
+/// Frame time of a ray-marching renderer given its total sample count.
+pub fn frame_seconds(samples: u64, cost: SampleCost, gpu: &GpuConfig) -> f64 {
+    let compute = samples as f64 * cost.flops / (gpu.peak_flops() * 0.5);
+    let memory = samples as f64 * cost.bytes / gpu.dram_bytes_per_s();
+    compute.max(memory)
+}
+
+/// FPS of a ray-marching renderer.
+pub fn fps(samples: u64, cost: SampleCost, gpu: &GpuConfig) -> f64 {
+    1.0 / frame_seconds(samples, cost, gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_family_is_slowest() {
+        let gpu = GpuConfig::orin_nx();
+        let samples = 800 * 800 * 96; // paper-scale ray marching
+        let voxel = fps(samples, VOXEL_SAMPLE, &gpu);
+        let plane = fps(samples, TRIPLANE_SAMPLE, &gpu);
+        let mlp = fps(samples, MLP_SAMPLE, &gpu);
+        assert!(voxel > plane, "voxel {voxel} vs tri-plane {plane}");
+        assert!(plane > mlp, "tri-plane {plane} vs mlp {mlp}");
+        // Fig. 1's bands: MLP NeRFs far below 1 FPS on the edge GPU.
+        assert!(mlp < 1.0, "mlp {mlp}");
+        assert!(voxel > 1.0, "voxel {voxel}");
+    }
+
+    #[test]
+    fn time_scales_with_samples() {
+        let gpu = GpuConfig::orin_nx();
+        let t1 = frame_seconds(1_000_000, VOXEL_SAMPLE, &gpu);
+        let t2 = frame_seconds(2_000_000, VOXEL_SAMPLE, &gpu);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Radiance-field baselines for the Fig. 1 speed/quality comparison.
+//!
+//! Fig. 1 of the paper benchmarks 3D Gaussian Splatting against
+//! voxel-based NeRFs (Plenoxels-class) and MLP-based NeRFs
+//! (MipNeRF/TensoRF-class) on rendering speed and PSNR. Those baselines
+//! are trained models we cannot ship; this crate provides the closest
+//! synthetic equivalents that exercise the same *rendering* code paths:
+//!
+//! - [`voxel`]: a dense RGBA voxel grid fitted from the Gaussian scene by
+//!   direct splatting, rendered by trilinear ray marching with alpha
+//!   compositing — the voxel-NeRF inference path;
+//! - [`factorized`]: a tri-plane factorized field (TensoRF-class compact
+//!   representation), also ray-marched — standing in for the "MLP/tensor"
+//!   family whose per-sample decode is more expensive;
+//! - [`cost`]: ray-marching throughput models on the same Orin-NX-class
+//!   GPU config used for 3DGS, so the FPS axis of Fig. 1 is comparable.
+//!
+//! Quality is measured against the shared anti-aliased pseudo ground
+//! truth; discretisation makes both baselines lose PSNR relative to
+//! 3DGS, reproducing Fig. 1's Pareto shape (3DGS top-right).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cost;
+pub mod factorized;
+pub mod voxel;
+
+pub use factorized::TriPlaneField;
+pub use voxel::VoxelGrid;

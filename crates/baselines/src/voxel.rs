@@ -1,0 +1,218 @@
+//! Dense RGBA voxel grid with trilinear ray marching.
+
+use gbu_math::Vec3;
+use gbu_render::FrameBuffer;
+use gbu_scene::{Camera, GaussianScene};
+
+/// A dense voxel radiance field: per-cell RGB and density.
+#[derive(Debug, Clone)]
+pub struct VoxelGrid {
+    dim: usize,
+    origin: Vec3,
+    cell: f32,
+    /// (r, g, b, density) per cell, x-fastest.
+    cells: Vec<[f32; 4]>,
+}
+
+impl VoxelGrid {
+    /// Fits a grid of `dim³` cells to a Gaussian scene by splatting each
+    /// kernel's opacity-weighted color into the cells it covers
+    /// (a direct-conversion stand-in for a trained voxel NeRF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the scene is empty.
+    pub fn from_scene(scene: &GaussianScene, dim: usize) -> Self {
+        assert!(dim > 0, "zero-resolution grid");
+        let (min, max) = scene.bounds().expect("cannot fit a grid to an empty scene");
+        // Pad the bounds so boundary Gaussians fit.
+        let pad = (max - min).max_component() * 0.05 + 0.1;
+        let origin = min - Vec3::splat(pad);
+        let extent = (max - min).max_component() + 2.0 * pad;
+        let cell = extent / dim as f32;
+        let mut cells = vec![[0.0f32; 4]; dim * dim * dim];
+
+        for g in &scene.gaussians {
+            let sigma = g.max_scale().max(cell * 0.5);
+            let radius = 2.0 * sigma;
+            let lo = ((g.position - Vec3::splat(radius) - origin) / cell).max(Vec3::ZERO);
+            let hi = (g.position + Vec3::splat(radius) - origin) / cell;
+            let (x0, y0, z0) = (lo.x as usize, lo.y as usize, lo.z as usize);
+            let (x1, y1, z1) = (
+                (hi.x.ceil() as usize).min(dim - 1),
+                (hi.y.ceil() as usize).min(dim - 1),
+                (hi.z.ceil() as usize).min(dim - 1),
+            );
+            let color = g.sh.eval(Vec3::new(0.0, 0.0, 1.0));
+            for z in z0..=z1 {
+                for y in y0..=y1 {
+                    for x in x0..=x1 {
+                        let center = origin
+                            + Vec3::new(x as f32 + 0.5, y as f32 + 0.5, z as f32 + 0.5) * cell;
+                        let d2 = (center - g.position).length_squared();
+                        let w = g.opacity * (-0.5 * d2 / (sigma * sigma)).exp();
+                        if w < 1e-3 {
+                            continue;
+                        }
+                        let c = &mut cells[(z * dim + y) * dim + x];
+                        c[0] += color.x * w;
+                        c[1] += color.y * w;
+                        c[2] += color.z * w;
+                        c[3] += w;
+                    }
+                }
+            }
+        }
+        // Normalise accumulated color by density.
+        for c in &mut cells {
+            if c[3] > 1e-6 {
+                c[0] /= c[3];
+                c[1] /= c[3];
+                c[2] /= c[3];
+            }
+        }
+        Self { dim, origin, cell, cells }
+    }
+
+    /// Grid resolution per axis.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Trilinear density/color sample at a world point; `None` outside the
+    /// grid.
+    pub fn sample(&self, p: Vec3) -> Option<(Vec3, f32)> {
+        let g = (p - self.origin) / self.cell - Vec3::splat(0.5);
+        if g.x < 0.0 || g.y < 0.0 || g.z < 0.0 {
+            return None;
+        }
+        let (x0, y0, z0) = (g.x as usize, g.y as usize, g.z as usize);
+        if x0 + 1 >= self.dim || y0 + 1 >= self.dim || z0 + 1 >= self.dim {
+            return None;
+        }
+        let f = Vec3::new(g.x - x0 as f32, g.y - y0 as f32, g.z - z0 as f32);
+        let mut color = Vec3::ZERO;
+        let mut density = 0.0;
+        for dz in 0..2 {
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    let w = (if dx == 0 { 1.0 - f.x } else { f.x })
+                        * (if dy == 0 { 1.0 - f.y } else { f.y })
+                        * (if dz == 0 { 1.0 - f.z } else { f.z });
+                    let c = self.cells[((z0 + dz) * self.dim + y0 + dy) * self.dim + x0 + dx];
+                    color += Vec3::new(c[0], c[1], c[2]) * (w * c[3]);
+                    density += w * c[3];
+                }
+            }
+        }
+        if density > 1e-6 {
+            color /= density;
+        }
+        Some((color, density))
+    }
+
+    /// Ray-marches the grid, returning the image and the total number of
+    /// samples taken (the cost model's input).
+    pub fn render(&self, camera: &Camera, steps: u32, background: Vec3) -> (FrameBuffer, u64) {
+        let mut image = FrameBuffer::new(camera.width, camera.height, background);
+        let eye = camera.position();
+        let extent = self.cell * self.dim as f32;
+        let t_far = (self.origin + Vec3::splat(extent) - eye).length() + extent;
+        let dt = t_far / steps as f32;
+        let mut samples = 0u64;
+        let inv = camera.world_to_camera.rigid_inverse();
+        for py in 0..camera.height {
+            for px in 0..camera.width {
+                // Camera ray through the pixel centre.
+                let dir_cam = Vec3::new(
+                    (px as f32 + 0.5 - camera.cx) / camera.fx,
+                    (py as f32 + 0.5 - camera.cy) / camera.fy,
+                    1.0,
+                );
+                let dir = inv.transform_dir(dir_cam).normalized();
+                let mut color = Vec3::ZERO;
+                let mut trans = 1.0f32;
+                let mut t = 0.2f32;
+                while t < t_far && trans > 1e-3 {
+                    samples += 1;
+                    if let Some((c, density)) = self.sample(eye + dir * t) {
+                        let alpha = (1.0 - (-density * dt * 4.0).exp()).min(0.99);
+                        if alpha > 1e-4 {
+                            color += c * (alpha * trans);
+                            trans *= 1.0 - alpha;
+                        }
+                    }
+                    t += dt;
+                }
+                image.set(px, py, color + background * trans);
+            }
+        }
+        (image, samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbu_scene::Gaussian3D;
+
+    fn ball_scene() -> GaussianScene {
+        (0..200)
+            .map(|i| {
+                let a = i as f32 * 0.7;
+                Gaussian3D::isotropic(
+                    Vec3::new(a.cos() * 0.3, a.sin() * 0.3, (a * 2.1).sin() * 0.3)
+                        * ((i % 10) as f32 / 10.0),
+                    0.08,
+                    Vec3::new(1.0, 0.2, 0.2),
+                    0.9,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_fits_scene_bounds() {
+        let grid = VoxelGrid::from_scene(&ball_scene(), 32);
+        assert_eq!(grid.dim(), 32);
+        // Centre of the cloud has density.
+        let (_, d) = grid.sample(Vec3::ZERO).unwrap();
+        assert!(d > 0.01, "density at cloud centre {d}");
+        // Far outside has none.
+        assert!(grid.sample(Vec3::splat(100.0)).is_none());
+    }
+
+    #[test]
+    fn sample_color_matches_source() {
+        let grid = VoxelGrid::from_scene(&ball_scene(), 32);
+        let (c, _) = grid.sample(Vec3::ZERO).unwrap();
+        assert!(c.x > c.y, "red cloud must stay red after voxelisation: {c}");
+    }
+
+    #[test]
+    fn render_shows_object_in_center() {
+        let grid = VoxelGrid::from_scene(&ball_scene(), 32);
+        let cam = Camera::orbit(48, 48, 1.0, Vec3::ZERO, 2.5, 0.3, 0.2);
+        let (img, samples) = grid.render(&cam, 64, Vec3::ZERO);
+        assert!(samples > 0);
+        let center = img.get(24, 24);
+        let corner = img.get(1, 1);
+        assert!(center.x > 0.2, "centre {center}");
+        assert!(corner.x < center.x);
+    }
+
+    #[test]
+    fn more_steps_more_samples() {
+        let grid = VoxelGrid::from_scene(&ball_scene(), 16);
+        let cam = Camera::orbit(24, 24, 1.0, Vec3::ZERO, 2.5, 0.0, 0.0);
+        let (_, s1) = grid.render(&cam, 32, Vec3::ZERO);
+        let (_, s2) = grid.render(&cam, 96, Vec3::ZERO);
+        assert!(s2 > s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty scene")]
+    fn empty_scene_panics() {
+        let _ = VoxelGrid::from_scene(&GaussianScene::new(), 8);
+    }
+}

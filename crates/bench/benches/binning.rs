@@ -1,0 +1,36 @@
+//! Criterion micro-bench: Rendering Step ❷ — tile binning and the
+//! (tile, depth) radix sort.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbu_math::sort::radix_sort_pairs;
+use gbu_math::Vec3;
+use gbu_render::{binning, preprocess};
+use gbu_scene::synth::SceneBuilder;
+use gbu_scene::Camera;
+
+fn bench_binning(c: &mut Criterion) {
+    let scene = SceneBuilder::new(11)
+        .ellipsoid_cloud(Vec3::ZERO, Vec3::splat(1.0), 5000, Vec3::splat(0.5), 0.1)
+        .build();
+    let camera = Camera::orbit(320, 240, 0.9, Vec3::ZERO, 4.0, 0.0, 0.2);
+    let (splats, _) = preprocess::project_scene(&scene, &camera);
+
+    let mut g = c.benchmark_group("binning");
+    g.bench_function("bin_splats_5k", |b| {
+        b.iter(|| binning::bin_splats(&splats, &camera, 16));
+    });
+    let pairs: Vec<(u64, u32)> = (0..100_000u64)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
+        .collect();
+    g.bench_function("radix_sort_100k", |b| {
+        b.iter_batched(
+            || pairs.clone(),
+            |mut p| radix_sort_pairs(&mut p),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_binning);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-bench: Step-❸ blending under the PFS and IRSS
+//! dataflows on a fixed frame (the kernel behind Tab. V's first two rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbu_math::Vec3;
+use gbu_render::{binning, pfs, preprocess, irss, RenderConfig};
+use gbu_scene::synth::SceneBuilder;
+use gbu_scene::Camera;
+
+fn bench_blend(c: &mut Criterion) {
+    let scene = SceneBuilder::new(42)
+        .ellipsoid_cloud(Vec3::ZERO, Vec3::splat(0.8), 2000, Vec3::new(0.7, 0.4, 0.3), 0.2)
+        .build();
+    let camera = Camera::orbit(256, 192, 0.9, Vec3::ZERO, 4.0, 0.3, 0.2);
+    let cfg = RenderConfig::default();
+    let (splats, _) = preprocess::project_scene(&scene, &camera);
+    let (bins, _) = binning::bin_splats(&splats, &camera, cfg.tile_size);
+
+    let mut g = c.benchmark_group("blend");
+    g.bench_function("pfs", |b| {
+        b.iter(|| pfs::blend(&splats, &bins, &camera, &cfg));
+    });
+    g.bench_function("irss", |b| {
+        b.iter(|| irss::blend(&splats, &bins, &camera, &cfg));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blend);
+criterion_main!(benches);

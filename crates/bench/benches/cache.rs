@@ -1,0 +1,31 @@
+//! Criterion micro-bench: Gaussian Reuse Cache replacement policies on a
+//! renderer-shaped access trace (the Fig. 17 machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbu_hw::cache::{simulate_trace, Policy};
+
+/// A tile-major trace with spatial reuse like real binned frames.
+fn trace() -> Vec<u32> {
+    let mut t = Vec::with_capacity(120_000);
+    for tile in 0..1500u32 {
+        for g in 0..40u32 {
+            // Neighbouring tiles share a sliding window of Gaussians.
+            t.push(tile / 3 * 17 + g * 3 % 251 + (tile % 3) * 5);
+        }
+    }
+    t
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let t = trace();
+    let mut g = c.benchmark_group("cache");
+    for policy in [Policy::ReuseDistance, Policy::Lru, Policy::Fifo] {
+        g.bench_function(format!("{policy:?}_60k_accesses"), |b| {
+            b.iter(|| simulate_trace(&t, 1365, policy));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion macro-bench: the full functional pipeline (Steps ❶-❸) and
+//! the GBU tile-engine simulation on a dataset scene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbu_hw::cache::Policy;
+use gbu_hw::{dnb, GbuConfig, TileEngine};
+use gbu_math::Vec3;
+use gbu_render::{binning, preprocess, render_irss, render_pfs, RenderConfig};
+use gbu_scene::{DatasetScene, ScaleProfile};
+
+fn bench_endtoend(c: &mut Criterion) {
+    let ds = DatasetScene::by_name("bonsai").expect("registry scene");
+    let scene = ds.build_static(ScaleProfile::Test);
+    let camera = ds.camera(ScaleProfile::Test);
+    let cfg = RenderConfig::default();
+
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(20);
+    g.bench_function("pipeline_pfs", |b| {
+        b.iter(|| render_pfs(&scene, &camera, &cfg));
+    });
+    g.bench_function("pipeline_irss", |b| {
+        b.iter(|| render_irss(&scene, &camera, &cfg));
+    });
+
+    let hw_cfg = GbuConfig::paper();
+    let (splats, _) = preprocess::project_scene(&scene, &camera);
+    let (bins, _) = binning::bin_splats(&splats, &camera, cfg.tile_size);
+    let engine = TileEngine::new(hw_cfg.clone());
+    g.bench_function("gbu_tile_engine", |b| {
+        b.iter(|| {
+            let d = dnb::run(&splats, &bins, &hw_cfg);
+            engine.render(&splats, &d, &bins, &camera, Vec3::ZERO, Policy::ReuseDistance)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

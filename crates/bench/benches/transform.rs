@@ -1,0 +1,57 @@
+//! Criterion micro-bench: the IRSS two-step transform (EVD + rotation)
+//! and the first-fragment procedure — the D&B engine / Row Generation
+//! Engine workload (Sec. IV-B/C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gbu_math::{Sym2, Vec2, Vec3};
+use gbu_render::irss::IrssSplat;
+use gbu_render::Splat2D;
+
+fn splats(n: usize) -> Vec<Splat2D> {
+    (0..n)
+        .map(|i| {
+            let a = 0.1 + 0.4 * ((i * 7 % 13) as f32 / 13.0);
+            let b = 0.15 * (((i * 11) % 17) as f32 / 17.0 - 0.5);
+            let c = 0.1 + 0.5 * ((i * 5 % 11) as f32 / 11.0);
+            let opacity = 0.3 + 0.6 * ((i % 9) as f32 / 9.0);
+            let conic = Sym2::new(a, b, c);
+            Splat2D {
+                mean: Vec2::new((i % 61) as f32, (i % 47) as f32),
+                conic,
+                cov: conic.inverse().expect("pd"),
+                color: Vec3::ONE,
+                opacity,
+                depth: 1.0,
+                threshold: 2.0 * (opacity * 255.0).ln(),
+                source: i as u32,
+            }
+        })
+        .collect()
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let input = splats(4096);
+    let mut g = c.benchmark_group("transform");
+    g.bench_function("evd_whitening_rotation_4096", |b| {
+        b.iter(|| input.iter().map(IrssSplat::new).count());
+    });
+    let isps: Vec<IrssSplat> = input.iter().map(IrssSplat::new).collect();
+    g.bench_function("row_outcome_16rows_4096", |b| {
+        b.iter(|| {
+            let mut spans = 0usize;
+            for isp in &isps {
+                for y in 0..16u32 {
+                    if matches!(isp.row_outcome(y, 0, 64), gbu_render::irss::RowOutcome::Span(_))
+                    {
+                        spans += 1;
+                    }
+                }
+            }
+            spans
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Shared context for the experiment harness: scene measurement with
+//! caching so `repro all` renders each scene once.
+
+use gbu_core::apps::{measure_frame, FrameScenario, MeasuredFrame};
+use gbu_core::system::SystemConfig;
+use gbu_hw::GbuConfig;
+use gbu_scene::{DatasetScene, ScaleProfile};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// One fully measured scene.
+#[derive(Debug)]
+pub struct SceneMeasure {
+    /// Registry entry.
+    pub ds: DatasetScene,
+    /// The rendered frame scenario.
+    pub scenario: FrameScenario,
+    /// All measurements (functional renders + hardware runs), extrapolated
+    /// to paper scale.
+    pub measured: MeasuredFrame,
+}
+
+/// Harness context: configuration + measurement cache.
+pub struct Ctx {
+    /// Scene scale profile.
+    pub profile: ScaleProfile,
+    /// System under evaluation.
+    pub sys: SystemConfig,
+    cache: RefCell<HashMap<&'static str, Rc<SceneMeasure>>>,
+}
+
+impl Ctx {
+    /// Creates a context at the given profile.
+    pub fn new(profile: ScaleProfile) -> Self {
+        Self { profile, sys: SystemConfig::default(), cache: RefCell::new(HashMap::new()) }
+    }
+
+    /// Measures a scene by name (cached).
+    pub fn measure(&self, name: &str) -> Rc<SceneMeasure> {
+        let ds = DatasetScene::by_name(name).unwrap_or_else(|| panic!("unknown scene {name}"));
+        if let Some(m) = self.cache.borrow().get(ds.name) {
+            return Rc::clone(m);
+        }
+        eprintln!("  [measuring {} ...]", ds.name);
+        let scenario = FrameScenario::from_dataset(&ds, self.profile);
+        let scale = scenario.paper_scale(&ds);
+        let measured = measure_frame(&scenario, &self.sys.gbu, scale);
+        let entry = Rc::new(SceneMeasure { ds: ds.clone(), scenario, measured });
+        self.cache.borrow_mut().insert(ds.name, Rc::clone(&entry));
+        entry
+    }
+
+    /// Measures all 12 scenes.
+    pub fn measure_all(&self) -> Vec<Rc<SceneMeasure>> {
+        DatasetScene::all().iter().map(|d| self.measure(d.name)).collect()
+    }
+
+    /// Measures the static scenes only.
+    pub fn measure_static(&self) -> Vec<Rc<SceneMeasure>> {
+        DatasetScene::static_scenes().iter().map(|d| self.measure(d.name)).collect()
+    }
+
+    /// The GBU configuration in use.
+    pub fn gbu(&self) -> &GbuConfig {
+        &self.sys.gbu
+    }
+}

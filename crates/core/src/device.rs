@@ -1,0 +1,270 @@
+//! The GBU device object — the paper's programming model (Sec. V-F).
+//!
+//! Listing 1 exposes two calls: `GBU_render_image`, which kicks off
+//! asynchronous rendering of one frame, and `GBU_check_status`, which
+//! polls (or blocks on) completion. The GBU does not synchronise with any
+//! CUDA stream; the host uses `check_status` to build the GBU-GPU frame
+//! pipeline. This module reproduces those semantics over the cycle-level
+//! simulator: `render_image` returns immediately with the frame enqueued,
+//! a simulated clock advances via [`Gbu::advance`], and `check_status`
+//! polls or blocks exactly like the C++ interface.
+
+use gbu_hw::cache::Policy;
+use gbu_hw::{dnb, GbuConfig, GbuRunResult, TileEngine};
+use gbu_math::Vec3;
+use gbu_render::binning::TileBins;
+use gbu_render::{FrameBuffer, Splat2D};
+use gbu_scene::Camera;
+
+/// Execution status returned by [`Gbu::check_status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GbuStatus {
+    /// No frame in flight.
+    Idle,
+    /// A frame is being rendered.
+    InExecution,
+}
+
+/// Errors returned by the device interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// `render_image` was called while a frame was still in flight —
+    /// the hardware has a single frame context.
+    Busy,
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Busy => write!(f, "a frame is already in execution"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A completed frame: the image plus the run's hardware statistics.
+#[derive(Debug, Clone)]
+pub struct CompletedFrame {
+    /// The rendered image.
+    pub image: FrameBuffer,
+    /// Hardware counters of the run.
+    pub run: GbuRunResult,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    result: CompletedFrame,
+    completion_cycle: u64,
+}
+
+/// The GBU device.
+///
+/// # Example
+///
+/// ```
+/// use gbu_core::Gbu;
+/// use gbu_hw::GbuConfig;
+/// use gbu_math::Vec3;
+/// use gbu_render::{binning, preprocess};
+/// use gbu_scene::{Camera, Gaussian3D, GaussianScene};
+///
+/// let mut gbu = Gbu::new(GbuConfig::paper());
+/// let cam = Camera::orbit(64, 64, 1.0, Vec3::ZERO, 3.0, 0.0, 0.0);
+/// let scene: GaussianScene =
+///     std::iter::once(Gaussian3D::isotropic(Vec3::ZERO, 0.2, Vec3::ONE, 0.9)).collect();
+/// let (splats, _) = preprocess::project_scene(&scene, &cam);
+/// let (bins, _) = binning::bin_splats(&splats, &cam, 16);
+///
+/// gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+/// // Blocking wait, like GBU_check_status(true).
+/// let frame = gbu.wait().expect("frame in flight");
+/// assert_eq!(frame.image.width(), 64);
+/// ```
+#[derive(Debug)]
+pub struct Gbu {
+    engine: TileEngine,
+    policy: Policy,
+    clock: u64,
+    in_flight: Option<InFlight>,
+}
+
+impl Gbu {
+    /// Creates a device with the given hardware configuration.
+    pub fn new(config: GbuConfig) -> Self {
+        Self {
+            engine: TileEngine::new(config),
+            policy: Policy::ReuseDistance,
+            clock: 0,
+            in_flight: None,
+        }
+    }
+
+    /// Overrides the reuse-cache replacement policy (for ablations).
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &GbuConfig {
+        &self.engine.config
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.clock
+    }
+
+    /// `GBU_render_image`: starts rendering one frame from preprocessed,
+    /// depth-sorted inputs (the outputs of Rendering Steps ❶/❷).
+    ///
+    /// Returns immediately; completion is observed through
+    /// [`Gbu::check_status`] / [`Gbu::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Busy`] when a frame is already in execution.
+    pub fn render_image(
+        &mut self,
+        splats: &[Splat2D],
+        bins: &TileBins,
+        camera: &Camera,
+        background: Vec3,
+    ) -> Result<(), DeviceError> {
+        if self.in_flight.is_some() {
+            return Err(DeviceError::Busy);
+        }
+        let d = dnb::run(splats, bins, &self.engine.config);
+        let run = self.engine.render(splats, &d, bins, camera, background, self.policy);
+        // Chunk-level pipeline (Fig. 13 bottom): D&B overlaps the Tile PE,
+        // so the frame occupies max(D&B, Tile PE) cycles.
+        let duration = d.cycles.max(run.compute_cycles);
+        self.in_flight = Some(InFlight {
+            result: CompletedFrame { image: run.image.clone(), run },
+            completion_cycle: self.clock + duration,
+        });
+        Ok(())
+    }
+
+    /// Advances the simulated clock (models GPU-side work happening while
+    /// the GBU renders).
+    pub fn advance(&mut self, cycles: u64) {
+        self.clock += cycles;
+    }
+
+    /// `GBU_check_status(blocking = false)`: polls the execution status.
+    pub fn check_status(&mut self) -> GbuStatus {
+        match &self.in_flight {
+            Some(f) if self.clock < f.completion_cycle => GbuStatus::InExecution,
+            Some(_) => GbuStatus::Idle, // finished; frame ready to collect
+            None => GbuStatus::Idle,
+        }
+    }
+
+    /// Collects the completed frame if the in-flight frame has finished.
+    pub fn try_collect(&mut self) -> Option<CompletedFrame> {
+        match &self.in_flight {
+            Some(f) if self.clock >= f.completion_cycle => {
+                let f = self.in_flight.take().expect("checked above");
+                Some(f.result)
+            }
+            _ => None,
+        }
+    }
+
+    /// `GBU_check_status(blocking = true)`: blocks (advances the clock to
+    /// the completion cycle) and returns the frame, or `None` when no
+    /// frame is in flight.
+    pub fn wait(&mut self) -> Option<CompletedFrame> {
+        let completion = self.in_flight.as_ref()?.completion_cycle;
+        self.clock = self.clock.max(completion);
+        self.try_collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbu_render::{binning, preprocess};
+    use gbu_scene::{Gaussian3D, GaussianScene};
+
+    fn inputs() -> (Vec<Splat2D>, TileBins, Camera) {
+        let cam = Camera::orbit(64, 64, 1.0, Vec3::ZERO, 3.0, 0.0, 0.0);
+        let scene: GaussianScene = (0..20)
+            .map(|i| {
+                let a = i as f32 * 0.5;
+                Gaussian3D::isotropic(
+                    Vec3::new(a.cos() * 0.5, a.sin() * 0.4, 0.0),
+                    0.06,
+                    Vec3::splat(0.7),
+                    0.8,
+                )
+            })
+            .collect();
+        let (splats, _) = preprocess::project_scene(&scene, &cam);
+        let (bins, _) = binning::bin_splats(&splats, &cam, 16);
+        (splats, bins, cam)
+    }
+
+    #[test]
+    fn render_is_asynchronous() {
+        let (splats, bins, cam) = inputs();
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        assert_eq!(gbu.check_status(), GbuStatus::InExecution);
+        assert!(gbu.try_collect().is_none(), "not finished yet");
+        let frame = gbu.wait().expect("frame in flight");
+        assert!(frame.run.compute_cycles > 0);
+        assert_eq!(gbu.check_status(), GbuStatus::Idle);
+    }
+
+    #[test]
+    fn double_submit_is_rejected() {
+        let (splats, bins, cam) = inputs();
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        let err = gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap_err();
+        assert_eq!(err, DeviceError::Busy);
+        gbu.wait();
+        // After completion a new frame is accepted.
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+    }
+
+    #[test]
+    fn polling_observes_completion_after_advance() {
+        let (splats, bins, cam) = inputs();
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        // Advance far beyond any plausible frame duration.
+        gbu.advance(u64::MAX / 2);
+        assert_eq!(gbu.check_status(), GbuStatus::Idle);
+        assert!(gbu.try_collect().is_some());
+    }
+
+    #[test]
+    fn wait_on_idle_device_is_none() {
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        assert!(gbu.wait().is_none());
+        assert_eq!(gbu.check_status(), GbuStatus::Idle);
+    }
+
+    #[test]
+    fn completed_image_matches_direct_engine_run() {
+        let (splats, bins, cam) = inputs();
+        let cfg = GbuConfig::paper();
+        let mut gbu = Gbu::new(cfg.clone());
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        let frame = gbu.wait().unwrap();
+        let d = gbu_hw::dnb::run(&splats, &bins, &cfg);
+        let direct = TileEngine::new(cfg).render(
+            &splats,
+            &d,
+            &bins,
+            &cam,
+            Vec3::ZERO,
+            Policy::ReuseDistance,
+        );
+        assert_eq!(frame.image.max_abs_diff(&direct.image), 0.0);
+    }
+}

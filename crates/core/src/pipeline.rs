@@ -1,0 +1,191 @@
+//! Multi-frame simulation of the two-level pipeline (Fig. 13).
+//!
+//! The steady-state analysis in [`crate::system`] computes the pipelined
+//! frame time as the slowest stage; this module *simulates* the pipeline
+//! frame by frame — GPU Steps ❶/❷ for frame *n+1* overlapping the GBU's
+//! Step ❸ for frame *n* through the pre-allocated DRAM double buffer —
+//! including the fill behaviour of the first frames and per-frame
+//! workload variation (dynamic scenes and avatars change every frame).
+//! Tests assert that the simulated steady state converges to the
+//! analytical model.
+
+use crate::system::{self, Design, FrameMeasurement, SystemConfig};
+
+/// Timeline of one frame through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameTimeline {
+    /// Frame index.
+    pub index: usize,
+    /// When the GPU starts Steps ❶/❷ for this frame.
+    pub gpu_start: f64,
+    /// When the GPU finishes Steps ❶/❷ (the splat buffer is ready).
+    pub gpu_end: f64,
+    /// When the GBU starts Step ❸.
+    pub gbu_start: f64,
+    /// When the frame completes (GBU finishes blending).
+    pub gbu_end: f64,
+}
+
+/// Result of a multi-frame pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineRun {
+    /// Per-frame timelines.
+    pub frames: Vec<FrameTimeline>,
+    /// Steady-state frame interval (seconds/frame over the last half of
+    /// the run).
+    pub steady_interval: f64,
+}
+
+impl PipelineRun {
+    /// Steady-state throughput in frames per second.
+    pub fn steady_fps(&self) -> f64 {
+        1.0 / self.steady_interval
+    }
+
+    /// End-to-end latency of frame `i` (GPU start to GBU end).
+    pub fn latency(&self, i: usize) -> f64 {
+        self.frames[i].gbu_end - self.frames[i].gpu_start
+    }
+}
+
+/// Simulates `measurements.len()` frames through the GPU∥GBU pipeline
+/// under the given design.
+///
+/// The double buffer holds one prepared frame: the GPU may run at most
+/// one frame ahead of the GBU. Memory-bandwidth contention stretches
+/// whichever stage overlaps (the conservative treatment matching the
+/// steady-state model).
+///
+/// # Panics
+///
+/// Panics if `measurements` is empty or the design does not use the GBU
+/// (GPU-only designs have no pipeline to simulate).
+pub fn simulate(
+    cfg: &SystemConfig,
+    measurements: &[FrameMeasurement],
+    design: Design,
+) -> PipelineRun {
+    assert!(!measurements.is_empty(), "no frames to simulate");
+    assert!(design.uses_gbu(), "pipeline simulation requires a GBU design");
+
+    let mut frames = Vec::with_capacity(measurements.len());
+    let mut gpu_free = 0.0f64;
+    let mut gbu_free = 0.0f64;
+    // Completion time of the frame occupying the double buffer's "ready"
+    // slot; the GPU may not finish preparing frame n+1 before the GBU
+    // has *started* consuming frame n (slot reuse).
+    let mut prev_gbu_start = 0.0f64;
+
+    for (index, m) in measurements.iter().enumerate() {
+        let e = system::evaluate(cfg, m, design);
+        // The per-frame stage times under contention: the evaluation's
+        // frame_seconds is max(gpu, gbu, mem); apportion the memory
+        // stretch to both stages conservatively.
+        let stretch = (e.frame_seconds / (e.step1 + e.step2).max(e.step3)).max(1.0);
+        let t_gpu = (e.step1 + e.step2) * stretch;
+        let t_gbu = e.step3 * stretch;
+
+        let gpu_start = gpu_free.max(if index == 0 { 0.0 } else { prev_gbu_start });
+        let gpu_end = gpu_start + t_gpu;
+        let gbu_start = gpu_end.max(gbu_free);
+        let gbu_end = gbu_start + t_gbu;
+        prev_gbu_start = gbu_start;
+        gpu_free = gpu_end;
+        gbu_free = gbu_end;
+        frames.push(FrameTimeline { index, gpu_start, gpu_end, gbu_start, gbu_end });
+    }
+
+    let half = frames.len() / 2;
+    let steady_interval = if frames.len() >= 2 {
+        let a = &frames[half.max(1) - 1];
+        let b = frames.last().expect("non-empty");
+        ((b.gbu_end - a.gbu_end) / (b.index - a.index) as f64).max(1e-12)
+    } else {
+        frames[0].gbu_end
+    };
+    PipelineRun { frames, steady_interval }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::tests_support::paper_measurement;
+
+    fn config() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn frames_are_causally_ordered() {
+        let m = vec![paper_measurement(); 8];
+        let run = simulate(&config(), &m, Design::GbuFull);
+        for f in &run.frames {
+            assert!(f.gpu_end >= f.gpu_start);
+            assert!(f.gbu_start >= f.gpu_end, "GBU cannot start before its inputs exist");
+            assert!(f.gbu_end >= f.gbu_start);
+        }
+        // Frames complete in order.
+        for w in run.frames.windows(2) {
+            assert!(w[1].gbu_end >= w[0].gbu_end);
+        }
+    }
+
+    #[test]
+    fn pipeline_overlaps_gpu_and_gbu() {
+        let m = vec![paper_measurement(); 8];
+        let run = simulate(&config(), &m, Design::GbuFull);
+        // After the fill, frame n+1's GPU work starts before frame n's
+        // GBU work finishes — that is the Fig. 13 overlap.
+        let f2 = &run.frames[2];
+        let f3 = &run.frames[3];
+        assert!(
+            f3.gpu_start < f2.gbu_end,
+            "no overlap: frame 3 GPU at {:.4}, frame 2 GBU end {:.4}",
+            f3.gpu_start,
+            f2.gbu_end
+        );
+    }
+
+    #[test]
+    fn steady_state_matches_analytical_model() {
+        let m = vec![paper_measurement(); 24];
+        let run = simulate(&config(), &m, Design::GbuFull);
+        let analytical = system::evaluate(&config(), &m[0], Design::GbuFull);
+        let ratio = run.steady_fps() / analytical.fps;
+        assert!(
+            (0.85..1.15).contains(&ratio),
+            "simulated {:.1} FPS vs analytical {:.1} FPS",
+            run.steady_fps(),
+            analytical.fps
+        );
+    }
+
+    #[test]
+    fn pipelining_beats_serial_execution() {
+        let m = vec![paper_measurement(); 16];
+        let run = simulate(&config(), &m, Design::GbuFull);
+        let e = system::evaluate(&config(), &m[0], Design::GbuFull);
+        let serial = e.step1 + e.step2 + e.step3;
+        assert!(
+            run.steady_interval < serial,
+            "pipelined {:.4}s/frame should beat serial {serial:.4}s/frame",
+            run.steady_interval
+        );
+    }
+
+    #[test]
+    fn latency_exceeds_interval() {
+        let m = vec![paper_measurement(); 8];
+        let run = simulate(&config(), &m, Design::GbuFull);
+        // Per-frame latency spans both stages; throughput interval is the
+        // max of them — classic pipeline property.
+        assert!(run.latency(5) >= run.steady_interval * 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a GBU design")]
+    fn gpu_only_design_panics() {
+        let m = vec![paper_measurement()];
+        let _ = simulate(&config(), &m, Design::GpuPfs);
+    }
+}

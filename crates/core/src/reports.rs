@@ -1,0 +1,108 @@
+//! Plain-text table formatting for the `repro` harness.
+
+/// Formats a table with aligned columns.
+///
+/// # Example
+///
+/// ```
+/// let t = gbu_core::reports::table(
+///     &["Scene", "FPS"],
+///     &[vec!["bicycle".into(), "12.8".into()], vec!["bonsai".into(), "17.1".into()]],
+/// );
+/// assert!(t.contains("bicycle"));
+/// assert!(t.lines().count() >= 4);
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push('|');
+    for w in &widths {
+        out.push_str(&"-".repeat(w + 2));
+        out.push('|');
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Renders a simple horizontal bar chart line (for figure-style output).
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["A", "LongHeader"],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(lines[0].contains("LongHeader"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = table(&["A", "B"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_x(1.715), "1.72x");
+        assert_eq!(fmt_pct(0.189), "18.9%");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########"); // clamped
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

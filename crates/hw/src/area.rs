@@ -1,0 +1,165 @@
+//! Area and power model (Tab. II / Tab. III).
+//!
+//! The paper's numbers come from Cadence Genus synthesis of the Verilog
+//! RTL at 28 nm / 1 GHz. We cannot run RTL synthesis here, so the
+//! per-module constants below are *taken from the paper* and treated as a
+//! calibrated model; the benches regenerate Tab. II/III from this table
+//! and the energy model combines module power with simulated active time.
+//! Scaling helpers let ablations (more Row PEs, larger cache) estimate
+//! first-order area/power changes.
+
+/// One hardware module's synthesis figures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleBudget {
+    /// Module name.
+    pub name: &'static str,
+    /// Area in mm² (28 nm).
+    pub area_mm2: f64,
+    /// Typical power in watts at 1 GHz.
+    pub power_w: f64,
+}
+
+/// The GBU's module-level area/power budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbuAreaModel {
+    modules: Vec<ModuleBudget>,
+}
+
+impl GbuAreaModel {
+    /// The paper's Tab. III breakdown: Row PEs 0.36 mm²/0.11 W, Row
+    /// Generation 0.14/0.04, D&B Engine 0.10/0.03, Cache & Others
+    /// 0.30/0.04 — total 0.90 mm², 0.22 W.
+    pub fn paper() -> Self {
+        Self {
+            modules: vec![
+                ModuleBudget { name: "Row PEs", area_mm2: 0.36, power_w: 0.11 },
+                ModuleBudget { name: "Row Gen.", area_mm2: 0.14, power_w: 0.04 },
+                ModuleBudget { name: "D&B Engine", area_mm2: 0.10, power_w: 0.03 },
+                ModuleBudget { name: "Cache & Others", area_mm2: 0.30, power_w: 0.04 },
+            ],
+        }
+    }
+
+    /// Modules of the budget.
+    pub fn modules(&self) -> &[ModuleBudget] {
+        &self.modules
+    }
+
+    /// Total area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.modules.iter().map(|m| m.area_mm2).sum()
+    }
+
+    /// Total typical power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.modules.iter().map(|m| m.power_w).sum()
+    }
+
+    /// First-order scaled budget for an ablated configuration: Row-PE
+    /// area/power scale with the PE count, cache area/power with capacity.
+    pub fn scaled(&self, row_pe_factor: f64, cache_factor: f64) -> Self {
+        let modules = self
+            .modules
+            .iter()
+            .map(|m| match m.name {
+                "Row PEs" => ModuleBudget {
+                    area_mm2: m.area_mm2 * row_pe_factor,
+                    power_w: m.power_w * row_pe_factor,
+                    ..*m
+                },
+                "Cache & Others" => ModuleBudget {
+                    area_mm2: m.area_mm2 * (0.4 + 0.6 * cache_factor),
+                    power_w: m.power_w * (0.5 + 0.5 * cache_factor),
+                    ..*m
+                },
+                _ => *m,
+            })
+            .collect();
+        Self { modules }
+    }
+}
+
+/// Device-level comparison record (Tab. II / Tab. VI / Tab. VII rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Device name.
+    pub name: &'static str,
+    /// On-chip SRAM.
+    pub sram_kb: f64,
+    /// Die / module area in mm².
+    pub area_mm2: f64,
+    /// Clock in GHz.
+    pub clock_ghz: f64,
+    /// Process node in nm.
+    pub technology_nm: u32,
+    /// Typical power in watts.
+    pub typical_power_w: f64,
+}
+
+/// Tab. II: the GBU next to the Jetson Orin NX.
+pub fn table2_specs() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec {
+            name: "Orin NX",
+            sram_kb: 4096.0,
+            area_mm2: 450.0,
+            clock_ghz: 0.918,
+            technology_nm: 8,
+            typical_power_w: 15.0,
+        },
+        DeviceSpec {
+            name: "GBU",
+            sram_kb: 63.0,
+            area_mm2: 0.90,
+            clock_ghz: 1.0,
+            technology_nm: 28,
+            typical_power_w: 0.22,
+        },
+    ]
+}
+
+/// The GBU's total SRAM budget in KB (Tab. II): 32 KB reuse cache plus
+/// row/feature buffers.
+pub const GBU_SRAM_KB: f64 = 63.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_2() {
+        let m = GbuAreaModel::paper();
+        assert!((m.total_area_mm2() - 0.90).abs() < 1e-9, "area {}", m.total_area_mm2());
+        assert!((m.total_power_w() - 0.22).abs() < 1e-9, "power {}", m.total_power_w());
+    }
+
+    #[test]
+    fn breakdown_matches_table_3() {
+        let m = GbuAreaModel::paper();
+        let row_pes = m.modules().iter().find(|x| x.name == "Row PEs").unwrap();
+        assert_eq!(row_pes.area_mm2, 0.36);
+        assert_eq!(row_pes.power_w, 0.11);
+        assert_eq!(m.modules().len(), 4);
+    }
+
+    #[test]
+    fn gbu_is_tiny_next_to_the_gpu() {
+        let specs = table2_specs();
+        let orin = specs[0];
+        let gbu = specs[1];
+        assert!(gbu.area_mm2 / orin.area_mm2 < 0.01, "GBU must be <1% of the GPU die");
+        assert!(gbu.typical_power_w / orin.typical_power_w < 0.02);
+    }
+
+    #[test]
+    fn scaling_row_pes_scales_their_budget() {
+        let m = GbuAreaModel::paper();
+        let doubled = m.scaled(2.0, 1.0);
+        assert!(doubled.total_area_mm2() > m.total_area_mm2());
+        let row = doubled.modules().iter().find(|x| x.name == "Row PEs").unwrap();
+        assert!((row.area_mm2 - 0.72).abs() < 1e-9);
+        // Other modules untouched.
+        let dnb = doubled.modules().iter().find(|x| x.name == "D&B Engine").unwrap();
+        assert_eq!(dnb.area_mm2, 0.10);
+    }
+}

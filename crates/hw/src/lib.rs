@@ -1,0 +1,37 @@
+//! Cycle-level model of the Gaussian Blending Unit (GBU) hardware.
+//!
+//! Implements the paper's Sec. V microarchitecture:
+//!
+//! - [`dnb`]: the Decomposition & Binning engine — per-Gaussian EVD /
+//!   two-step-transform parameter computation, Gaussian-tile intersection
+//!   tests and reuse-distance precomputation (Fig. 12(a));
+//! - [`cache`]: the Gaussian Reuse Cache with the precomputed
+//!   reuse-distance replacement policy (Fig. 12(b)), plus LRU/FIFO
+//!   baselines for comparison;
+//! - [`tile_engine`]: the Row-Centric Tile Engine — a Row Generation
+//!   Engine feeding 8 Row PEs (2 rows each) through FIFOs, one fragment
+//!   per Row PE per cycle (Fig. 10/11), with an optional FP-16 functional
+//!   datapath reproducing Tab. IV's quality numbers;
+//! - [`area`]: the area/power model calibrated to the paper's synthesis
+//!   results (Tab. II/III) — we cannot run RTL synthesis, so the
+//!   per-module constants are taken from the paper and combined with
+//!   simulated activity;
+//! - [`standalone`]: GBU-Standalone, the paper's Tab. VI/VII variant with
+//!   dedicated preprocessing/sorting units for single-application use.
+//!
+//! The tile engine is driven by the *same* row-span logic as the software
+//! IRSS dataflow (`gbu_render::irss`), so functional output and event
+//! counts stay consistent between the GPU and GBU paths by construction.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod cache;
+mod config;
+pub mod dnb;
+pub mod standalone;
+pub mod tile_engine;
+
+pub use config::GbuConfig;
+pub use tile_engine::{GbuRunResult, TileEngine};

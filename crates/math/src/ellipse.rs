@@ -1,0 +1,228 @@
+//! Truncated-ellipse geometry.
+//!
+//! A 2D Gaussian is truncated at a fixed opacity threshold during blending
+//! (Sec. II-B "Practical Implementation"): fragments with
+//! `α = o·exp(-q/2) < α_min` are discarded, which clips the Gaussian's
+//! footprint to the ellipse `q(P) ≤ Th` with `Th = 2·ln(o/α_min)`. This
+//! module computes that threshold and the ellipse's exact axis-aligned
+//! bounds, used both for tile binning (Rendering Step ❷) and by the D&B
+//! engine's Gaussian-tile intersection test (Sec. V-D).
+
+use crate::{Sym2, Vec2};
+
+/// Minimum fragment opacity considered visible, `1/255`, matching the
+/// reference CUDA rasteriser of 3D Gaussian Splatting.
+pub const ALPHA_MIN: f32 = 1.0 / 255.0;
+
+/// Computes the quadratic-form truncation threshold `Th` for a Gaussian with
+/// opacity factor `opacity`: fragments satisfy `q ≤ Th` iff their blended
+/// opacity is at least `alpha_min`.
+///
+/// Returns `None` when the Gaussian can never reach `alpha_min` (its peak
+/// opacity is already below the cutoff), i.e. the Gaussian is invisible and
+/// should be culled outright.
+///
+/// # Example
+///
+/// ```
+/// use gbu_math::ellipse::{truncation_threshold, ALPHA_MIN};
+/// let th = truncation_threshold(0.8, ALPHA_MIN).unwrap();
+/// // At q == Th the opacity is exactly alpha_min.
+/// let alpha = 0.8 * (-th / 2.0_f32).exp();
+/// assert!((alpha - ALPHA_MIN).abs() < 1e-6);
+/// ```
+pub fn truncation_threshold(opacity: f32, alpha_min: f32) -> Option<f32> {
+    if opacity <= alpha_min {
+        return None;
+    }
+    Some(2.0 * (opacity / alpha_min).ln())
+}
+
+/// Axis-aligned bounds of the truncated ellipse `(P-µ)ᵀ M (P-µ) ≤ Th`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EllipseBounds {
+    /// Ellipse centre (the Gaussian's 2D mean `µ*`).
+    pub center: Vec2,
+    /// Half-extent along screen x.
+    pub half_x: f32,
+    /// Half-extent along screen y.
+    pub half_y: f32,
+}
+
+impl EllipseBounds {
+    /// Exact axis-aligned bounds of `{P : (P-µ)ᵀ M (P-µ) ≤ th}` for a
+    /// positive-definite conic `M`.
+    ///
+    /// For `M = [[A,B],[B,C]]` the extremal x offset is `√(th·C/det M)` and
+    /// the extremal y offset is `√(th·A/det M)`.
+    ///
+    /// Returns `None` when `M` is not positive definite (degenerate
+    /// projection) or `th < 0`.
+    pub fn from_conic(center: Vec2, conic: Sym2, th: f32) -> Option<Self> {
+        if th < 0.0 || !conic.is_positive_definite() {
+            return None;
+        }
+        let det = conic.determinant();
+        Some(Self {
+            center,
+            half_x: (th * conic.c / det).sqrt(),
+            half_y: (th * conic.a / det).sqrt(),
+        })
+    }
+
+    /// Conservative circular bounds from the *covariance* `Σ*`: radius
+    /// `√(th · λ_max)` where `λ_max` is the largest eigenvalue of `Σ*`.
+    ///
+    /// This is the bound the 3DGS reference implementation uses (it takes
+    /// `3σ`); we use the exact threshold radius which is tighter for
+    /// low-opacity Gaussians.
+    pub fn from_cov_circumscribed(center: Vec2, cov: Sym2, th: f32) -> Self {
+        let evd = cov.evd();
+        let r = (th.max(0.0) * evd.d.x.max(0.0)).sqrt();
+        Self { center, half_x: r, half_y: r }
+    }
+
+    /// Minimum corner of the bounding box.
+    #[inline]
+    pub fn min(&self) -> Vec2 {
+        Vec2::new(self.center.x - self.half_x, self.center.y - self.half_y)
+    }
+
+    /// Maximum corner of the bounding box.
+    #[inline]
+    pub fn max(&self) -> Vec2 {
+        Vec2::new(self.center.x + self.half_x, self.center.y + self.half_y)
+    }
+
+    /// Inclusive tile-index rectangle covered by these bounds for square
+    /// tiles of `tile` pixels, clamped to a `tiles_x × tiles_y` grid.
+    ///
+    /// Returns `None` when the ellipse lies entirely outside the screen.
+    pub fn tile_range(
+        &self,
+        tile: u32,
+        tiles_x: u32,
+        tiles_y: u32,
+    ) -> Option<(u32, u32, u32, u32)> {
+        let t = tile as f32;
+        let min = self.min();
+        let max = self.max();
+        if max.x < 0.0 || max.y < 0.0 {
+            return None;
+        }
+        let x0 = (min.x / t).floor().max(0.0) as u32;
+        let y0 = (min.y / t).floor().max(0.0) as u32;
+        if x0 >= tiles_x || y0 >= tiles_y {
+            return None;
+        }
+        let x1 = ((max.x / t).floor() as u32).min(tiles_x - 1);
+        let y1 = ((max.y / t).floor() as u32).min(tiles_y - 1);
+        if x1 < x0 || y1 < y0 {
+            return None;
+        }
+        Some((x0, y0, x1, y1))
+    }
+
+    /// Area of the bounding box in pixels².
+    #[inline]
+    pub fn area(&self) -> f32 {
+        4.0 * self.half_x * self.half_y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn threshold_at_alpha_min_is_none() {
+        assert!(truncation_threshold(ALPHA_MIN, ALPHA_MIN).is_none());
+        assert!(truncation_threshold(ALPHA_MIN / 2.0, ALPHA_MIN).is_none());
+        assert!(truncation_threshold(0.5, ALPHA_MIN).is_some());
+    }
+
+    #[test]
+    fn threshold_monotone_in_opacity() {
+        let t1 = truncation_threshold(0.3, ALPHA_MIN).unwrap();
+        let t2 = truncation_threshold(0.9, ALPHA_MIN).unwrap();
+        assert!(t2 > t1, "more opaque Gaussians have a larger footprint");
+    }
+
+    #[test]
+    fn isotropic_bounds_are_square() {
+        let conic = Sym2::new(0.5, 0.0, 0.5); // circular Gaussian, sigma^2 = 2
+        let b = EllipseBounds::from_conic(Vec2::ZERO, conic, 8.0).unwrap();
+        assert!(approx_eq(b.half_x, b.half_y, 1e-6));
+        // q(x, 0) = 0.5 x^2 = 8 => x = 4.
+        assert!(approx_eq(b.half_x, 4.0, 1e-5));
+    }
+
+    #[test]
+    fn anisotropic_bounds_contain_boundary_points() {
+        let conic = Sym2::new(0.8, 0.3, 0.2);
+        let th = 5.0;
+        let b = EllipseBounds::from_conic(Vec2::new(10.0, 20.0), conic, th).unwrap();
+        // Sample the boundary; all points must be inside the AABB, and the
+        // extreme x/y must touch it.
+        let evd = conic.evd();
+        let mut max_dx: f32 = 0.0;
+        let mut max_dy: f32 = 0.0;
+        for i in 0..720 {
+            let ang = i as f32 * std::f32::consts::PI / 360.0;
+            // Boundary point: q(p)=th. Parameterise in whitened space.
+            let unit = Vec2::new(ang.cos(), ang.sin()) * th.sqrt();
+            // p = Q D^{-1/2} unit
+            let scaled = Vec2::new(unit.x / evd.d.x.sqrt(), unit.y / evd.d.y.sqrt());
+            let p = evd.q.mul_vec(scaled);
+            assert!(approx_eq(conic.quadratic_form(p), th, 1e-3));
+            assert!(p.x.abs() <= b.half_x * (1.0 + 1e-4));
+            assert!(p.y.abs() <= b.half_y * (1.0 + 1e-4));
+            max_dx = max_dx.max(p.x.abs());
+            max_dy = max_dy.max(p.y.abs());
+        }
+        assert!(approx_eq(max_dx, b.half_x, 1e-2));
+        assert!(approx_eq(max_dy, b.half_y, 1e-2));
+    }
+
+    #[test]
+    fn non_pd_conic_has_no_bounds() {
+        assert!(EllipseBounds::from_conic(Vec2::ZERO, Sym2::new(-1.0, 0.0, 1.0), 1.0).is_none());
+        assert!(EllipseBounds::from_conic(Vec2::ZERO, Sym2::IDENTITY, -1.0).is_none());
+    }
+
+    #[test]
+    fn circumscribed_covers_exact() {
+        let cov = Sym2::new(4.0, 1.0, 2.0);
+        let conic = cov.inverse().unwrap();
+        let th = 6.0;
+        let exact = EllipseBounds::from_conic(Vec2::ZERO, conic, th).unwrap();
+        let circ = EllipseBounds::from_cov_circumscribed(Vec2::ZERO, cov, th);
+        assert!(circ.half_x >= exact.half_x - 1e-4);
+        assert!(circ.half_y >= exact.half_y - 1e-4);
+    }
+
+    #[test]
+    fn tile_range_basic() {
+        let b = EllipseBounds { center: Vec2::new(24.0, 24.0), half_x: 10.0, half_y: 2.0 };
+        // Tiles of 16 px on a 4x4 grid: x spans 14..34 -> tiles 0..2,
+        // y spans 22..26 -> tile 1.
+        assert_eq!(b.tile_range(16, 4, 4), Some((0, 1, 2, 1)));
+    }
+
+    #[test]
+    fn tile_range_clamps_to_screen() {
+        let b = EllipseBounds { center: Vec2::new(-5.0, -5.0), half_x: 8.0, half_y: 8.0 };
+        assert_eq!(b.tile_range(16, 4, 4), Some((0, 0, 0, 0)));
+        let off = EllipseBounds { center: Vec2::new(-50.0, 10.0), half_x: 4.0, half_y: 4.0 };
+        assert_eq!(off.tile_range(16, 4, 4), None);
+        let beyond = EllipseBounds { center: Vec2::new(1000.0, 10.0), half_x: 4.0, half_y: 4.0 };
+        assert_eq!(beyond.tile_range(16, 4, 4), None);
+    }
+
+    #[test]
+    fn area_of_bounds() {
+        let b = EllipseBounds { center: Vec2::ZERO, half_x: 2.0, half_y: 3.0 };
+        assert_eq!(b.area(), 24.0);
+    }
+}

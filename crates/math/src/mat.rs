@@ -1,0 +1,482 @@
+//! Fixed-size `f32` matrices (row-major).
+//!
+//! [`Mat3`] covers 3D covariances and rotations, [`Mat4`] covers camera
+//! view/projection transforms, and [`Mat2`] covers screen-space work.
+//! Storage is row-major: `m[r][c]`.
+
+use crate::{Vec2, Vec3, Vec4};
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A 2×2 row-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat2 {
+    /// Rows of the matrix.
+    pub rows: [[f32; 2]; 2],
+}
+
+impl Mat2 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self { rows: [[1.0, 0.0], [0.0, 1.0]] };
+
+    /// Creates a matrix from row-major entries.
+    #[inline]
+    pub const fn new(m00: f32, m01: f32, m10: f32, m11: f32) -> Self {
+        Self { rows: [[m00, m01], [m10, m11]] }
+    }
+
+    /// Creates a rotation matrix for angle `theta` (radians, counter-clockwise).
+    #[inline]
+    pub fn rotation(theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        Self::new(c, -s, s, c)
+    }
+
+    /// Matrix determinant.
+    #[inline]
+    pub fn determinant(self) -> f32 {
+        self.rows[0][0] * self.rows[1][1] - self.rows[0][1] * self.rows[1][0]
+    }
+
+    /// Transpose.
+    #[inline]
+    pub fn transpose(self) -> Self {
+        Self::new(self.rows[0][0], self.rows[1][0], self.rows[0][1], self.rows[1][1])
+    }
+
+    /// Matrix inverse, or `None` when the determinant magnitude is below `1e-12`.
+    pub fn inverse(self) -> Option<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Self::new(
+            self.rows[1][1] * inv,
+            -self.rows[0][1] * inv,
+            -self.rows[1][0] * inv,
+            self.rows[0][0] * inv,
+        ))
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(self, v: Vec2) -> Vec2 {
+        Vec2::new(
+            self.rows[0][0] * v.x + self.rows[0][1] * v.y,
+            self.rows[1][0] * v.x + self.rows[1][1] * v.y,
+        )
+    }
+}
+
+impl Mul for Mat2 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [[0.0; 2]; 2];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = (0..2).map(|k| self.rows[r][k] * rhs.rows[k][c]).sum();
+            }
+        }
+        Self { rows: out }
+    }
+}
+
+impl fmt::Display for Mat2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?}]", self.rows[0], self.rows[1])
+    }
+}
+
+/// A 3×3 row-major matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat3 {
+    /// Rows of the matrix.
+    pub rows: [[f32; 3]; 3],
+}
+
+impl Mat3 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Creates a matrix from row-major entries.
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub const fn new(
+        m00: f32, m01: f32, m02: f32,
+        m10: f32, m11: f32, m12: f32,
+        m20: f32, m21: f32, m22: f32,
+    ) -> Self {
+        Self { rows: [[m00, m01, m02], [m10, m11, m12], [m20, m21, m22]] }
+    }
+
+    /// Builds a matrix whose rows are the given vectors.
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
+        Self { rows: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]] }
+    }
+
+    /// Builds a matrix whose columns are the given vectors.
+    #[inline]
+    pub fn from_cols(c0: Vec3, c1: Vec3, c2: Vec3) -> Self {
+        Self::from_rows(c0, c1, c2).transpose()
+    }
+
+    /// Builds a diagonal matrix.
+    #[inline]
+    pub fn from_diagonal(d: Vec3) -> Self {
+        Self::new(d.x, 0.0, 0.0, 0.0, d.y, 0.0, 0.0, 0.0, d.z)
+    }
+
+    /// Returns row `r` as a vector.
+    #[inline]
+    pub fn row(self, r: usize) -> Vec3 {
+        Vec3::new(self.rows[r][0], self.rows[r][1], self.rows[r][2])
+    }
+
+    /// Returns column `c` as a vector.
+    #[inline]
+    pub fn col(self, c: usize) -> Vec3 {
+        Vec3::new(self.rows[0][c], self.rows[1][c], self.rows[2][c])
+    }
+
+    /// Transpose.
+    pub fn transpose(self) -> Self {
+        let m = &self.rows;
+        Self::new(
+            m[0][0], m[1][0], m[2][0],
+            m[0][1], m[1][1], m[2][1],
+            m[0][2], m[1][2], m[2][2],
+        )
+    }
+
+    /// Matrix determinant.
+    pub fn determinant(self) -> f32 {
+        let m = &self.rows;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Matrix inverse, or `None` when the determinant magnitude is below `1e-12`.
+    pub fn inverse(self) -> Option<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-12 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        let m = &self.rows;
+        Some(Self::new(
+            (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv,
+            (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv,
+            (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv,
+            (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv,
+            (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv,
+            (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv,
+            (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv,
+            (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv,
+            (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv,
+        ))
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+
+    /// The upper-left 2×2 block.
+    #[inline]
+    pub fn upper_left2(self) -> Mat2 {
+        Mat2::new(self.rows[0][0], self.rows[0][1], self.rows[1][0], self.rows[1][1])
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [[0.0; 3]; 3];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[r][k] * rhs.rows[k][c]).sum();
+            }
+        }
+        Self { rows: out }
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.rows[r][c] += rhs.rows[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.rows[r][c] -= rhs.rows[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul<f32> for Mat3 {
+    type Output = Self;
+    fn mul(self, rhs: f32) -> Self {
+        let mut out = self;
+        for row in &mut out.rows {
+            for cell in row {
+                *cell *= rhs;
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}, {:?}, {:?}]", self.rows[0], self.rows[1], self.rows[2])
+    }
+}
+
+/// A 4×4 row-major matrix (homogeneous transforms).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat4 {
+    /// Rows of the matrix.
+    pub rows: [[f32; 4]; 4],
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self {
+        rows: [
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.0, 0.0, 0.0, 1.0],
+        ],
+    };
+
+    /// Builds a rigid transform from a rotation and a translation.
+    pub fn from_rotation_translation(rot: Mat3, t: Vec3) -> Self {
+        let r = rot.rows;
+        Self {
+            rows: [
+                [r[0][0], r[0][1], r[0][2], t.x],
+                [r[1][0], r[1][1], r[1][2], t.y],
+                [r[2][0], r[2][1], r[2][2], t.z],
+                [0.0, 0.0, 0.0, 1.0],
+            ],
+        }
+    }
+
+    /// Builds a pure translation.
+    pub fn from_translation(t: Vec3) -> Self {
+        Self::from_rotation_translation(Mat3::IDENTITY, t)
+    }
+
+    /// The upper-left 3×3 block (linear part).
+    pub fn linear(self) -> Mat3 {
+        let m = &self.rows;
+        Mat3::new(
+            m[0][0], m[0][1], m[0][2],
+            m[1][0], m[1][1], m[1][2],
+            m[2][0], m[2][1], m[2][2],
+        )
+    }
+
+    /// The translation column.
+    pub fn translation(self) -> Vec3 {
+        Vec3::new(self.rows[0][3], self.rows[1][3], self.rows[2][3])
+    }
+
+    /// Matrix-vector product on homogeneous coordinates.
+    pub fn mul_vec(self, v: Vec4) -> Vec4 {
+        let m = &self.rows;
+        Vec4::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z + m[0][3] * v.w,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z + m[1][3] * v.w,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z + m[2][3] * v.w,
+            m[3][0] * v.x + m[3][1] * v.y + m[3][2] * v.z + m[3][3] * v.w,
+        )
+    }
+
+    /// Transforms a point (w = 1) and drops the homogeneous coordinate
+    /// without perspective division.
+    pub fn transform_point(self, p: Vec3) -> Vec3 {
+        self.mul_vec(p.extend(1.0)).truncate()
+    }
+
+    /// Transforms a direction (w = 0).
+    pub fn transform_dir(self, d: Vec3) -> Vec3 {
+        self.mul_vec(d.extend(0.0)).truncate()
+    }
+
+    /// Inverse of a rigid transform (rotation + translation only).
+    ///
+    /// Cheaper and more accurate than a general inverse; the caller must
+    /// guarantee the matrix is rigid (orthonormal linear part, last row
+    /// `0 0 0 1`).
+    pub fn rigid_inverse(self) -> Self {
+        let rt = self.linear().transpose();
+        let t = self.translation();
+        Self::from_rotation_translation(rt, -rt.mul_vec(t))
+    }
+
+    /// Transpose.
+    pub fn transpose(self) -> Self {
+        let mut out = [[0.0; 4]; 4];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = self.rows[c][r];
+            }
+        }
+        Self { rows: out }
+    }
+}
+
+impl Mul for Mat4 {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = [[0.0; 4]; 4];
+        for (r, row) in out.iter_mut().enumerate() {
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = (0..4).map(|k| self.rows[r][k] * rhs.rows[k][c]).sum();
+            }
+        }
+        Self { rows: out }
+    }
+}
+
+impl fmt::Display for Mat4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:?}, {:?}, {:?}, {:?}]",
+            self.rows[0], self.rows[1], self.rows[2], self.rows[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn mat3_approx_eq(a: Mat3, b: Mat3, tol: f32) -> bool {
+        (0..3).all(|r| (0..3).all(|c| approx_eq(a.rows[r][c], b.rows[r][c], tol)))
+    }
+
+    #[test]
+    fn mat2_identity_mul() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(Mat2::IDENTITY * m, m);
+        assert_eq!(m * Mat2::IDENTITY, m);
+    }
+
+    #[test]
+    fn mat2_inverse_round_trip() {
+        let m = Mat2::new(2.0, 1.0, 1.0, 3.0);
+        let inv = m.inverse().unwrap();
+        let prod = m * inv;
+        assert!(approx_eq(prod.rows[0][0], 1.0, 1e-6));
+        assert!(approx_eq(prod.rows[1][1], 1.0, 1e-6));
+        assert!(approx_eq(prod.rows[0][1], 0.0, 1e-6));
+    }
+
+    #[test]
+    fn mat2_singular_inverse_is_none() {
+        assert!(Mat2::new(1.0, 2.0, 2.0, 4.0).inverse().is_none());
+    }
+
+    #[test]
+    fn mat2_rotation_preserves_length() {
+        let r = Mat2::rotation(0.7);
+        let v = Vec2::new(3.0, -4.0);
+        assert!(approx_eq(r.mul_vec(v).length(), 5.0, 1e-5));
+        assert!(approx_eq(r.determinant(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn mat3_inverse_round_trip() {
+        let m = Mat3::new(2.0, 0.5, 0.0, 0.5, 3.0, 1.0, 0.0, 1.0, 4.0);
+        let inv = m.inverse().unwrap();
+        assert!(mat3_approx_eq(m * inv, Mat3::IDENTITY, 1e-5));
+        assert!(mat3_approx_eq(inv * m, Mat3::IDENTITY, 1e-5));
+    }
+
+    #[test]
+    fn mat3_transpose_involution() {
+        let m = Mat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mat3_det_of_product() {
+        let a = Mat3::new(2.0, 0.0, 1.0, 0.0, 3.0, 0.0, 1.0, 0.0, 2.0);
+        let b = Mat3::new(1.0, 1.0, 0.0, 0.0, 2.0, 1.0, 0.0, 0.0, 1.0);
+        assert!(approx_eq((a * b).determinant(), a.determinant() * b.determinant(), 1e-5));
+    }
+
+    #[test]
+    fn mat3_rows_cols_agree() {
+        let m = Mat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.row(1), Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(m.col(2), Vec3::new(3.0, 6.0, 9.0));
+        let rebuilt = Mat3::from_cols(m.col(0), m.col(1), m.col(2));
+        assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn mat3_diagonal() {
+        let d = Mat3::from_diagonal(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(d.mul_vec(Vec3::ONE), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(d.determinant(), 6.0);
+    }
+
+    #[test]
+    fn mat4_rigid_inverse() {
+        let rot = Mat3::new(0.0, -1.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+        let t = Vec3::new(1.0, 2.0, 3.0);
+        let m = Mat4::from_rotation_translation(rot, t);
+        let inv = m.rigid_inverse();
+        let p = Vec3::new(5.0, -2.0, 0.5);
+        let back = inv.transform_point(m.transform_point(p));
+        assert!(approx_eq(back.x, p.x, 1e-5));
+        assert!(approx_eq(back.y, p.y, 1e-5));
+        assert!(approx_eq(back.z, p.z, 1e-5));
+    }
+
+    #[test]
+    fn mat4_point_vs_dir() {
+        let m = Mat4::from_translation(Vec3::new(1.0, 1.0, 1.0));
+        assert_eq!(m.transform_point(Vec3::ZERO), Vec3::ONE);
+        assert_eq!(m.transform_dir(Vec3::new(1.0, 0.0, 0.0)), Vec3::new(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn mat4_mul_identity() {
+        let m = Mat4::from_translation(Vec3::new(4.0, 5.0, 6.0));
+        assert_eq!(Mat4::IDENTITY * m, m);
+        assert_eq!(m * Mat4::IDENTITY, m);
+    }
+
+    #[test]
+    fn mat3_upper_left2() {
+        let m = Mat3::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0);
+        assert_eq!(m.upper_left2(), Mat2::new(1.0, 2.0, 4.0, 5.0));
+    }
+}

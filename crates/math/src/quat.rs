@@ -1,0 +1,211 @@
+//! Unit quaternions for Gaussian orientations.
+//!
+//! 3D Gaussian Splatting parameterises each kernel's rotation `R` as a unit
+//! quaternion; the covariance is assembled as `Σ = R S Sᵀ Rᵀ` during both
+//! reconstruction and rendering. Avatars additionally rotate Gaussians by
+//! skeleton joint transforms, which composes naturally on quaternions.
+
+use crate::{Mat3, Vec3};
+
+/// A quaternion `w + xi + yj + zk`.
+///
+/// Most APIs expect (and [`Quat::to_mat3`] assumes) a *unit* quaternion;
+/// call [`Quat::normalized`] after arithmetic that may denormalise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f32,
+    /// `i` component.
+    pub x: f32,
+    /// `j` component.
+    pub y: f32,
+    /// `k` component.
+    pub z: f32,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Self = Self { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from components (scalar first).
+    #[inline]
+    pub const fn new(w: f32, x: f32, y: f32, z: f32) -> Self {
+        Self { w, x, y, z }
+    }
+
+    /// Creates a rotation of `angle` radians about the (not necessarily
+    /// unit-length) `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `axis` has near-zero length.
+    pub fn from_axis_angle(axis: Vec3, angle: f32) -> Self {
+        let axis = axis.normalized();
+        let (s, c) = (angle * 0.5).sin_cos();
+        Self::new(c, axis.x * s, axis.y * s, axis.z * s)
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Norm.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.length_squared().sqrt()
+    }
+
+    /// Returns the normalised (unit) quaternion.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the quaternion has near-zero norm.
+    pub fn normalized(self) -> Self {
+        let len = self.length();
+        debug_assert!(len > 1e-12, "normalizing a zero quaternion");
+        Self::new(self.w / len, self.x / len, self.y / len, self.z / len)
+    }
+
+    /// The conjugate (inverse rotation for unit quaternions).
+    #[inline]
+    pub fn conjugate(self) -> Self {
+        Self::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Hamilton product `self * rhs` (applies `rhs` first).
+    pub fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        self.to_mat3().mul_vec(v)
+    }
+
+    /// Converts a unit quaternion to a rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        let Self { w, x, y, z } = self;
+        let (x2, y2, z2) = (x + x, y + y, z + z);
+        let (xx, yy, zz) = (x * x2, y * y2, z * z2);
+        let (xy, xz, yz) = (x * y2, x * z2, y * z2);
+        let (wx, wy, wz) = (w * x2, w * y2, w * z2);
+        Mat3::new(
+            1.0 - (yy + zz), xy - wz,         xz + wy,
+            xy + wz,         1.0 - (xx + zz), yz - wx,
+            xz - wy,         yz + wx,         1.0 - (xx + yy),
+        )
+    }
+
+    /// Normalised linear interpolation toward `rhs` — adequate for the small
+    /// per-frame pose deltas used by avatar animation.
+    pub fn nlerp(self, rhs: Self, t: f32) -> Self {
+        // Take the short arc.
+        let dot = self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
+        let sign = if dot < 0.0 { -1.0 } else { 1.0 };
+        Self::new(
+            self.w + (sign * rhs.w - self.w) * t,
+            self.x + (sign * rhs.x - self.x) * t,
+            self.y + (sign * rhs.y - self.y) * t,
+            self.z + (sign * rhs.z - self.z) * t,
+        )
+        .normalized()
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl std::fmt::Display for Quat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({} + {}i + {}j + {}k)", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn vec_approx_eq(a: Vec3, b: Vec3, tol: f32) -> bool {
+        approx_eq(a.x, b.x, tol) && approx_eq(a.y, b.y, tol) && approx_eq(a.z, b.z, tol)
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert!(vec_approx_eq(Quat::IDENTITY.rotate(v), v, 1e-6));
+    }
+
+    #[test]
+    fn axis_angle_quarter_turn() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f32::consts::FRAC_PI_2);
+        let r = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+        assert!(vec_approx_eq(r, Vec3::new(0.0, 1.0, 0.0), 1e-5));
+    }
+
+    #[test]
+    fn rotation_matrix_is_orthonormal() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1);
+        let m = q.to_mat3();
+        let should_be_identity = m * m.transpose();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert!(approx_eq(should_be_identity.rows[r][c], expect, 1e-5));
+            }
+        }
+        assert!(approx_eq(m.determinant(), 1.0, 1e-5));
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(0.3, 1.0, 0.2), 0.8);
+        let v = Vec3::new(4.0, -1.0, 2.0);
+        assert!(vec_approx_eq(q.conjugate().rotate(q.rotate(v)), v, 1e-4));
+    }
+
+    #[test]
+    fn hamilton_product_composes_rotations() {
+        let qa = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.4);
+        let qb = Quat::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), -0.9);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let composed = qa.mul(qb).rotate(v);
+        let sequential = qa.rotate(qb.rotate(v));
+        assert!(vec_approx_eq(composed, sequential, 1e-4));
+    }
+
+    #[test]
+    fn nlerp_endpoints() {
+        let qa = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 0.0);
+        let qb = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 1.0);
+        let v = Vec3::new(1.0, 0.0, 0.0);
+        assert!(vec_approx_eq(qa.nlerp(qb, 0.0).rotate(v), qa.rotate(v), 1e-5));
+        assert!(vec_approx_eq(qa.nlerp(qb, 1.0).rotate(v), qb.rotate(v), 1e-5));
+    }
+
+    #[test]
+    fn nlerp_takes_short_arc() {
+        let qa = Quat::IDENTITY;
+        // -identity represents the same rotation; nlerp must not pass
+        // through zero.
+        let qb = Quat::new(-1.0, 0.0, 0.0, 0.0);
+        let mid = qa.nlerp(qb, 0.5);
+        assert!(mid.length() > 0.5);
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let q = Quat::new(1.0, 2.0, 3.0, 4.0).normalized();
+        assert!(approx_eq(q.length(), 1.0, 1e-6));
+    }
+}

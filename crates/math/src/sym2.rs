@@ -1,0 +1,292 @@
+//! Symmetric 2×2 matrices and their closed-form eigendecomposition.
+//!
+//! A projected 2D Gaussian is characterised by its covariance `Σ*` and the
+//! blending stage evaluates the quadratic form of the *conic* `Σ*⁻¹`
+//! (Eq. 7 of the paper). Both are symmetric 2×2 matrices, stored compactly
+//! as three scalars. The eigendecomposition ([`Sym2::evd`]) underpins the
+//! first IRSS coordinate transformation `P → P'` (Sec. IV-B): for a
+//! positive-definite conic `M = Q D Qᵀ` the quadratic form becomes the
+//! squared norm of `P' = D^{1/2} Qᵀ (P - µ*)`.
+
+use crate::{Mat2, Vec2};
+
+/// A symmetric 2×2 matrix `[[a, b], [b, c]]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Sym2 {
+    /// Top-left entry.
+    pub a: f32,
+    /// Off-diagonal entry.
+    pub b: f32,
+    /// Bottom-right entry.
+    pub c: f32,
+}
+
+impl Sym2 {
+    /// The identity matrix.
+    pub const IDENTITY: Self = Self { a: 1.0, b: 0.0, c: 1.0 };
+
+    /// Creates a symmetric matrix from its three free entries.
+    #[inline]
+    pub const fn new(a: f32, b: f32, c: f32) -> Self {
+        Self { a, b, c }
+    }
+
+    /// Builds the symmetric part of an arbitrary [`Mat2`]: `(M + Mᵀ)/2`.
+    #[inline]
+    pub fn from_mat2_symmetrized(m: Mat2) -> Self {
+        Self::new(m.rows[0][0], 0.5 * (m.rows[0][1] + m.rows[1][0]), m.rows[1][1])
+    }
+
+    /// Converts to a full [`Mat2`].
+    #[inline]
+    pub fn to_mat2(self) -> Mat2 {
+        Mat2::new(self.a, self.b, self.b, self.c)
+    }
+
+    /// Matrix determinant `ac - b²`.
+    #[inline]
+    pub fn determinant(self) -> f32 {
+        self.a * self.c - self.b * self.b
+    }
+
+    /// Trace `a + c`.
+    #[inline]
+    pub fn trace(self) -> f32 {
+        self.a + self.c
+    }
+
+    /// `true` when the matrix is (numerically) positive definite.
+    #[inline]
+    pub fn is_positive_definite(self) -> bool {
+        self.a > 0.0 && self.determinant() > 0.0
+    }
+
+    /// Matrix inverse (also symmetric), or `None` when the determinant
+    /// magnitude is below `1e-24`.
+    ///
+    /// Projected Gaussian covariances are regularised by the preprocessing
+    /// stage (the standard `+0.3` low-pass of 3DGS) so in practice the
+    /// inverse always exists.
+    pub fn inverse(self) -> Option<Self> {
+        let det = self.determinant();
+        if det.abs() < 1e-24 {
+            return None;
+        }
+        let inv = 1.0 / det;
+        Some(Self::new(self.c * inv, -self.b * inv, self.a * inv))
+    }
+
+    /// Evaluates the quadratic form `vᵀ M v = a·x² + 2b·xy + c·y²`.
+    #[inline]
+    pub fn quadratic_form(self, v: Vec2) -> f32 {
+        self.a * v.x * v.x + 2.0 * self.b * v.x * v.y + self.c * v.y * v.y
+    }
+
+    /// Matrix-vector product.
+    #[inline]
+    pub fn mul_vec(self, v: Vec2) -> Vec2 {
+        Vec2::new(self.a * v.x + self.b * v.y, self.b * v.x + self.c * v.y)
+    }
+
+    /// Adds `v` to both diagonal entries (the EWA low-pass regulariser).
+    #[inline]
+    pub fn add_diagonal(self, v: f32) -> Self {
+        Self::new(self.a + v, self.b, self.c + v)
+    }
+
+    /// Closed-form eigendecomposition `M = Q D Qᵀ`.
+    ///
+    /// Eigenvalues are returned in descending order (`d.x >= d.y`). The
+    /// eigenvector matrix `Q` is orthogonal with columns matching the
+    /// eigenvalue order. Existence is guaranteed for every symmetric matrix
+    /// by the spectral theorem (the paper cites the same result for `Σ*⁻¹`).
+    pub fn evd(self) -> Evd2 {
+        let half_trace = 0.5 * (self.a + self.c);
+        let half_diff = 0.5 * (self.a - self.c);
+        let disc = (half_diff * half_diff + self.b * self.b).sqrt();
+        let l1 = half_trace + disc;
+        let l2 = half_trace - disc;
+
+        // Eigenvector for l1. Two algebraically equivalent candidates exist;
+        // pick the one with the larger norm for numerical stability.
+        let cand1 = Vec2::new(self.b, l1 - self.a);
+        let cand2 = Vec2::new(l1 - self.c, self.b);
+        let v1 = if cand1.length_squared() >= cand2.length_squared() { cand1 } else { cand2 };
+        let v1 = v1.try_normalized().unwrap_or(Vec2::new(1.0, 0.0));
+        // The second eigenvector of a symmetric matrix is orthogonal.
+        let v2 = v1.perp();
+
+        Evd2 { q: Mat2::new(v1.x, v2.x, v1.y, v2.y), d: Vec2::new(l1, l2) }
+    }
+}
+
+impl std::ops::Add for Sym2 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.a + rhs.a, self.b + rhs.b, self.c + rhs.c)
+    }
+}
+
+impl std::ops::Mul<f32> for Sym2 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        Self::new(self.a * rhs, self.b * rhs, self.c * rhs)
+    }
+}
+
+impl std::fmt::Display for Sym2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[[{}, {}], [{}, {}]]", self.a, self.b, self.b, self.c)
+    }
+}
+
+/// Eigendecomposition of a [`Sym2`]: `M = Q D Qᵀ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evd2 {
+    /// Orthogonal eigenvector matrix (columns are eigenvectors).
+    pub q: Mat2,
+    /// Eigenvalues in descending order.
+    pub d: Vec2,
+}
+
+impl Evd2 {
+    /// Rebuilds `Q D Qᵀ` (used by tests to validate the decomposition).
+    pub fn reconstruct(self) -> Sym2 {
+        let d = Mat2::new(self.d.x, 0.0, 0.0, self.d.y);
+        Sym2::from_mat2_symmetrized(self.q * d * self.q.transpose())
+    }
+
+    /// The IRSS whitening transform `D^{1/2} Qᵀ` (Eq. 9-10).
+    ///
+    /// For a positive-definite conic `M`, `P' = (D^{1/2} Qᵀ) (P - µ*)`
+    /// satisfies `‖P'‖² = (P - µ*)ᵀ M (P - µ*)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when an eigenvalue is negative (conic not PSD).
+    pub fn whitening(self) -> Mat2 {
+        debug_assert!(self.d.x >= -1e-6 && self.d.y >= -1e-6, "whitening a non-PSD conic");
+        let s1 = self.d.x.max(0.0).sqrt();
+        let s2 = self.d.y.max(0.0).sqrt();
+        let qt = self.q.transpose();
+        Mat2::new(
+            s1 * qt.rows[0][0],
+            s1 * qt.rows[0][1],
+            s2 * qt.rows[1][0],
+            s2 * qt.rows[1][1],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn sym_approx_eq(x: Sym2, y: Sym2, tol: f32) -> bool {
+        approx_eq(x.a, y.a, tol) && approx_eq(x.b, y.b, tol) && approx_eq(x.c, y.c, tol)
+    }
+
+    #[test]
+    fn determinant_and_trace() {
+        let m = Sym2::new(2.0, 1.0, 3.0);
+        assert_eq!(m.determinant(), 5.0);
+        assert_eq!(m.trace(), 5.0);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let m = Sym2::new(2.0, 0.5, 1.5);
+        let inv = m.inverse().unwrap();
+        let prod = m.to_mat2() * inv.to_mat2();
+        assert!(approx_eq(prod.rows[0][0], 1.0, 1e-6));
+        assert!(approx_eq(prod.rows[0][1], 0.0, 1e-6));
+        assert!(approx_eq(prod.rows[1][1], 1.0, 1e-6));
+    }
+
+    #[test]
+    fn singular_inverse_is_none() {
+        // Rank-1 matrix: det = 0.
+        assert!(Sym2::new(1.0, 1.0, 1.0).inverse().is_none());
+    }
+
+    #[test]
+    fn quadratic_form_matches_matrix_product() {
+        let m = Sym2::new(0.7, -0.2, 1.3);
+        let v = Vec2::new(1.5, -2.5);
+        let expected = v.dot(m.mul_vec(v));
+        assert!(approx_eq(m.quadratic_form(v), expected, 1e-6));
+    }
+
+    #[test]
+    fn evd_reconstructs_identity() {
+        let e = Sym2::IDENTITY.evd();
+        assert!(sym_approx_eq(e.reconstruct(), Sym2::IDENTITY, 1e-6));
+        assert!(approx_eq(e.d.x, 1.0, 1e-6));
+        assert!(approx_eq(e.d.y, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn evd_reconstructs_anisotropic() {
+        let m = Sym2::new(3.0, 1.2, 0.8);
+        let e = m.evd();
+        assert!(e.d.x >= e.d.y);
+        assert!(sym_approx_eq(e.reconstruct(), m, 1e-5));
+    }
+
+    #[test]
+    fn evd_eigenvectors_orthonormal() {
+        let m = Sym2::new(2.5, -0.9, 1.1);
+        let q = m.evd().q;
+        let v1 = Vec2::new(q.rows[0][0], q.rows[1][0]);
+        let v2 = Vec2::new(q.rows[0][1], q.rows[1][1]);
+        assert!(approx_eq(v1.length(), 1.0, 1e-5));
+        assert!(approx_eq(v2.length(), 1.0, 1e-5));
+        assert!(approx_eq(v1.dot(v2), 0.0, 1e-5));
+    }
+
+    #[test]
+    fn evd_diagonal_matrix() {
+        let m = Sym2::new(4.0, 0.0, 1.0);
+        let e = m.evd();
+        assert!(approx_eq(e.d.x, 4.0, 1e-6));
+        assert!(approx_eq(e.d.y, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn whitening_preserves_quadratic_form() {
+        let m = Sym2::new(0.9, 0.3, 0.5);
+        assert!(m.is_positive_definite());
+        let w = m.evd().whitening();
+        for &(x, y) in &[(0.0, 0.0), (1.0, 0.0), (0.3, -2.0), (5.0, 4.0)] {
+            let v = Vec2::new(x, y);
+            let q_direct = m.quadratic_form(v);
+            let q_whitened = w.mul_vec(v).length_squared();
+            assert!(
+                approx_eq(q_direct, q_whitened, 1e-4),
+                "direct {q_direct} vs whitened {q_whitened} at ({x},{y})"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_definiteness() {
+        assert!(Sym2::new(1.0, 0.0, 1.0).is_positive_definite());
+        assert!(!Sym2::new(-1.0, 0.0, 1.0).is_positive_definite());
+        assert!(!Sym2::new(1.0, 2.0, 1.0).is_positive_definite());
+    }
+
+    #[test]
+    fn add_diagonal_regularizer() {
+        let m = Sym2::new(1.0, 0.5, 2.0).add_diagonal(0.3);
+        assert_eq!(m, Sym2::new(1.3, 0.5, 2.3));
+    }
+
+    #[test]
+    fn symmetrize_from_mat2() {
+        let m = Mat2::new(1.0, 2.0, 4.0, 3.0);
+        assert_eq!(Sym2::from_mat2_symmetrized(m), Sym2::new(1.0, 3.0, 3.0));
+    }
+}

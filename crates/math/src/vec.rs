@@ -1,0 +1,477 @@
+//! Fixed-size `f32` vectors.
+//!
+//! The renderer works in single precision throughout (matching the CUDA
+//! reference implementation of 3D Gaussian Splatting); tests that need a
+//! higher-precision oracle promote components to `f64` locally.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+macro_rules! impl_vec_common {
+    ($name:ident, $n:expr, [$($field:ident),+]) => {
+        impl $name {
+            /// Vector with all components zero.
+            pub const ZERO: Self = Self { $($field: 0.0),+ };
+            /// Vector with all components one.
+            pub const ONE: Self = Self { $($field: 1.0),+ };
+
+            /// Creates a vector from components.
+            #[inline]
+            pub const fn new($($field: f32),+) -> Self {
+                Self { $($field),+ }
+            }
+
+            /// Creates a vector with every component set to `v`.
+            #[inline]
+            pub const fn splat(v: f32) -> Self {
+                Self { $($field: v),+ }
+            }
+
+            /// Dot product.
+            #[inline]
+            pub fn dot(self, rhs: Self) -> f32 {
+                0.0 $(+ self.$field * rhs.$field)+
+            }
+
+            /// Squared Euclidean length.
+            #[inline]
+            pub fn length_squared(self) -> f32 {
+                self.dot(self)
+            }
+
+            /// Euclidean length.
+            #[inline]
+            pub fn length(self) -> f32 {
+                self.length_squared().sqrt()
+            }
+
+            /// Returns the vector scaled to unit length.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if the vector has (near-)zero length.
+            #[inline]
+            pub fn normalized(self) -> Self {
+                let len = self.length();
+                debug_assert!(len > 1e-12, "normalizing a zero-length vector");
+                self / len
+            }
+
+            /// Returns the vector scaled to unit length, or `None` when the
+            /// length is below `1e-12`.
+            #[inline]
+            pub fn try_normalized(self) -> Option<Self> {
+                let len = self.length();
+                if len > 1e-12 { Some(self / len) } else { None }
+            }
+
+            /// Component-wise minimum.
+            #[inline]
+            pub fn min(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.min(rhs.$field)),+ }
+            }
+
+            /// Component-wise maximum.
+            #[inline]
+            pub fn max(self, rhs: Self) -> Self {
+                Self { $($field: self.$field.max(rhs.$field)),+ }
+            }
+
+            /// Component-wise absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self { $($field: self.$field.abs()),+ }
+            }
+
+            /// Component-wise multiplication (Hadamard product).
+            #[inline]
+            pub fn mul_elem(self, rhs: Self) -> Self {
+                Self { $($field: self.$field * rhs.$field),+ }
+            }
+
+            /// Linear interpolation: `self + t * (rhs - self)`.
+            #[inline]
+            pub fn lerp(self, rhs: Self, t: f32) -> Self {
+                self + (rhs - self) * t
+            }
+
+            /// Largest component.
+            #[inline]
+            pub fn max_component(self) -> f32 {
+                let mut m = f32::NEG_INFINITY;
+                $( m = m.max(self.$field); )+
+                m
+            }
+
+            /// Returns `true` when all components are finite.
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                true $(&& self.$field.is_finite())+
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self { $($field: self.$field + rhs.$field),+ }
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                $( self.$field += rhs.$field; )+
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self { $($field: self.$field - rhs.$field),+ }
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                $( self.$field -= rhs.$field; )+
+            }
+        }
+
+        impl Mul<f32> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f32) -> Self {
+                Self { $($field: self.$field * rhs),+ }
+            }
+        }
+
+        impl Mul<$name> for f32 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                rhs * self
+            }
+        }
+
+        impl MulAssign<f32> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f32) {
+                $( self.$field *= rhs; )+
+            }
+        }
+
+        impl Div<f32> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f32) -> Self {
+                Self { $($field: self.$field / rhs),+ }
+            }
+        }
+
+        impl DivAssign<f32> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f32) {
+                $( self.$field /= rhs; )+
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self { $($field: -self.$field),+ }
+            }
+        }
+
+        impl Default for $name {
+            #[inline]
+            fn default() -> Self {
+                Self::ZERO
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold(Self::ZERO, Add::add)
+            }
+        }
+
+        impl From<[f32; $n]> for $name {
+            #[inline]
+            fn from(a: [f32; $n]) -> Self {
+                let mut i = 0;
+                $( let $field = a[i]; i += 1; )+
+                let _ = i;
+                Self { $($field),+ }
+            }
+        }
+
+        impl From<$name> for [f32; $n] {
+            #[inline]
+            fn from(v: $name) -> [f32; $n] {
+                [$(v.$field),+]
+            }
+        }
+
+        impl Index<usize> for $name {
+            type Output = f32;
+            #[inline]
+            fn index(&self, idx: usize) -> &f32 {
+                let mut i = 0usize;
+                $(
+                    if idx == i { return &self.$field; }
+                    i += 1;
+                )+
+                let _ = i;
+                panic!("index {idx} out of bounds for {}", stringify!($name));
+            }
+        }
+
+        impl IndexMut<usize> for $name {
+            #[inline]
+            fn index_mut(&mut self, idx: usize) -> &mut f32 {
+                let mut i = 0usize;
+                $(
+                    if idx == i { return &mut self.$field; }
+                    i += 1;
+                )+
+                let _ = i;
+                panic!("index {idx} out of bounds for {}", stringify!($name));
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "(")?;
+                let mut first = true;
+                $(
+                    if !first { write!(f, ", ")?; }
+                    write!(f, "{}", self.$field)?;
+                    first = false;
+                )+
+                let _ = first;
+                write!(f, ")")
+            }
+        }
+    };
+}
+
+/// A 2D vector of `f32` components.
+///
+/// Used for screen-space positions, 2D Gaussian means and the transformed
+/// `P'`/`P''` coordinates of the IRSS dataflow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec2 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+}
+
+impl_vec_common!(Vec2, 2, [x, y]);
+
+impl Vec2 {
+    /// 2D cross product (z-component of the 3D cross product).
+    #[inline]
+    pub fn perp_dot(self, rhs: Self) -> f32 {
+        self.x * rhs.y - self.y * rhs.x
+    }
+
+    /// The vector rotated by 90° counter-clockwise.
+    #[inline]
+    pub fn perp(self) -> Self {
+        Self::new(-self.y, self.x)
+    }
+}
+
+/// A 3D vector of `f32` components.
+///
+/// Used for world-space positions, RGB colors and Gaussian scales.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl_vec_common!(Vec3, 3, [x, y, z]);
+
+impl Vec3 {
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Self) -> Self {
+        Self::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Extends to a [`Vec4`] with the given `w`.
+    #[inline]
+    pub fn extend(self, w: f32) -> Vec4 {
+        Vec4::new(self.x, self.y, self.z, w)
+    }
+
+    /// Drops the z-component.
+    #[inline]
+    pub fn truncate(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+}
+
+/// A 4D vector of `f32` components (homogeneous coordinates, RGBA).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl_vec_common!(Vec4, 4, [x, y, z, w]);
+
+impl Vec4 {
+    /// Drops the w-component.
+    #[inline]
+    pub fn truncate(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Perspective division: `(x/w, y/w, z/w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `w` is (near) zero.
+    #[inline]
+    pub fn project(self) -> Vec3 {
+        debug_assert!(self.w.abs() > 1e-12, "perspective division by ~0");
+        Vec3::new(self.x / self.w, self.y / self.w, self.z / self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn vec2_basic_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn vec2_dot_and_length() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.length(), 5.0);
+        assert!(approx_eq(a.normalized().length(), 1.0, 1e-6));
+    }
+
+    #[test]
+    fn vec2_perp_is_orthogonal() {
+        let a = Vec2::new(2.5, -1.5);
+        assert_eq!(a.dot(a.perp()), 0.0);
+        assert_eq!(a.perp_dot(a), 0.0);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        let c = a.cross(b);
+        assert!(approx_eq(c.dot(a), 0.0, 1e-5));
+        assert!(approx_eq(c.dot(b), 0.0, 1e-5));
+    }
+
+    #[test]
+    fn vec3_cross_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn vec4_project() {
+        let v = Vec4::new(2.0, 4.0, 6.0, 2.0);
+        assert_eq!(v.project(), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[2], 3.0);
+        v[1] = 9.0;
+        assert_eq!(v.y, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn indexing_out_of_bounds_panics() {
+        let v = Vec2::new(0.0, 0.0);
+        let _ = v[2];
+    }
+
+    #[test]
+    fn try_normalized_zero_vector() {
+        assert!(Vec3::ZERO.try_normalized().is_none());
+        assert!(Vec3::new(0.0, 2.0, 0.0).try_normalized().is_some());
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        let a = Vec2::new(1.0, 5.0);
+        let b = Vec2::new(3.0, 2.0);
+        assert_eq!(a.min(b), Vec2::new(1.0, 2.0));
+        assert_eq!(a.max(b), Vec2::new(3.0, 5.0));
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(2.0, 3.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn array_conversions() {
+        let v = Vec4::from([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(v, Vec4::new(1.0, 2.0, 3.0, 4.0));
+        let a: [f32; 4] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = [Vec2::new(1.0, 0.0), Vec2::new(2.0, 1.0), Vec2::new(-1.0, 4.0)];
+        let s: Vec2 = vs.into_iter().sum();
+        assert_eq!(s, Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Vec2::new(1.0, 2.0)), "(1, 2)");
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the math substrate.
+//!
+//! These pin down the algebraic identities the IRSS dataflow relies on:
+//! the eigendecomposition must reconstruct the conic, the whitening
+//! transform must preserve the quadratic form exactly (the paper stresses
+//! the transformations are *not* approximations), f16 conversion must
+//! round-trip, and the radix sort must agree with the standard sort.
+
+use gbu_math::sort::{float_to_ordered_bits, pack_key, radix_sort_pairs};
+use gbu_math::{F16, Quat, Sym2, Vec2, Vec3};
+use proptest::prelude::*;
+
+/// Strategy producing positive-definite conics with well-conditioned
+/// eigenvalues, like those of regularised projected Gaussians.
+fn pd_conic() -> impl Strategy<Value = Sym2> {
+    // Build from eigenvalues and a rotation so positive-definiteness holds
+    // by construction.
+    (0.01f32..10.0, 0.01f32..10.0, 0.0f32..std::f32::consts::PI).prop_map(|(l1, l2, theta)| {
+        let (s, c) = theta.sin_cos();
+        // Q diag(l1,l2) Q^T for Q = rotation(theta).
+        let a = c * c * l1 + s * s * l2;
+        let b = s * c * (l1 - l2);
+        let cc = s * s * l1 + c * c * l2;
+        Sym2::new(a, b, cc)
+    })
+}
+
+proptest! {
+    #[test]
+    fn evd_reconstructs_input(m in pd_conic()) {
+        let e = m.evd();
+        let back = e.reconstruct();
+        let scale = m.a.abs().max(m.c.abs()).max(1.0);
+        prop_assert!((back.a - m.a).abs() <= 1e-4 * scale);
+        prop_assert!((back.b - m.b).abs() <= 1e-4 * scale);
+        prop_assert!((back.c - m.c).abs() <= 1e-4 * scale);
+    }
+
+    #[test]
+    fn evd_eigenvalues_ordered_and_positive(m in pd_conic()) {
+        let e = m.evd();
+        prop_assert!(e.d.x >= e.d.y);
+        prop_assert!(e.d.y > -1e-5);
+    }
+
+    #[test]
+    fn whitening_preserves_quadratic_form(
+        m in pd_conic(),
+        x in -50.0f32..50.0,
+        y in -50.0f32..50.0,
+    ) {
+        let v = Vec2::new(x, y);
+        let direct = m.quadratic_form(v);
+        let whitened = m.evd().whitening().mul_vec(v).length_squared();
+        let tol = 1e-3 * direct.abs().max(1.0);
+        prop_assert!((direct - whitened).abs() <= tol,
+            "direct {direct} vs whitened {whitened}");
+    }
+
+    #[test]
+    fn f16_round_trip_is_idempotent(v in -65000.0f32..65000.0) {
+        // f32 -> f16 -> f32 -> f16 must be a fixed point after one step.
+        let once = F16::from_f32(v);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn f16_conversion_error_bounded(v in -60000.0f32..60000.0) {
+        // Round-to-nearest error is at most half an ULP = 2^-11 relative
+        // for normals (subnormals have absolute bound 2^-25).
+        let h = F16::from_f32(v).to_f32();
+        let bound = (v.abs() * 2.0_f32.powi(-11)).max(2.0_f32.powi(-25));
+        prop_assert!((h - v).abs() <= bound, "{v} -> {h}");
+    }
+
+    #[test]
+    fn ordered_bits_preserve_order(a in any::<f32>(), b in any::<f32>()) {
+        prop_assume!(a.is_finite() && b.is_finite());
+        if a < b {
+            prop_assert!(float_to_ordered_bits(a) < float_to_ordered_bits(b));
+        } else if a > b {
+            prop_assert!(float_to_ordered_bits(a) > float_to_ordered_bits(b));
+        }
+    }
+
+    #[test]
+    fn radix_sort_agrees_with_std(mut keys in prop::collection::vec(any::<u64>(), 0..512)) {
+        let mut pairs: Vec<(u64, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        radix_sort_pairs(&mut pairs);
+        keys.sort_unstable();
+        let sorted: Vec<u64> = pairs.iter().map(|&(k, _)| k).collect();
+        prop_assert_eq!(sorted, keys);
+    }
+
+    #[test]
+    fn pack_key_tile_major(t1 in 0u32..1000, t2 in 0u32..1000, d1 in 0.0f32..1e6, d2 in 0.0f32..1e6) {
+        if t1 < t2 {
+            prop_assert!(pack_key(t1, d1) < pack_key(t2, d2));
+        }
+        if t1 == t2 && d1 < d2 {
+            prop_assert!(pack_key(t1, d1) < pack_key(t2, d2));
+        }
+    }
+
+    #[test]
+    fn quaternion_rotation_preserves_length(
+        ax in -1.0f32..1.0, ay in -1.0f32..1.0, az in -1.0f32..1.0,
+        angle in -6.3f32..6.3,
+        vx in -10.0f32..10.0, vy in -10.0f32..10.0, vz in -10.0f32..10.0,
+    ) {
+        let axis = Vec3::new(ax, ay, az);
+        prop_assume!(axis.length() > 1e-3);
+        let v = Vec3::new(vx, vy, vz);
+        let r = Quat::from_axis_angle(axis, angle).rotate(v);
+        prop_assert!((r.length() - v.length()).abs() <= 1e-3 * v.length().max(1.0));
+    }
+
+    #[test]
+    fn sym2_inverse_identity(m in pd_conic()) {
+        let inv = m.inverse().expect("pd matrices invert");
+        let prod = m.to_mat2() * inv.to_mat2();
+        prop_assert!((prod.rows[0][0] - 1.0).abs() < 1e-2);
+        prop_assert!((prod.rows[1][1] - 1.0).abs() < 1e-2);
+        prop_assert!(prod.rows[0][1].abs() < 1e-2);
+        prop_assert!(prod.rows[1][0].abs() < 1e-2);
+    }
+}

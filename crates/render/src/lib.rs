@@ -1,0 +1,104 @@
+//! The 3D Gaussian Splatting rendering pipeline, with both blending
+//! dataflows studied by the paper.
+//!
+//! The pipeline follows Sec. II-B's three rendering steps:
+//!
+//! 1. **Preprocessing** ([`preprocess`]): project every 3D Gaussian to a 2D
+//!    splat via the EWA local-affine approximation (`Σ* = J W Σ Wᵀ Jᵀ`),
+//!    evaluate the spherical-harmonics color, compute depth, cull.
+//! 2. **Binning + depth sorting** ([`binning`]): duplicate splats per
+//!    overlapped 16×16 tile and radix-sort by (tile, depth) key.
+//! 3. **Gaussian Blending** — the paper's bottleneck — in two dataflows:
+//!    - [`pfs`]: the reference *Parallel Fragment Shading* dataflow of the
+//!      3DGS CUDA rasteriser (every pixel of every covered tile evaluates
+//!      Eq. 7 at 11 FLOPs per fragment);
+//!    - [`irss`]: the paper's *Intra-Row Sequential Shading* dataflow
+//!      (two-step coordinate transformation, compute sharing at 2 FLOPs
+//!      per fragment, row-wise redundancy skipping — Sec. IV).
+//!
+//! Both dataflows are mathematically identical (no approximation, per the
+//! paper's claim in Sec. IV-B); the integration tests and property tests
+//! assert image equality within floating-point tolerance.
+//!
+//! [`stats`] instruments everything the architecture simulators need:
+//! fragment counts, FLOP counts at the paper's accounting granularity,
+//! per-row workloads (Fig. 9) and per-tile instance lists.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod binning;
+mod framebuffer;
+pub mod irss;
+pub mod metrics;
+pub mod pfs;
+pub mod preprocess;
+mod splat;
+pub mod stats;
+
+pub use framebuffer::FrameBuffer;
+pub use splat::{alpha_from_q, Splat2D, GBU_FEATURE_BYTES, SPLAT_FEATURE_BYTES};
+
+use gbu_math::Vec3;
+use gbu_scene::{Camera, GaussianScene};
+
+/// Shared configuration for the rendering pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RenderConfig {
+    /// Square tile edge in pixels (the paper and 3DGS use 16).
+    pub tile_size: u32,
+    /// Background color composited behind the splats.
+    pub background: Vec3,
+    /// Record per-row fragment workloads (needed by Fig. 9 and the GPU
+    /// utilization model; costs memory proportional to tile count).
+    pub record_row_workload: bool,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        Self { tile_size: 16, background: Vec3::ZERO, record_row_workload: false }
+    }
+}
+
+/// Output of a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct RenderOutput {
+    /// The rendered image.
+    pub image: FrameBuffer,
+    /// Preprocessing statistics (Step ❶).
+    pub preprocess: stats::PreprocessStats,
+    /// Binning/sorting statistics (Step ❷).
+    pub binning: stats::BinningStats,
+    /// Blending statistics (Step ❸).
+    pub blend: stats::BlendStats,
+}
+
+/// Renders a scene end-to-end with the reference PFS blending dataflow.
+///
+/// # Example
+///
+/// ```
+/// use gbu_render::{render_pfs, RenderConfig};
+/// use gbu_scene::{Camera, Gaussian3D, GaussianScene};
+/// use gbu_math::Vec3;
+///
+/// let scene: GaussianScene =
+///     std::iter::once(Gaussian3D::isotropic(Vec3::ZERO, 0.2, Vec3::ONE, 0.9)).collect();
+/// let cam = Camera::orbit(64, 64, 1.0, Vec3::ZERO, 3.0, 0.0, 0.0);
+/// let out = render_pfs(&scene, &cam, &RenderConfig::default());
+/// assert!(out.blend.fragments_blended > 0);
+/// ```
+pub fn render_pfs(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
+    let (splats, pre) = preprocess::project_scene(scene, camera);
+    let (bins, bin_stats) = binning::bin_splats(&splats, camera, config.tile_size);
+    let (image, blend) = pfs::blend(&splats, &bins, camera, config);
+    RenderOutput { image, preprocess: pre, binning: bin_stats, blend }
+}
+
+/// Renders a scene end-to-end with the paper's IRSS blending dataflow.
+pub fn render_irss(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
+    let (splats, pre) = preprocess::project_scene(scene, camera);
+    let (bins, bin_stats) = binning::bin_splats(&splats, camera, config.tile_size);
+    let (image, blend) = irss::blend(&splats, &bins, camera, config);
+    RenderOutput { image, preprocess: pre, binning: bin_stats, blend }
+}

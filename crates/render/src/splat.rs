@@ -1,0 +1,123 @@
+//! Projected 2D Gaussian splats — the "input 2D Gaussian features" of the
+//! blending stage.
+
+use gbu_math::{Sym2, Vec2, Vec3};
+
+/// Size in bytes of one splat's feature record in FP32, as stored in DRAM
+/// by the GPU pipeline: mean (8) + conic (12) + color (12) + opacity (4)
+/// + depth (4) + threshold (4) = 44, padded to 48 for alignment.
+pub const SPLAT_FEATURE_BYTES: u64 = 48;
+
+/// Size in bytes of one splat's feature record in the GBU's FP16 layout
+/// (Sec. V-D): mean (4) + conic (6) + color (6) + opacity (2) + threshold
+/// (2) + transform parameters `Δx''`/row-basis (4) = 24. This is the unit
+/// the Gaussian Reuse Cache stores and the DRAM traffic model counts.
+pub const GBU_FEATURE_BYTES: u64 = 24;
+
+/// A 2D Gaussian splat produced by Rendering Step ❶.
+///
+/// Carries everything Steps ❷/❸ need: screen-space mean `µ*`, the conic
+/// `Σ*⁻¹` (pre-inverted covariance, as the CUDA reference stores it), the
+/// view-dependent RGB color, the opacity factor `o`, the depth used for
+/// sorting and the truncation threshold `Th` such that fragments with
+/// `q > Th` fall below the `1/255` opacity cutoff.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Splat2D {
+    /// Screen-space mean `µ*` in pixels.
+    pub mean: Vec2,
+    /// Conic matrix `Σ*⁻¹`.
+    pub conic: Sym2,
+    /// Projected covariance `Σ*` (kept for binning-radius computations).
+    pub cov: Sym2,
+    /// View-dependent RGB color `c`.
+    pub color: Vec3,
+    /// Opacity factor `o`.
+    pub opacity: f32,
+    /// Camera-space depth `d`.
+    pub depth: f32,
+    /// Truncation threshold `Th = 2·ln(o·255)` (Sec. IV-C).
+    pub threshold: f32,
+    /// Index of the source Gaussian in the scene (stable across frames;
+    /// used by the reuse-distance cache model).
+    pub source: u32,
+}
+
+impl Splat2D {
+    /// Evaluates the quadratic form `q = (P-µ*)ᵀ Σ*⁻¹ (P-µ*)` (Eq. 7)
+    /// at a pixel centre.
+    #[inline]
+    pub fn q_at(&self, pixel: Vec2) -> f32 {
+        self.conic.quadratic_form(pixel - self.mean)
+    }
+
+    /// Fragment opacity at a pixel centre: `α = min(0.99, o·G*(P))`
+    /// (Eq. 4/5 with the reference clamp).
+    #[inline]
+    pub fn alpha_at(&self, pixel: Vec2) -> f32 {
+        alpha_from_q(self.opacity, self.q_at(pixel))
+    }
+}
+
+/// The reference opacity computation given a precomputed quadratic form.
+///
+/// Shared by both dataflows so PFS and IRSS produce bit-identical opacities
+/// whenever they produce identical `q`.
+#[inline]
+pub fn alpha_from_q(opacity: f32, q: f32) -> f32 {
+    (opacity * (-0.5 * q).exp()).min(0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbu_math::approx_eq;
+
+    fn splat() -> Splat2D {
+        Splat2D {
+            mean: Vec2::new(10.0, 20.0),
+            conic: Sym2::new(0.5, 0.1, 0.3),
+            cov: Sym2::new(0.5, 0.1, 0.3).inverse().unwrap(),
+            color: Vec3::new(1.0, 0.5, 0.25),
+            opacity: 0.8,
+            depth: 3.0,
+            threshold: 2.0 * (0.8f32 * 255.0).ln(),
+            source: 7,
+        }
+    }
+
+    #[test]
+    fn q_zero_at_mean() {
+        let s = splat();
+        assert_eq!(s.q_at(s.mean), 0.0);
+        assert!(approx_eq(s.alpha_at(s.mean), 0.8, 1e-6));
+    }
+
+    #[test]
+    fn q_grows_with_distance() {
+        let s = splat();
+        let q1 = s.q_at(Vec2::new(11.0, 20.0));
+        let q2 = s.q_at(Vec2::new(14.0, 20.0));
+        assert!(q2 > q1 && q1 > 0.0);
+    }
+
+    #[test]
+    fn alpha_at_threshold_is_alpha_min() {
+        let s = splat();
+        let alpha = alpha_from_q(s.opacity, s.threshold);
+        assert!(approx_eq(alpha, 1.0 / 255.0, 1e-5));
+    }
+
+    #[test]
+    fn alpha_clamped_to_099() {
+        assert_eq!(alpha_from_q(5.0, 0.0), 0.99);
+    }
+
+    #[test]
+    fn feature_sizes_are_consistent() {
+        // The FP16 record must be smaller than the FP32 record; the cache
+        // size sweep (Fig. 17) depends on the ratio.
+        assert!(GBU_FEATURE_BYTES < SPLAT_FEATURE_BYTES);
+        assert_eq!(SPLAT_FEATURE_BYTES % 4, 0);
+        assert_eq!(GBU_FEATURE_BYTES % 2, 0);
+    }
+}

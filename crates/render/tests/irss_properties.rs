@@ -1,0 +1,139 @@
+//! Property tests for the IRSS dataflow against brute-force oracles.
+//!
+//! The paper's correctness claims (Sec. IV-B/C) in property form:
+//! the two-step transformation preserves Eq. 7 exactly, the row-skip test
+//! never discards a significant fragment, and the first/last-fragment
+//! procedure finds exactly the brute-force fragment set.
+
+use gbu_math::{Sym2, Vec2, Vec3};
+use gbu_render::irss::{IrssSplat, RowOutcome};
+use gbu_render::preprocess::pixel_center;
+use gbu_render::Splat2D;
+use proptest::prelude::*;
+
+/// Positive-definite conic built from eigenvalues and a rotation angle —
+/// shaped like regularised projected Gaussians (eigenvalues of Σ*⁻¹ are
+/// bounded above by 1/0.3 by the low-pass filter).
+fn conic_strategy() -> impl Strategy<Value = Sym2> {
+    (0.005f32..3.0, 0.005f32..3.0, 0.0f32..std::f32::consts::PI).prop_map(|(l1, l2, th)| {
+        let (s, c) = th.sin_cos();
+        Sym2::new(
+            c * c * l1 + s * s * l2,
+            s * c * (l1 - l2),
+            s * s * l1 + c * c * l2,
+        )
+    })
+}
+
+fn splat_strategy() -> impl Strategy<Value = Splat2D> {
+    (conic_strategy(), -8.0f32..40.0, -8.0f32..24.0, 0.05f32..0.99).prop_map(
+        |(conic, mx, my, opacity)| Splat2D {
+            mean: Vec2::new(mx, my),
+            cov: conic.inverse().expect("pd conic inverts"),
+            conic,
+            color: Vec3::ONE,
+            opacity,
+            depth: 1.0,
+            threshold: 2.0 * (opacity * 255.0).ln(),
+            source: 0,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `‖P''‖² == q` at arbitrary screen points (Eq. 10/12: no
+    /// approximation).
+    #[test]
+    fn transform_preserves_eq7(
+        splat in splat_strategy(),
+        x in -20.0f32..52.0,
+        y in -20.0f32..36.0,
+    ) {
+        let isp = IrssSplat::new(&splat);
+        let p = Vec2::new(x, y);
+        let q_direct = splat.q_at(p);
+        let q_irss = isp.transform_point(p).length_squared();
+        let tol = 2e-3 * q_direct.abs().max(1.0);
+        prop_assert!((q_direct - q_irss).abs() <= tol,
+            "q mismatch at ({x},{y}): {q_direct} vs {q_irss}");
+    }
+
+    /// The x-step image is axis-aligned after the rotation (Eq. 13):
+    /// marching right changes x'' by dx'' and leaves y'' unchanged.
+    #[test]
+    fn x_step_axis_aligned(splat in splat_strategy(), x in -10i32..40, y in -10i32..30) {
+        let isp = IrssSplat::new(&splat);
+        let a = isp.transform_point(Vec2::new(x as f32, y as f32));
+        let b = isp.transform_point(Vec2::new(x as f32 + 1.0, y as f32));
+        prop_assert!((b.x - a.x - isp.dx).abs() < 1e-3 * isp.dx.max(1.0));
+        prop_assert!((b.y - a.y).abs() < 1e-4 * a.y.abs().max(1.0));
+    }
+
+    /// Row outcomes agree with the brute-force fragment set on every row
+    /// of a 32-pixel-wide strip: nothing significant is skipped and
+    /// nothing insignificant is shaded.
+    #[test]
+    fn row_procedure_matches_brute_force(splat in splat_strategy(), y in 0u32..24) {
+        let isp = IrssSplat::new(&splat);
+        let brute: Vec<u32> = (0..32u32)
+            .filter(|&x| splat.q_at(pixel_center(x, y)) <= splat.threshold)
+            .collect();
+        match isp.row_outcome(y, 0, 32) {
+            RowOutcome::SkippedY | RowOutcome::Miss { .. } => {
+                // Allow the empty set plus a tolerance for fragments
+                // sitting exactly on the threshold boundary (float
+                // disagreement between the two evaluation orders).
+                for &x in &brute {
+                    let q = splat.q_at(pixel_center(x, y));
+                    prop_assert!(splat.threshold - q <= 2e-3 * splat.threshold.abs().max(1.0),
+                        "row {y}: skipped a clearly-inside fragment at x={x} (q={q})");
+                }
+            }
+            RowOutcome::Span(span) => {
+                let mut got = Vec::new();
+                isp.march(&span, 32, |x, _| got.push(x));
+                // The sets agree except possibly at the boundary.
+                let boundary_ok = |x: u32| {
+                    let q = splat.q_at(pixel_center(x, y));
+                    (q - splat.threshold).abs() <= 2e-3 * splat.threshold.abs().max(1.0)
+                };
+                for &x in &got {
+                    prop_assert!(brute.contains(&x) || boundary_ok(x),
+                        "row {y}: IRSS shaded x={x} outside the oracle set {brute:?}");
+                }
+                for &x in &brute {
+                    prop_assert!(got.contains(&x) || boundary_ok(x),
+                        "row {y}: IRSS missed x={x}; got {got:?}");
+                }
+            }
+        }
+    }
+
+    /// Marched q values are monotone after the minimum (convexity of the
+    /// parabola along a row) — the property that justifies stopping at
+    /// the first out-of-threshold fragment.
+    #[test]
+    fn marched_q_is_convex(splat in splat_strategy(), y in 0u32..24) {
+        let isp = IrssSplat::new(&splat);
+        if let RowOutcome::Span(span) = isp.row_outcome(y, 0, 32) {
+            let mut qs = Vec::new();
+            isp.march(&span, 32, |_, q| qs.push(q));
+            if qs.len() >= 3 {
+                let min_idx = qs
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                for w in qs[min_idx..].windows(2) {
+                    prop_assert!(w[1] >= w[0] - 1e-4, "q not increasing after minimum: {qs:?}");
+                }
+                for w in qs[..=min_idx].windows(2) {
+                    prop_assert!(w[1] <= w[0] + 1e-4, "q not decreasing before minimum: {qs:?}");
+                }
+            }
+        }
+    }
+}

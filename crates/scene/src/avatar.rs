@@ -1,0 +1,426 @@
+//! Skeleton-driven Gaussian avatars.
+//!
+//! Models the SplattingAvatar-style pipeline the paper profiles
+//! (Sec. II-C): an animatable human is a set of 3D Gaussians *bound* to a
+//! skeleton; given pose parameters `θ` (per-joint rotations), forward
+//! kinematics poses the skeleton and linear blend skinning (LBS) deforms
+//! every Gaussian before the shared rendering Steps ❷/❸ run unchanged.
+//! This is the application-specific Rendering Step ❶ workload that the
+//! paper leaves on the GPU while the GBU accelerates blending.
+
+use crate::{Gaussian3D, GaussianScene};
+use gbu_math::{Mat3, Mat4, Quat, Vec3};
+
+/// A skeleton joint: a parent index and a rest-pose offset from the parent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Joint {
+    /// Human-readable joint name (e.g. `"l_elbow"`).
+    pub name: &'static str,
+    /// Parent joint index, or `None` for the root.
+    pub parent: Option<usize>,
+    /// Translation from the parent joint in the rest pose.
+    pub rest_offset: Vec3,
+}
+
+/// An articulated skeleton (kinematic tree).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    joints: Vec<Joint>,
+}
+
+impl Skeleton {
+    /// Builds a skeleton from joints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a joint references a parent at or after its own index
+    /// (the tree must be topologically ordered) or when there is no root.
+    pub fn new(joints: Vec<Joint>) -> Self {
+        assert!(!joints.is_empty(), "empty skeleton");
+        assert!(joints[0].parent.is_none(), "joint 0 must be the root");
+        for (i, j) in joints.iter().enumerate() {
+            if let Some(p) = j.parent {
+                assert!(p < i, "joint {i} ({}) references a later parent {p}", j.name);
+            }
+        }
+        Self { joints }
+    }
+
+    /// The standard 17-joint humanoid used by the avatar datasets.
+    pub fn humanoid() -> Self {
+        let j = |name, parent, x: f32, y: f32, z: f32| Joint {
+            name,
+            parent,
+            rest_offset: Vec3::new(x, y, z),
+        };
+        Self::new(vec![
+            j("pelvis", None, 0.0, 1.0, 0.0),
+            j("spine", Some(0), 0.0, 0.15, 0.0),
+            j("chest", Some(1), 0.0, 0.15, 0.0),
+            j("neck", Some(2), 0.0, 0.12, 0.0),
+            j("head", Some(3), 0.0, 0.12, 0.0),
+            j("l_shoulder", Some(2), 0.18, 0.05, 0.0),
+            j("l_elbow", Some(5), 0.26, 0.0, 0.0),
+            j("l_wrist", Some(6), 0.25, 0.0, 0.0),
+            j("r_shoulder", Some(2), -0.18, 0.05, 0.0),
+            j("r_elbow", Some(8), -0.26, 0.0, 0.0),
+            j("r_wrist", Some(9), -0.25, 0.0, 0.0),
+            j("l_hip", Some(0), 0.10, -0.05, 0.0),
+            j("l_knee", Some(11), 0.0, -0.42, 0.0),
+            j("l_ankle", Some(12), 0.0, -0.42, 0.0),
+            j("r_hip", Some(0), -0.10, -0.05, 0.0),
+            j("r_knee", Some(14), 0.0, -0.42, 0.0),
+            j("r_ankle", Some(15), 0.0, -0.42, 0.0),
+        ])
+    }
+
+    /// Number of joints.
+    pub fn len(&self) -> usize {
+        self.joints.len()
+    }
+
+    /// `true` when the skeleton has no joints (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.joints.is_empty()
+    }
+
+    /// The joints in topological order.
+    pub fn joints(&self) -> &[Joint] {
+        &self.joints
+    }
+
+    /// Index of the joint called `name`, if present.
+    pub fn joint_index(&self, name: &str) -> Option<usize> {
+        self.joints.iter().position(|j| j.name == name)
+    }
+
+    /// Forward kinematics: computes each joint's global transform for a
+    /// pose. The rest pose corresponds to [`Pose::rest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pose's joint count differs from the skeleton's.
+    pub fn forward_kinematics(&self, pose: &Pose) -> Vec<Mat4> {
+        assert_eq!(pose.rotations.len(), self.joints.len(), "pose/skeleton size mismatch");
+        let mut global = Vec::with_capacity(self.joints.len());
+        for (i, joint) in self.joints.iter().enumerate() {
+            let local = Mat4::from_rotation_translation(
+                pose.rotations[i].to_mat3(),
+                joint.rest_offset,
+            );
+            let g = match joint.parent {
+                Some(p) => global[p] * local,
+                None => Mat4::from_translation(pose.root_translation) * local,
+            };
+            global.push(g);
+        }
+        global
+    }
+
+    /// Global joint transforms in the rest pose.
+    pub fn rest_transforms(&self) -> Vec<Mat4> {
+        self.forward_kinematics(&Pose::rest(self.len()))
+    }
+}
+
+/// Pose parameters `θ`: one local rotation per joint plus a root translation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pose {
+    /// Per-joint local rotations.
+    pub rotations: Vec<Quat>,
+    /// Root (pelvis) translation.
+    pub root_translation: Vec3,
+}
+
+impl Pose {
+    /// The rest pose (identity rotations, zero translation).
+    pub fn rest(n_joints: usize) -> Self {
+        Self { rotations: vec![Quat::IDENTITY; n_joints], root_translation: Vec3::ZERO }
+    }
+
+    /// A walking-cycle pose for the [`Skeleton::humanoid`] skeleton at
+    /// phase `phase` (radians; one stride per 2π).
+    ///
+    /// Swings arms and legs in opposition and adds a light spine sway —
+    /// enough articulation to exercise LBS deformation across the whole
+    /// body every frame, as avatar animation does in the paper's profiling.
+    pub fn walk_cycle(skeleton: &Skeleton, phase: f32) -> Self {
+        let mut pose = Self::rest(skeleton.len());
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        let swing = 0.6 * phase.sin();
+        let mut set = |name: &str, q: Quat| {
+            if let Some(i) = skeleton.joint_index(name) {
+                pose.rotations[i] = q;
+            }
+        };
+        set("l_hip", Quat::from_axis_angle(x, swing));
+        set("r_hip", Quat::from_axis_angle(x, -swing));
+        set("l_knee", Quat::from_axis_angle(x, 0.4 * (phase.cos().max(0.0))));
+        set("r_knee", Quat::from_axis_angle(x, 0.4 * ((-phase.cos()).max(0.0))));
+        set("l_shoulder", Quat::from_axis_angle(x, -0.5 * swing));
+        set("r_shoulder", Quat::from_axis_angle(x, 0.5 * swing));
+        set("l_elbow", Quat::from_axis_angle(x, -0.3 * (1.0 + phase.sin())));
+        set("r_elbow", Quat::from_axis_angle(x, -0.3 * (1.0 - phase.sin())));
+        set("spine", Quat::from_axis_angle(z, 0.05 * (2.0 * phase).sin()));
+        pose.root_translation = Vec3::new(0.0, 0.02 * (2.0 * phase).sin().abs(), 0.0);
+        pose
+    }
+}
+
+/// A Gaussian bound to the skeleton by linear-blend-skinning weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkinnedGaussian {
+    /// The Gaussian in the rest pose (world space).
+    pub rest: Gaussian3D,
+    /// Up to two (joint index, weight) influences; weights sum to 1.
+    pub influences: [(usize, f32); 2],
+}
+
+/// An animatable Gaussian avatar: skeleton + skinned Gaussians.
+#[derive(Debug, Clone)]
+pub struct AvatarModel {
+    /// The kinematic skeleton.
+    pub skeleton: Skeleton,
+    /// Skinned Gaussians in rest pose.
+    pub gaussians: Vec<SkinnedGaussian>,
+}
+
+impl AvatarModel {
+    /// Poses the avatar: applies LBS to every Gaussian, producing the 3D
+    /// scene for this frame. This is the avatar pipeline's Rendering Step ❶
+    /// geometry workload (run on the GPU in the paper's system).
+    pub fn pose(&self, pose: &Pose) -> GaussianScene {
+        let rest = self.skeleton.rest_transforms();
+        let posed = self.skeleton.forward_kinematics(pose);
+        // Skinning matrices: M_j = posed_j * rest_j^{-1}.
+        let skin: Vec<Mat4> = rest
+            .iter()
+            .zip(&posed)
+            .map(|(r, p)| *p * r.rigid_inverse())
+            .collect();
+        self.gaussians
+            .iter()
+            .map(|sg| {
+                let (j0, w0) = sg.influences[0];
+                let (j1, w1) = sg.influences[1];
+                // Blend positions linearly (standard LBS).
+                let p0 = skin[j0].transform_point(sg.rest.position);
+                let p1 = skin[j1].transform_point(sg.rest.position);
+                let position = p0 * w0 + p1 * w1;
+                // Rotate the Gaussian frame by the dominant influence — the
+                // usual Gaussian-avatar simplification (rotation blending
+                // would require quaternion averaging).
+                let dom = if w0 >= w1 { j0 } else { j1 };
+                let rot3: Mat3 = skin[dom].linear();
+                let rot_quat = mat3_to_quat(rot3);
+                let mut g = sg.rest.clone();
+                g.position = position;
+                g.rotation = rot_quat.mul(sg.rest.rotation).normalized();
+                g
+            })
+            .collect()
+    }
+
+    /// Number of Gaussians.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` when the avatar has no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+}
+
+/// Converts a rotation matrix to a quaternion (Shepperd's method).
+fn mat3_to_quat(m: Mat3) -> Quat {
+    let t = m.rows[0][0] + m.rows[1][1] + m.rows[2][2];
+    if t > 0.0 {
+        let s = (t + 1.0).sqrt() * 2.0;
+        Quat::new(
+            0.25 * s,
+            (m.rows[2][1] - m.rows[1][2]) / s,
+            (m.rows[0][2] - m.rows[2][0]) / s,
+            (m.rows[1][0] - m.rows[0][1]) / s,
+        )
+        .normalized()
+    } else if m.rows[0][0] > m.rows[1][1] && m.rows[0][0] > m.rows[2][2] {
+        let s = (1.0 + m.rows[0][0] - m.rows[1][1] - m.rows[2][2]).sqrt() * 2.0;
+        Quat::new(
+            (m.rows[2][1] - m.rows[1][2]) / s,
+            0.25 * s,
+            (m.rows[0][1] + m.rows[1][0]) / s,
+            (m.rows[0][2] + m.rows[2][0]) / s,
+        )
+        .normalized()
+    } else if m.rows[1][1] > m.rows[2][2] {
+        let s = (1.0 + m.rows[1][1] - m.rows[0][0] - m.rows[2][2]).sqrt() * 2.0;
+        Quat::new(
+            (m.rows[0][2] - m.rows[2][0]) / s,
+            (m.rows[0][1] + m.rows[1][0]) / s,
+            0.25 * s,
+            (m.rows[1][2] + m.rows[2][1]) / s,
+        )
+        .normalized()
+    } else {
+        let s = (1.0 + m.rows[2][2] - m.rows[0][0] - m.rows[1][1]).sqrt() * 2.0;
+        Quat::new(
+            (m.rows[1][0] - m.rows[0][1]) / s,
+            (m.rows[0][2] + m.rows[2][0]) / s,
+            (m.rows[1][2] + m.rows[2][1]) / s,
+            0.25 * s,
+        )
+        .normalized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sh::ShCoeffs;
+    use gbu_math::approx_eq;
+
+    #[test]
+    fn humanoid_is_well_formed() {
+        let s = Skeleton::humanoid();
+        assert_eq!(s.len(), 17);
+        assert!(s.joint_index("head").is_some());
+        assert!(s.joint_index("tail").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "later parent")]
+    fn unordered_skeleton_panics() {
+        let _ = Skeleton::new(vec![
+            Joint { name: "root", parent: None, rest_offset: Vec3::ZERO },
+            Joint { name: "bad", parent: Some(1), rest_offset: Vec3::ZERO },
+        ]);
+    }
+
+    #[test]
+    fn rest_pose_head_above_pelvis() {
+        let s = Skeleton::humanoid();
+        let t = s.rest_transforms();
+        let pelvis = t[s.joint_index("pelvis").unwrap()].translation();
+        let head = t[s.joint_index("head").unwrap()].translation();
+        assert!(head.y > pelvis.y + 0.4);
+    }
+
+    #[test]
+    fn fk_chains_translations() {
+        let s = Skeleton::new(vec![
+            Joint { name: "a", parent: None, rest_offset: Vec3::new(0.0, 1.0, 0.0) },
+            Joint { name: "b", parent: Some(0), rest_offset: Vec3::new(0.0, 1.0, 0.0) },
+        ]);
+        let t = s.rest_transforms();
+        assert!(approx_eq(t[1].translation().y, 2.0, 1e-5));
+    }
+
+    #[test]
+    fn fk_rotation_propagates_to_children() {
+        let s = Skeleton::new(vec![
+            Joint { name: "a", parent: None, rest_offset: Vec3::ZERO },
+            Joint { name: "b", parent: Some(0), rest_offset: Vec3::new(1.0, 0.0, 0.0) },
+        ]);
+        let mut pose = Pose::rest(2);
+        pose.rotations[0] =
+            Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f32::consts::FRAC_PI_2);
+        let t = s.forward_kinematics(&pose);
+        let b = t[1].translation();
+        assert!(approx_eq(b.x, 0.0, 1e-5));
+        assert!(approx_eq(b.y, 1.0, 1e-5));
+    }
+
+    fn one_gaussian_avatar() -> AvatarModel {
+        let skeleton = Skeleton::humanoid();
+        let wrist = skeleton.joint_index("l_wrist").unwrap();
+        let rest_pos = skeleton.rest_transforms()[wrist].translation();
+        AvatarModel {
+            skeleton,
+            gaussians: vec![SkinnedGaussian {
+                rest: Gaussian3D {
+                    position: rest_pos,
+                    scale: Vec3::splat(0.01),
+                    rotation: Quat::IDENTITY,
+                    opacity: 1.0,
+                    sh: ShCoeffs::constant(Vec3::ONE),
+                },
+                influences: [(wrist, 1.0), (wrist, 0.0)],
+            }],
+        }
+    }
+
+    #[test]
+    fn rest_pose_is_identity_deformation() {
+        let avatar = one_gaussian_avatar();
+        let scene = avatar.pose(&Pose::rest(avatar.skeleton.len()));
+        let rest_pos = avatar.gaussians[0].rest.position;
+        let posed = scene.gaussians[0].position;
+        assert!(approx_eq((posed - rest_pos).length(), 0.0, 1e-4));
+    }
+
+    #[test]
+    fn posing_moves_bound_gaussians() {
+        let avatar = one_gaussian_avatar();
+        let mut pose = Pose::rest(avatar.skeleton.len());
+        let shoulder = avatar.skeleton.joint_index("l_shoulder").unwrap();
+        pose.rotations[shoulder] = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), 1.0);
+        let scene = avatar.pose(&pose);
+        let rest_pos = avatar.gaussians[0].rest.position;
+        let moved = (scene.gaussians[0].position - rest_pos).length();
+        assert!(moved > 0.1, "wrist must follow the shoulder, moved {moved}");
+    }
+
+    #[test]
+    fn walk_cycle_alternates_legs() {
+        let s = Skeleton::humanoid();
+        let p0 = Pose::walk_cycle(&s, std::f32::consts::FRAC_PI_2);
+        let l = p0.rotations[s.joint_index("l_hip").unwrap()];
+        let r = p0.rotations[s.joint_index("r_hip").unwrap()];
+        // Opposite swing: the x components have opposite signs.
+        assert!(l.x * r.x < 0.0);
+    }
+
+    #[test]
+    fn mat3_to_quat_round_trip() {
+        for &(axis, angle) in &[
+            (Vec3::new(0.0, 0.0, 1.0), 0.3f32),
+            (Vec3::new(1.0, 0.0, 0.0), 2.9),
+            (Vec3::new(0.5, -1.0, 0.25), -1.7),
+            (Vec3::new(0.0, 1.0, 0.0), 3.1),
+        ] {
+            let q = Quat::from_axis_angle(axis, angle);
+            let q2 = mat3_to_quat(q.to_mat3());
+            // q and -q encode the same rotation; compare matrices.
+            let m1 = q.to_mat3();
+            let m2 = q2.to_mat3();
+            for r in 0..3 {
+                for c in 0..3 {
+                    assert!(approx_eq(m1.rows[r][c], m2.rows[r][c], 1e-4));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blended_influences_interpolate() {
+        let s = Skeleton::new(vec![
+            Joint { name: "a", parent: None, rest_offset: Vec3::ZERO },
+            Joint { name: "b", parent: Some(0), rest_offset: Vec3::ZERO },
+        ]);
+        let avatar = AvatarModel {
+            skeleton: s,
+            gaussians: vec![SkinnedGaussian {
+                rest: Gaussian3D::isotropic(Vec3::new(1.0, 0.0, 0.0), 0.01, Vec3::ONE, 1.0),
+                influences: [(0, 0.5), (1, 0.5)],
+            }],
+        };
+        // Joint 1 rotates 180 degrees about y: its skinned position is
+        // (-1, 0, 0); joint 0 stays. The blend is the midpoint (0,0,0).
+        let mut pose = Pose::rest(2);
+        pose.rotations[1] = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), std::f32::consts::PI);
+        let scene = avatar.pose(&pose);
+        assert!(scene.gaussians[0].position.length() < 1e-4);
+    }
+}

@@ -1,0 +1,425 @@
+//! Dataset registry mirroring the paper's Tab. I.
+//!
+//! The paper profiles 12 real-world scenes: 6 static scenes from
+//! MipNeRF-360 (Bicycle, Bonsai, Counter, Kitchen, Room, Stump), 3 dynamic
+//! scenes from Neural 3D Video (flame_steak, sear_steak, cut_beef) and 3
+//! human avatars from PeopleSnapshot (female-4, male-3, male-4). We cannot
+//! ship those captures or their trained checkpoints, so each name maps to a
+//! deterministic synthetic scene whose *workload statistics* match the
+//! paper's profiling (Sec. III): fragment-to-Gaussian ratios around
+//! 541:1 / 161:1 / 688:1 and significant-fragment rates around
+//! 7.6% / 13.7% / 9.9% for the three application types.
+//!
+//! Resolutions follow Tab. I; the [`ScaleProfile`] lets tests and CI run
+//! the same scenes at reduced scale.
+
+use crate::avatar::AvatarModel;
+use crate::dynamic::DynamicScene;
+use crate::synth::{self, SceneBuilder, SynthParams};
+use crate::{Camera, GaussianScene};
+use gbu_math::Vec3;
+
+/// The three AR/VR application types of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SceneKind {
+    /// Static scene reconstruction (vanilla 3D Gaussian Splatting).
+    Static,
+    /// Dynamic scene reconstruction (4D Gaussian Splatting).
+    Dynamic,
+    /// Animatable human avatars (SplattingAvatar-style).
+    Avatar,
+}
+
+impl SceneKind {
+    /// Display name matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SceneKind::Static => "Static Scenes",
+            SceneKind::Dynamic => "Dynamic Scenes",
+            SceneKind::Avatar => "Human Avatars",
+        }
+    }
+}
+
+/// How large to build scenes relative to the paper's setup.
+///
+/// Rendering functionally in software is orders of magnitude slower than a
+/// GPU, so the default benchmarking profile scales the workload down; the
+/// *timing models* consume counted events, so relative results (speedups,
+/// breakdowns, hit rates) are preserved. `EXPERIMENTS.md` documents the
+/// scale used for every reported number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleProfile {
+    /// Tiny scenes for unit/integration tests.
+    Test,
+    /// Default profile for benchmarks (half resolution, ~25k Gaussians).
+    Bench,
+    /// Paper-resolution scenes (slow in software rendering).
+    Full,
+}
+
+impl ScaleProfile {
+    /// Resolution multiplier relative to Tab. I.
+    pub fn resolution_scale(self) -> f32 {
+        match self {
+            ScaleProfile::Test => 0.25,
+            ScaleProfile::Bench => 0.5,
+            ScaleProfile::Full => 1.0,
+        }
+    }
+
+    /// Baseline Gaussian budget per scene.
+    pub fn gaussian_budget(self) -> usize {
+        match self {
+            ScaleProfile::Test => 1_500,
+            ScaleProfile::Bench => 24_000,
+            ScaleProfile::Full => 120_000,
+        }
+    }
+}
+
+/// One named scene of the registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetScene {
+    /// Scene name as printed in the paper's figures.
+    pub name: &'static str,
+    /// Application type.
+    pub kind: SceneKind,
+    /// Full-profile image width (Tab. I).
+    pub width: u32,
+    /// Full-profile image height (Tab. I).
+    pub height: u32,
+    /// Relative scene complexity (scales the Gaussian budget).
+    pub complexity: f32,
+    /// Effective *in-view* Gaussian count of the paper's trained
+    /// checkpoint (thousands) — the workload extrapolation target used by
+    /// the timing models when reporting absolute FPS. Smaller than the
+    /// full checkpoint (MipNeRF-360 checkpoints reach millions of
+    /// Gaussians, most outside any single view's frustum); calibrated so
+    /// the baseline reproduces Fig. 4's per-scene times. See
+    /// `EXPERIMENTS.md`.
+    pub paper_gaussians_k: u32,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+impl DatasetScene {
+    /// All 12 scenes in the paper's figure order.
+    pub fn all() -> Vec<DatasetScene> {
+        let mut v = Self::static_scenes();
+        v.extend(Self::dynamic_scenes());
+        v.extend(Self::avatar_scenes());
+        v
+    }
+
+    /// The 6 MipNeRF-360-style static scenes.
+    pub fn static_scenes() -> Vec<DatasetScene> {
+        let s = |name, width, height, complexity, paper_gaussians_k, seed| DatasetScene {
+            name,
+            kind: SceneKind::Static,
+            width,
+            height,
+            complexity,
+            paper_gaussians_k,
+            seed,
+        };
+        vec![
+            s("bicycle", 1245, 825, 1.40, 1500, 101),
+            s("bonsai", 779, 519, 0.70, 1000, 102),
+            s("counter", 1037, 691, 1.00, 1250, 103),
+            s("kitchen", 1039, 693, 1.05, 1400, 104),
+            s("room", 1038, 692, 0.90, 1200, 105),
+            s("stump", 1245, 825, 1.20, 1400, 106),
+        ]
+    }
+
+    /// The 3 Neural-3D-Video-style dynamic scenes.
+    pub fn dynamic_scenes() -> Vec<DatasetScene> {
+        let s = |name, complexity, paper_gaussians_k, seed| DatasetScene {
+            name,
+            kind: SceneKind::Dynamic,
+            width: 1352,
+            height: 1014,
+            complexity,
+            paper_gaussians_k,
+            seed,
+        };
+        vec![
+            s("flame_steak", 1.00, 850, 201),
+            s("sear_steak", 1.05, 900, 202),
+            s("cut_beef", 0.95, 830, 203),
+        ]
+    }
+
+    /// The 3 PeopleSnapshot-style avatars.
+    pub fn avatar_scenes() -> Vec<DatasetScene> {
+        let s = |name, complexity, paper_gaussians_k, seed| DatasetScene {
+            name,
+            kind: SceneKind::Avatar,
+            width: 1080,
+            height: 1080,
+            complexity,
+            paper_gaussians_k,
+            seed,
+        };
+        vec![
+            s("female-4", 0.90, 160, 301),
+            s("male-3", 1.00, 185, 302),
+            s("male-4", 1.10, 205, 303),
+        ]
+    }
+
+    /// Finds a scene by name.
+    pub fn by_name(name: &str) -> Option<DatasetScene> {
+        Self::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// Gaussian budget for a profile.
+    pub fn gaussian_count(&self, profile: ScaleProfile) -> usize {
+        ((profile.gaussian_budget() as f32) * self.complexity) as usize
+    }
+
+    /// Generation parameters per application type, calibrated so the
+    /// rendered workload statistics match Sec. III (see module docs).
+    pub fn synth_params(&self) -> SynthParams {
+        match self.kind {
+            SceneKind::Static => SynthParams {
+                scale_median: 0.032,
+                scale_spread: 0.55,
+                anisotropy: 10.0,
+                opacity_range: (0.08, 0.95),
+                sh_degree: 1,
+                sh_view_dependence: 0.08,
+            },
+            SceneKind::Dynamic => SynthParams {
+                scale_median: 0.0085,
+                scale_spread: 0.5,
+                anisotropy: 6.0,
+                opacity_range: (0.55, 0.98),
+                sh_degree: 1,
+                sh_view_dependence: 0.06,
+            },
+            SceneKind::Avatar => SynthParams {
+                scale_median: 0.019,
+                scale_spread: 0.45,
+                anisotropy: 9.0,
+                opacity_range: (0.15, 0.95),
+                sh_degree: 1,
+                sh_view_dependence: 0.05,
+            },
+        }
+    }
+
+    /// Builds the static scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene is not [`SceneKind::Static`].
+    pub fn build_static(&self, profile: ScaleProfile) -> GaussianScene {
+        assert_eq!(self.kind, SceneKind::Static, "{} is not a static scene", self.name);
+        let n = self.gaussian_count(profile);
+        let params = self.synth_params();
+        // A cluttered tabletop-style scene: a few object clouds, a ground
+        // plane and a background shell, proportioned per scene seed.
+        let object_share = n * 6 / 10;
+        let ground_share = n * 2 / 10;
+        let shell_share = n - object_share - ground_share;
+        let clusters = 3 + (self.seed % 3) as usize;
+        let mut b = SceneBuilder::new(self.seed).params(params);
+        for c in 0..clusters {
+            let angle = c as f32 / clusters as f32 * std::f32::consts::TAU + self.seed as f32;
+            let center = Vec3::new(1.1 * angle.cos(), 0.2 + 0.15 * (c as f32), 1.1 * angle.sin());
+            let color = Vec3::new(
+                0.3 + 0.6 * ((c * 37 + 11) % 100) as f32 / 100.0,
+                0.3 + 0.6 * ((c * 53 + 29) % 100) as f32 / 100.0,
+                0.3 + 0.6 * ((c * 71 + 47) % 100) as f32 / 100.0,
+            );
+            b = b.ellipsoid_cloud(
+                center,
+                Vec3::new(0.55, 0.45, 0.55),
+                object_share / clusters,
+                color,
+                0.15,
+            );
+        }
+        b.ground_plane(-0.55, 2.8, ground_share, Vec3::new(0.45, 0.42, 0.38))
+            .sphere_shell(Vec3::new(0.0, 0.3, 0.0), 3.4, shell_share, Vec3::new(0.5, 0.55, 0.65))
+            .build()
+    }
+
+    /// Builds the dynamic scene.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene is not [`SceneKind::Dynamic`].
+    pub fn build_dynamic(&self, profile: ScaleProfile) -> DynamicScene {
+        assert_eq!(self.kind, SceneKind::Dynamic, "{} is not a dynamic scene", self.name);
+        let n = self.gaussian_count(profile);
+        synth::dynamic_scene(self.seed, self.synth_params(), n * 6 / 10, n * 4 / 10, 1.0)
+    }
+
+    /// Builds the avatar model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scene is not [`SceneKind::Avatar`].
+    pub fn build_avatar(&self, profile: ScaleProfile) -> AvatarModel {
+        assert_eq!(self.kind, SceneKind::Avatar, "{} is not an avatar scene", self.name);
+        synth::humanoid_avatar(self.seed, self.synth_params(), self.gaussian_count(profile))
+    }
+
+    /// The evaluation camera for this scene at the given profile.
+    ///
+    /// Static scenes orbit the scene centre, dynamic scenes view the table
+    /// front-on, avatars are framed full-body — mirroring the capture
+    /// setups of the source datasets.
+    pub fn camera(&self, profile: ScaleProfile) -> Camera {
+        let scale = profile.resolution_scale();
+        let w = ((self.width as f32 * scale).round() as u32).max(16);
+        let h = ((self.height as f32 * scale).round() as u32).max(16);
+        let azimuth = (self.seed % 7) as f32 * 0.7;
+        match self.kind {
+            SceneKind::Static => Camera::orbit(
+                w,
+                h,
+                0.9,
+                Vec3::new(0.0, 0.2, 0.0),
+                5.2,
+                azimuth,
+                0.35,
+            ),
+            SceneKind::Dynamic => Camera::orbit(
+                w,
+                h,
+                0.85,
+                Vec3::new(0.0, 0.4, 0.0),
+                4.6,
+                azimuth,
+                0.25,
+            ),
+            SceneKind::Avatar => Camera::orbit(
+                w,
+                h,
+                0.6,
+                Vec3::new(0.0, 1.0, 0.0),
+                3.4,
+                azimuth,
+                0.05,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_twelve_scenes() {
+        let all = DatasetScene::all();
+        assert_eq!(all.len(), 12);
+        assert_eq!(all.iter().filter(|s| s.kind == SceneKind::Static).count(), 6);
+        assert_eq!(all.iter().filter(|s| s.kind == SceneKind::Dynamic).count(), 3);
+        assert_eq!(all.iter().filter(|s| s.kind == SceneKind::Avatar).count(), 3);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = DatasetScene::all();
+        let mut names: Vec<_> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn resolutions_match_table_1_ranges() {
+        for s in DatasetScene::static_scenes() {
+            assert!(s.width >= 779 && s.width <= 1245, "{}", s.name);
+            assert!(s.height >= 519 && s.height <= 825, "{}", s.name);
+        }
+        for s in DatasetScene::dynamic_scenes() {
+            assert_eq!((s.width, s.height), (1352, 1014), "{}", s.name);
+        }
+        for s in DatasetScene::avatar_scenes() {
+            assert_eq!((s.width, s.height), (1080, 1080), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        assert_eq!(DatasetScene::by_name("bicycle").unwrap().kind, SceneKind::Static);
+        assert_eq!(DatasetScene::by_name("flame_steak").unwrap().kind, SceneKind::Dynamic);
+        assert_eq!(DatasetScene::by_name("male-3").unwrap().kind, SceneKind::Avatar);
+        assert!(DatasetScene::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn static_scene_builds_with_budget() {
+        let s = DatasetScene::by_name("bonsai").unwrap();
+        let scene = s.build_static(ScaleProfile::Test);
+        let target = s.gaussian_count(ScaleProfile::Test);
+        let got = scene.len();
+        assert!(
+            (got as f32 - target as f32).abs() / (target as f32) < 0.1,
+            "target {target}, got {got}"
+        );
+    }
+
+    #[test]
+    fn dynamic_scene_builds() {
+        let s = DatasetScene::by_name("cut_beef").unwrap();
+        let scene = s.build_dynamic(ScaleProfile::Test);
+        assert!(!scene.is_empty());
+        assert!(scene.sample(0.5, 1.0 / 255.0).len() > 100);
+    }
+
+    #[test]
+    fn avatar_builds() {
+        let s = DatasetScene::by_name("female-4").unwrap();
+        let avatar = s.build_avatar(ScaleProfile::Test);
+        assert!(!avatar.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a static scene")]
+    fn kind_mismatch_panics() {
+        DatasetScene::by_name("male-4").unwrap().build_static(ScaleProfile::Test);
+    }
+
+    #[test]
+    fn camera_scales_with_profile() {
+        let s = DatasetScene::by_name("bicycle").unwrap();
+        let test = s.camera(ScaleProfile::Test);
+        let full = s.camera(ScaleProfile::Full);
+        assert_eq!(full.width, 1245);
+        assert_eq!(test.width, (1245.0f32 * 0.25).round() as u32);
+    }
+
+    #[test]
+    fn cameras_see_the_scene() {
+        // Every scene's generator must place content in front of its camera.
+        for s in DatasetScene::static_scenes() {
+            let cam = s.camera(ScaleProfile::Test);
+            let scene = s.build_static(ScaleProfile::Test);
+            let visible = scene
+                .gaussians
+                .iter()
+                .filter(|g| {
+                    cam.project(g.position).map(|(px, _)| {
+                        px.x >= 0.0
+                            && px.y >= 0.0
+                            && px.x < cam.width as f32
+                            && px.y < cam.height as f32
+                    }) == Some(true)
+                })
+                .count();
+            assert!(
+                visible as f32 / scene.len() as f32 > 0.25,
+                "{}: only {visible}/{} Gaussians visible",
+                s.name,
+                scene.len()
+            );
+        }
+    }
+}

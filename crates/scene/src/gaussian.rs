@@ -1,0 +1,210 @@
+//! The 3D Gaussian kernel and scene container.
+
+use crate::sh::ShCoeffs;
+use gbu_math::{Mat3, Quat, Vec3};
+
+/// A single 3D Gaussian kernel (Eq. 1 of the paper).
+///
+/// The covariance is stored factored as rotation × scale — the
+/// parameterisation 3D Gaussian Splatting optimises — and assembled on
+/// demand as `Σ = R S Sᵀ Rᵀ` by [`Gaussian3D::covariance`]. Color is a set
+/// of spherical-harmonics coefficients evaluated per view direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gaussian3D {
+    /// Mean `µ` (world space).
+    pub position: Vec3,
+    /// Per-axis standard deviations (the diagonal of `S`).
+    pub scale: Vec3,
+    /// Orientation `R` as a unit quaternion.
+    pub rotation: Quat,
+    /// Opacity factor `o ∈ (0, 1]`.
+    pub opacity: f32,
+    /// Spherical-harmonics color coefficients.
+    pub sh: ShCoeffs,
+}
+
+impl Gaussian3D {
+    /// Creates an isotropic Gaussian with a constant (degree-0) color.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gbu_scene::Gaussian3D;
+    /// use gbu_math::Vec3;
+    /// let g = Gaussian3D::isotropic(Vec3::ZERO, 0.1, Vec3::new(1.0, 0.0, 0.0), 0.9);
+    /// assert_eq!(g.scale, Vec3::splat(0.1));
+    /// ```
+    pub fn isotropic(position: Vec3, sigma: f32, color: Vec3, opacity: f32) -> Self {
+        Self {
+            position,
+            scale: Vec3::splat(sigma),
+            rotation: Quat::IDENTITY,
+            opacity,
+            sh: ShCoeffs::constant(color),
+        }
+    }
+
+    /// Assembles the world-space covariance `Σ = R S Sᵀ Rᵀ`.
+    ///
+    /// The result is symmetric positive semi-definite by construction.
+    pub fn covariance(&self) -> Mat3 {
+        let r = self.rotation.to_mat3();
+        let s2 = Mat3::from_diagonal(self.scale.mul_elem(self.scale));
+        r * s2 * r.transpose()
+    }
+
+    /// Largest scale component — a cheap bound on the world-space extent.
+    pub fn max_scale(&self) -> f32 {
+        self.scale.max_component()
+    }
+}
+
+/// A collection of 3D Gaussians representing a reconstructed scene.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianScene {
+    /// The Gaussian kernels.
+    pub gaussians: Vec<Gaussian3D>,
+}
+
+impl GaussianScene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of Gaussians in the scene.
+    pub fn len(&self) -> usize {
+        self.gaussians.len()
+    }
+
+    /// `true` when the scene holds no Gaussians.
+    pub fn is_empty(&self) -> bool {
+        self.gaussians.is_empty()
+    }
+
+    /// Axis-aligned bounds of the Gaussian means, or `None` for an empty
+    /// scene.
+    pub fn bounds(&self) -> Option<(Vec3, Vec3)> {
+        let first = self.gaussians.first()?.position;
+        let mut min = first;
+        let mut max = first;
+        for g in &self.gaussians {
+            min = min.min(g.position);
+            max = max.max(g.position);
+        }
+        Some((min, max))
+    }
+
+    /// Centroid of the Gaussian means, or `None` for an empty scene.
+    pub fn centroid(&self) -> Option<Vec3> {
+        if self.gaussians.is_empty() {
+            return None;
+        }
+        let sum: Vec3 = self.gaussians.iter().map(|g| g.position).sum();
+        Some(sum / self.gaussians.len() as f32)
+    }
+
+    /// Appends all Gaussians from `other`.
+    pub fn merge(&mut self, other: GaussianScene) {
+        self.gaussians.extend(other.gaussians);
+    }
+}
+
+impl FromIterator<Gaussian3D> for GaussianScene {
+    fn from_iter<I: IntoIterator<Item = Gaussian3D>>(iter: I) -> Self {
+        Self { gaussians: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Gaussian3D> for GaussianScene {
+    fn extend<I: IntoIterator<Item = Gaussian3D>>(&mut self, iter: I) {
+        self.gaussians.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbu_math::approx_eq;
+
+    #[test]
+    fn isotropic_covariance_is_diagonal() {
+        let g = Gaussian3D::isotropic(Vec3::ZERO, 0.5, Vec3::ONE, 1.0);
+        let cov = g.covariance();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 0.25 } else { 0.0 };
+                assert!(approx_eq(cov.rows[r][c], expect, 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd() {
+        let g = Gaussian3D {
+            position: Vec3::ZERO,
+            scale: Vec3::new(0.1, 0.5, 0.02),
+            rotation: Quat::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.8),
+            opacity: 0.7,
+            sh: ShCoeffs::constant(Vec3::ONE),
+        };
+        let cov = g.covariance();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!(approx_eq(cov.rows[r][c], cov.rows[c][r], 1e-6));
+            }
+        }
+        // PSD: xᵀ Σ x >= 0 for sampled x.
+        for &x in &[Vec3::new(1.0, 0.0, 0.0), Vec3::new(-1.0, 2.0, 0.5), Vec3::ONE] {
+            assert!(x.dot(cov.mul_vec(x)) >= -1e-6);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_covariance_eigenvalues() {
+        // det(Σ) = prod(scale²) regardless of rotation.
+        let scale = Vec3::new(0.2, 0.3, 0.4);
+        let g = Gaussian3D {
+            position: Vec3::ZERO,
+            scale,
+            rotation: Quat::from_axis_angle(Vec3::new(0.3, -1.0, 0.7), 2.2),
+            opacity: 1.0,
+            sh: ShCoeffs::constant(Vec3::ONE),
+        };
+        let det = g.covariance().determinant();
+        let expect = (scale.x * scale.y * scale.z).powi(2);
+        assert!(approx_eq(det, expect, 1e-4));
+    }
+
+    #[test]
+    fn scene_bounds_and_centroid() {
+        let scene: GaussianScene = [
+            Gaussian3D::isotropic(Vec3::new(-1.0, 0.0, 0.0), 0.1, Vec3::ONE, 1.0),
+            Gaussian3D::isotropic(Vec3::new(3.0, 2.0, -2.0), 0.1, Vec3::ONE, 1.0),
+        ]
+        .into_iter()
+        .collect();
+        let (min, max) = scene.bounds().unwrap();
+        assert_eq!(min, Vec3::new(-1.0, 0.0, -2.0));
+        assert_eq!(max, Vec3::new(3.0, 2.0, 0.0));
+        assert_eq!(scene.centroid().unwrap(), Vec3::new(1.0, 1.0, -1.0));
+    }
+
+    #[test]
+    fn empty_scene() {
+        let scene = GaussianScene::new();
+        assert!(scene.is_empty());
+        assert!(scene.bounds().is_none());
+        assert!(scene.centroid().is_none());
+    }
+
+    #[test]
+    fn merge_extends() {
+        let mut a: GaussianScene =
+            std::iter::once(Gaussian3D::isotropic(Vec3::ZERO, 0.1, Vec3::ONE, 1.0)).collect();
+        let b: GaussianScene =
+            std::iter::once(Gaussian3D::isotropic(Vec3::ONE, 0.1, Vec3::ONE, 1.0)).collect();
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dynamic-scene pipeline: sample a 4D Gaussian scene over time and
+//! render an animation through the shared pipeline (Sec. II-C).
+//!
+//! Run with: `cargo run --release --example dynamic_scene`
+
+use gbu_render::{render_irss, RenderConfig};
+use gbu_scene::{DatasetScene, ScaleProfile};
+
+fn main() {
+    let ds = DatasetScene::by_name("flame_steak").expect("registry scene");
+    let dynamic = ds.build_dynamic(ScaleProfile::Test);
+    let camera = ds.camera(ScaleProfile::Test);
+    println!("4D scene '{}': {} space-time kernels", ds.name, dynamic.len());
+
+    let cfg = RenderConfig::default();
+    for frame in 0..8 {
+        let t = frame as f32 / 8.0;
+        // Rendering Step 1 for dynamic scenes: condition the 4D kernels
+        // at time t, then the shared Steps 2-3 run unchanged.
+        let scene = dynamic.sample(t, 1.0 / 255.0);
+        let out = render_irss(&scene, &camera, &cfg);
+        println!(
+            "t = {t:.2}: {:>6} live Gaussians, {:>9} fragments, mean pixel {:.3}",
+            scene.len(),
+            out.blend.fragments_evaluated,
+            out.image.mean().y
+        );
+        if frame == 4 {
+            std::fs::write("dynamic_frame.ppm", out.image.to_ppm()).expect("write ppm");
+        }
+    }
+    println!("wrote dynamic_frame.ppm (t = 0.50)");
+}

@@ -1,0 +1,64 @@
+//! Microscope on the IRSS dataflow: trace the two-step coordinate
+//! transformation and the row-marching procedure on a single 2D Gaussian
+//! (Figs. 7 and 8 of the paper).
+//!
+//! Run with: `cargo run --release --example irss_vs_pfs`
+
+use gbu_math::{Sym2, Vec2, Vec3};
+use gbu_render::irss::{IrssSplat, RowOutcome};
+use gbu_render::preprocess::pixel_center;
+use gbu_render::Splat2D;
+
+fn main() {
+    let opacity = 0.85f32;
+    let conic = Sym2::new(0.12, 0.07, 0.28);
+    let splat = Splat2D {
+        mean: Vec2::new(9.0, 7.5),
+        conic,
+        cov: conic.inverse().expect("positive definite"),
+        color: Vec3::ONE,
+        opacity,
+        depth: 1.0,
+        threshold: 2.0 * (opacity * 255.0f32).ln(),
+        source: 0,
+    };
+    let isp = IrssSplat::new(&splat);
+
+    println!("conic Sigma*^-1 = {}", splat.conic);
+    println!("truncation threshold Th = {:.2}", splat.threshold);
+    println!("after the two-step transform: dx'' = {:.4} (dy'' = 0 by construction)\n", isp.dx);
+
+    // Verify the transformation preserves Eq. 7 exactly at a few pixels.
+    for &(x, y) in &[(9u32, 7u32), (12, 6), (4, 9)] {
+        let p = pixel_center(x, y);
+        let q_direct = splat.q_at(p);
+        let q_irss = isp.transform_point(p).length_squared();
+        println!("pixel ({x:>2},{y:>2}): q_direct = {q_direct:.5}, q_irss = {q_irss:.5}");
+    }
+
+    println!("\nrow-by-row IRSS processing of a 16x16 tile (# = shaded fragment):");
+    let mut pfs_evals = 0u32;
+    let mut irss_evals = 0u32;
+    for y in 0..16 {
+        pfs_evals += 16; // PFS evaluates every pixel of every row
+        match isp.row_outcome(y, 0, 16) {
+            RowOutcome::SkippedY => println!("  row {y:>2}: [skipped: y''^2 > Th]"),
+            RowOutcome::Miss { .. } => println!("  row {y:>2}: [miss: no intersection]"),
+            RowOutcome::Span(span) => {
+                let mut cells = ['.'; 16];
+                let cost = isp.march(&span, 16, |x, _| cells[x as usize] = '#');
+                irss_evals += cost.evaluated;
+                println!(
+                    "  row {y:>2}: {}  (first fragment at x = {}, {} search iters)",
+                    cells.iter().collect::<String>(),
+                    span.first_x,
+                    span.search_iters
+                );
+            }
+        }
+    }
+    println!(
+        "\nfragment evaluations: PFS {pfs_evals}, IRSS {irss_evals} ({:.0}% skipped)",
+        100.0 * (1.0 - irss_evals as f32 / pfs_evals as f32)
+    );
+}

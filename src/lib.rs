@@ -1,0 +1,21 @@
+//! Meta-crate for the GBU reproduction workspace.
+//!
+//! Re-exports every crate of the workspace so the examples and
+//! integration tests in this repository root can use one dependency. For
+//! library use, depend on the individual crates:
+//!
+//! - [`gbu_math`] — linear algebra, EVD, f16, radix sort
+//! - [`gbu_scene`] — Gaussians, cameras, synthetic datasets
+//! - [`gbu_render`] — the rendering pipeline (PFS + IRSS dataflows)
+//! - [`gbu_gpu`] — the edge-GPU timing/power simulator
+//! - [`gbu_hw`] — the GBU hardware model
+//! - [`gbu_baselines`] — voxel / tri-plane radiance-field baselines
+//! - [`gbu_core`] — the public device API and system co-simulation
+
+pub use gbu_baselines as baselines;
+pub use gbu_core as core_api;
+pub use gbu_gpu as gpu;
+pub use gbu_hw as hw;
+pub use gbu_math as math;
+pub use gbu_render as render;
+pub use gbu_scene as scene;

@@ -1,0 +1,96 @@
+//! Cross-crate integration: the three implementations of Rendering Step ❸
+//! (reference PFS, software IRSS, GBU tile engine in FP32) must produce
+//! the same image on every application type, and the FP16 GBU datapath
+//! must stay within Tab. IV's quality envelope.
+
+use gbu_hw::cache::Policy;
+use gbu_hw::{dnb, GbuConfig, TileEngine};
+use gbu_math::Vec3;
+use gbu_render::{binning, metrics, preprocess, render_irss, render_pfs, RenderConfig};
+use gbu_scene::{DatasetScene, ScaleProfile};
+
+fn scene_and_camera(name: &str) -> (gbu_scene::GaussianScene, gbu_scene::Camera) {
+    let ds = DatasetScene::by_name(name).expect("registry scene");
+    let scenario = gbu_core::apps::FrameScenario::from_dataset(&ds, ScaleProfile::Test);
+    (scenario.scene, scenario.camera)
+}
+
+#[test]
+fn irss_matches_pfs_on_all_application_types() {
+    for name in ["bonsai", "flame_steak", "female-4"] {
+        let (scene, camera) = scene_and_camera(name);
+        let cfg = RenderConfig::default();
+        let pfs = render_pfs(&scene, &camera, &cfg);
+        let irss = render_irss(&scene, &camera, &cfg);
+        let diff = pfs.image.max_abs_diff(&irss.image);
+        assert!(diff < 5e-3, "{name}: IRSS diverged from PFS by {diff}");
+        // And IRSS must do so with far fewer fragment evaluations.
+        assert!(
+            irss.blend.fragments_evaluated * 2 < pfs.blend.fragments_evaluated,
+            "{name}: IRSS evaluated {} vs PFS {}",
+            irss.blend.fragments_evaluated,
+            pfs.blend.fragments_evaluated
+        );
+    }
+}
+
+#[test]
+fn gbu_fp32_engine_matches_software_exactly() {
+    let (scene, camera) = scene_and_camera("bonsai");
+    let cfg = RenderConfig::default();
+    let sw = render_irss(&scene, &camera, &cfg);
+
+    let hw_cfg = GbuConfig { fp16_datapath: false, ..GbuConfig::paper() };
+    let (splats, _) = preprocess::project_scene(&scene, &camera);
+    let (bins, _) = binning::bin_splats(&splats, &camera, cfg.tile_size);
+    let d = dnb::run(&splats, &bins, &hw_cfg);
+    let hw = TileEngine::new(hw_cfg).render(
+        &splats,
+        &d,
+        &bins,
+        &camera,
+        Vec3::ZERO,
+        Policy::ReuseDistance,
+    );
+    let diff = sw.image.max_abs_diff(&hw.image);
+    assert!(diff < 1e-5, "hardware FP32 path diverged by {diff}");
+}
+
+#[test]
+fn gbu_fp16_quality_within_tab4_envelope() {
+    for name in ["bonsai", "flame_steak", "female-4"] {
+        let (scene, camera) = scene_and_camera(name);
+        let cfg = RenderConfig::default();
+        let reference = render_pfs(&scene, &camera, &cfg);
+
+        let hw_cfg = GbuConfig::paper();
+        let (splats, _) = preprocess::project_scene(&scene, &camera);
+        let (bins, _) = binning::bin_splats(&splats, &camera, cfg.tile_size);
+        let d = dnb::run(&splats, &bins, &hw_cfg);
+        let hw = TileEngine::new(hw_cfg).render(
+            &splats,
+            &d,
+            &bins,
+            &camera,
+            Vec3::ZERO,
+            Policy::ReuseDistance,
+        );
+        let psnr = metrics::psnr(&reference.image, &hw.image);
+        let ssim = metrics::ssim(&reference.image, &hw.image);
+        assert!(psnr > 40.0, "{name}: FP16 PSNR {psnr}");
+        assert!(ssim > 0.99, "{name}: FP16 SSIM {ssim}");
+    }
+}
+
+#[test]
+fn blending_is_insensitive_to_gaussian_insertion_order() {
+    let (scene, camera) = scene_and_camera("bonsai");
+    let mut reversed = scene.clone();
+    reversed.gaussians.reverse();
+    let cfg = RenderConfig::default();
+    let a = render_irss(&scene, &camera, &cfg);
+    let b = render_irss(&reversed, &camera, &cfg);
+    // Same depth order after sorting => same image up to float
+    // associativity at equal depths.
+    assert!(a.image.max_abs_diff(&b.image) < 2e-2);
+}

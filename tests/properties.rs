@@ -1,0 +1,72 @@
+//! Cross-crate property tests: IRSS/PFS equivalence on randomly generated
+//! scenes, and cache-policy dominance on renderer-shaped traces.
+
+use gbu_hw::cache::{simulate_trace, Policy};
+use gbu_math::Vec3;
+use gbu_render::{render_irss, render_pfs, RenderConfig};
+use gbu_scene::synth::{SceneBuilder, SynthParams};
+use gbu_scene::Camera;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The paper's central correctness claim (Sec. IV-B): IRSS is not an
+    /// approximation. Any randomly generated scene must render
+    /// identically under both dataflows.
+    #[test]
+    fn irss_equals_pfs_on_random_scenes(
+        seed in 0u64..1000,
+        count in 20usize..150,
+        sigma in 0.01f32..0.12,
+        aniso in 1.0f32..8.0,
+        radius in 2.0f32..5.0,
+    ) {
+        let params = SynthParams {
+            scale_median: sigma,
+            anisotropy: aniso,
+            ..SynthParams::default()
+        };
+        let scene = SceneBuilder::new(seed)
+            .params(params)
+            .ellipsoid_cloud(Vec3::ZERO, Vec3::splat(0.8), count, Vec3::new(0.7, 0.5, 0.3), 0.2)
+            .build();
+        let camera = Camera::orbit(96, 64, 0.9, Vec3::ZERO, radius, seed as f32, 0.2);
+        let cfg = RenderConfig::default();
+        let pfs = render_pfs(&scene, &camera, &cfg);
+        let irss = render_irss(&scene, &camera, &cfg);
+        let diff = pfs.image.max_abs_diff(&irss.image);
+        prop_assert!(diff < 5e-3, "diff {diff} at seed {seed}");
+        prop_assert!(irss.blend.fragments_evaluated <= pfs.blend.fragments_evaluated);
+        // Significant fragments agree (same truncation test).
+        prop_assert_eq!(pfs.blend.fragments_blended, irss.blend.fragments_blended);
+    }
+
+    /// The reuse-distance policy is offline-optimal: it never loses to
+    /// LRU or FIFO on any access trace.
+    #[test]
+    fn reuse_distance_dominates_on_random_traces(
+        trace in prop::collection::vec(0u32..64, 10..400),
+        capacity in 1usize..32,
+    ) {
+        let opt = simulate_trace(&trace, capacity, Policy::ReuseDistance);
+        let lru = simulate_trace(&trace, capacity, Policy::Lru);
+        let fifo = simulate_trace(&trace, capacity, Policy::Fifo);
+        prop_assert!(opt.hits >= lru.hits, "OPT {} < LRU {}", opt.hits, lru.hits);
+        prop_assert!(opt.hits >= fifo.hits, "OPT {} < FIFO {}", opt.hits, fifo.hits);
+    }
+
+    /// Hit rate is monotone in capacity for the optimal policy (the
+    /// stack property behind Fig. 17's saturating curve).
+    #[test]
+    fn optimal_hit_rate_monotone_in_capacity(
+        trace in prop::collection::vec(0u32..40, 50..300),
+    ) {
+        let mut last = -1.0f64;
+        for capacity in [1usize, 2, 4, 8, 16, 32] {
+            let rate = simulate_trace(&trace, capacity, Policy::ReuseDistance).hit_rate();
+            prop_assert!(rate >= last - 1e-12);
+            last = rate;
+        }
+    }
+}

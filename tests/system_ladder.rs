@@ -1,0 +1,68 @@
+//! Cross-crate integration: the full measurement + system-model stack on
+//! every application type, asserting the paper's headline orderings.
+
+use gbu_core::apps::{measure_frame, FrameScenario};
+use gbu_core::system::{self, Design, SystemConfig};
+use gbu_scene::{DatasetScene, ScaleProfile};
+
+fn ladder_for(name: &str) -> Vec<system::SystemEvaluation> {
+    let ds = DatasetScene::by_name(name).expect("registry scene");
+    let scenario = FrameScenario::from_dataset(&ds, ScaleProfile::Test);
+    let scale = scenario.paper_scale(&ds);
+    let cfg = SystemConfig::default();
+    let m = measure_frame(&scenario, &cfg.gbu, scale);
+    system::evaluate_ladder(&cfg, &m.measurement)
+}
+
+#[test]
+fn ablation_ladder_is_ordered_on_every_kind() {
+    for name in ["counter", "flame_steak", "male-3"] {
+        let evals = ladder_for(name);
+        assert_eq!(evals.len(), 5);
+        for pair in evals.windows(2) {
+            assert!(
+                pair[1].fps >= pair[0].fps * 0.98,
+                "{name}: {} ({:.1}) slower than {} ({:.1})",
+                pair[1].design.label(),
+                pair[1].fps,
+                pair[0].design.label(),
+                pair[0].fps
+            );
+        }
+    }
+}
+
+#[test]
+fn full_system_beats_baseline_substantially() {
+    for name in ["counter", "flame_steak", "male-3"] {
+        let evals = ladder_for(name);
+        let speedup = evals[4].fps / evals[0].fps;
+        assert!(speedup > 2.0, "{name}: only {speedup:.2}x");
+        // Energy efficiency improves too (Fig. 15).
+        assert!(evals[4].energy_j < evals[0].energy_j, "{name}: energy regressed");
+    }
+}
+
+#[test]
+fn gbu_designs_offload_step3_from_gpu() {
+    let evals = ladder_for("counter");
+    let baseline = &evals[0];
+    let full = &evals[4];
+    // The GPU's remaining work (steps 1-2) is much smaller than the
+    // baseline's total; step 3 now runs on the GBU concurrently.
+    assert!(full.step1 + full.step2 < baseline.frame_seconds * 0.5);
+    assert!(full.design.uses_gbu());
+    assert!(!baseline.design.uses_gbu());
+}
+
+#[test]
+fn cache_reduces_feature_traffic_end_to_end() {
+    let evals = ladder_for("counter");
+    let no_cache = &evals[3]; // + D&B engine
+    let cached = &evals[4]; // + reuse cache
+    assert!(
+        cached.step3_dram_bytes < no_cache.step3_dram_bytes * 0.8,
+        "cache saved only {:.1}%",
+        100.0 * (1.0 - cached.step3_dram_bytes / no_cache.step3_dram_bytes)
+    );
+}

@@ -19,9 +19,8 @@ fn bench_binning(c: &mut Criterion) {
     g.bench_function("bin_splats_5k", |b| {
         b.iter(|| binning::bin_splats(&splats, &camera, 16));
     });
-    let pairs: Vec<(u64, u32)> = (0..100_000u64)
-        .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32))
-        .collect();
+    let pairs: Vec<(u64, u32)> =
+        (0..100_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32)).collect();
     g.bench_function("radix_sort_100k", |b| {
         b.iter_batched(
             || pairs.clone(),

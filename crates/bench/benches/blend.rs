@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gbu_math::Vec3;
-use gbu_render::{binning, pfs, preprocess, irss, RenderConfig};
+use gbu_render::{binning, irss, pfs, preprocess, RenderConfig};
 use gbu_scene::synth::SceneBuilder;
 use gbu_scene::Camera;
 

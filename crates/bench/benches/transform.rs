@@ -41,8 +41,7 @@ fn bench_transform(c: &mut Criterion) {
             let mut spans = 0usize;
             for isp in &isps {
                 for y in 0..16u32 {
-                    if matches!(isp.row_outcome(y, 0, 64), gbu_render::irss::RowOutcome::Span(_))
-                    {
+                    if matches!(isp.row_outcome(y, 0, 64), gbu_render::irss::RowOutcome::Span(_)) {
                         spans += 1;
                     }
                 }

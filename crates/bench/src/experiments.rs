@@ -32,7 +32,16 @@ pub fn tab1(ctx: &Ctx) {
         .collect();
     println!(
         "{}",
-        table(&["Scene Type", "Scene", "Resolution (Tab. I)", "Gaussians (profile)", "Gaussians (paper ckpt)"], &rows)
+        table(
+            &[
+                "Scene Type",
+                "Scene",
+                "Resolution (Tab. I)",
+                "Gaussians (profile)",
+                "Gaussians (paper ckpt)"
+            ],
+            &rows
+        )
     );
 }
 
@@ -64,12 +73,7 @@ pub fn fig5(ctx: &Ctx) {
     for m in ctx.measure_all() {
         let e = system::evaluate(&ctx.sys, &m.measured.measurement, Design::GpuPfs);
         let (b1, b2, b3) = e.breakdown();
-        rows.push(vec![
-            m.ds.name.to_string(),
-            fmt_pct(b1),
-            fmt_pct(b2),
-            fmt_pct(b3),
-        ]);
+        rows.push(vec![m.ds.name.to_string(), fmt_pct(b1), fmt_pct(b2), fmt_pct(b3)]);
     }
     println!(
         "{}",
@@ -84,10 +88,7 @@ pub fn challenges(ctx: &Ctx) {
     println!("== Sec. III-B: Challenge statistics ==");
     let mut rows = Vec::new();
     for kind in [SceneKind::Static, SceneKind::Dynamic, SceneKind::Avatar] {
-        let scenes: Vec<_> = DatasetScene::all()
-            .into_iter()
-            .filter(|d| d.kind == kind)
-            .collect();
+        let scenes: Vec<_> = DatasetScene::all().into_iter().filter(|d| d.kind == kind).collect();
         let (mut fr, mut sig, mut n) = (0.0, 0.0, 0.0);
         for d in &scenes {
             let m = ctx.measure(d.name);
@@ -137,15 +138,12 @@ pub fn fig6(ctx: &Ctx) {
     for m in ctx.measure_all() {
         let pfs = &m.measured.pfs.blend;
         let irss = &m.measured.irss.blend;
-        let saved = 1.0
-            - (irss.q_flops + irss.setup_flops) as f64 / pfs.q_flops.max(1) as f64;
+        let saved = 1.0 - (irss.q_flops + irss.setup_flops) as f64 / pfs.q_flops.max(1) as f64;
         rows.push(vec![
             m.ds.name.to_string(),
             fmt_f(pfs.q_flops_per_fragment(), 1),
             fmt_f(irss.q_flops_per_fragment(), 2),
-            fmt_pct(
-                1.0 - irss.fragments_evaluated as f64 / pfs.fragments_evaluated.max(1) as f64,
-            ),
+            fmt_pct(1.0 - irss.fragments_evaluated as f64 / pfs.fragments_evaluated.max(1) as f64),
             fmt_pct(saved),
         ]);
     }
@@ -181,7 +179,10 @@ pub fn fig8(_ctx: &Ctx) {
         source: 0,
     };
     let isp = IrssSplat::new(&splat);
-    println!("2D Gaussian at {} with conic {} (Th = {:.2})", splat.mean, splat.conic, splat.threshold);
+    println!(
+        "2D Gaussian at {} with conic {} (Th = {:.2})",
+        splat.mean, splat.conic, splat.threshold
+    );
     for y in 0..16 {
         match isp.row_outcome(y, 0, 16) {
             RowOutcome::SkippedY => println!("row {y:>2}: skipped by y''^2 > Th (Step-1)"),
@@ -192,7 +193,7 @@ pub fn fig8(_ctx: &Ctx) {
                 println!("row {y:>2}: miss after {search_iters} binary-search iterations")
             }
             RowOutcome::Span(span) => {
-                let mut cells = vec!['.'; 16];
+                let mut cells = ['.'; 16];
                 let cost = isp.march(&span, 16, |x, _| cells[x as usize] = '#');
                 let skipped_left = span.first_x;
                 println!(
@@ -228,8 +229,13 @@ pub fn fig9(ctx: &Ctx) {
     let tile_util = m.measured.irss.blend.row_lane_utilization();
     let warp_util = irss_gpu_lane_utilization(&m.measured.irss.blend);
     println!("\nTile-aggregate row balance (whole-frame): {}", fmt_pct(tile_util));
-    println!("Per-instance SIMT lane utilization (each warp waits for its slowest row): {}", fmt_pct(warp_util));
-    println!("Paper: the per-instance imbalance yields only 18.9% GPU lane utilization (Sec. V-A).\n");
+    println!(
+        "Per-instance SIMT lane utilization (each warp waits for its slowest row): {}",
+        fmt_pct(warp_util)
+    );
+    println!(
+        "Paper: the per-instance imbalance yields only 18.9% GPU lane utilization (Sec. V-A).\n"
+    );
 }
 
 /// Sec. IV-D: IRSS deployed directly on the GPU.
@@ -275,10 +281,7 @@ pub fn limits_gpu(ctx: &Ctx) {
     }
     println!(
         "{}",
-        table(
-            &["Scene", "IRSS lane utilization (L1)", "Step-3 DRAM BW @60FPS (L2)"],
-            &rows
-        )
+        table(&["Scene", "IRSS lane utilization (L1)", "Step-3 DRAM BW @60FPS (L2)"], &rows)
     );
     println!("Paper: 18.9% lane utilization; 62.1% of DRAM bandwidth;");
     println!("the BW pressure costs 13.5% end-to-end when pipelined.\n");
@@ -317,9 +320,7 @@ pub fn tab3(_ctx: &Ctx) {
     let mut rows: Vec<Vec<String>> = model
         .modules()
         .iter()
-        .map(|m| {
-            vec![m.name.to_string(), fmt_f(m.area_mm2, 2), fmt_f(m.power_w, 2)]
-        })
+        .map(|m| vec![m.name.to_string(), fmt_f(m.area_mm2, 2), fmt_f(m.power_w, 2)])
         .collect();
     rows.push(vec![
         "Total".to_string(),
@@ -386,15 +387,14 @@ pub fn fig15(ctx: &Ctx) {
                 acc.3 += base.energy_j * 60.0;
                 acc.4 += full.energy_j * 60.0;
             }
-            None => kind_acc.push((m.ds.kind, ratio, 1.0, base.energy_j * 60.0, full.energy_j * 60.0)),
+            None => {
+                kind_acc.push((m.ds.kind, ratio, 1.0, base.energy_j * 60.0, full.energy_j * 60.0))
+            }
         }
     }
     println!(
         "{}",
-        table(
-            &["Scene", "Base J/60 frames", "GBU J/60 frames", "improvement", "0 ... 15x"],
-            &rows
-        )
+        table(&["Scene", "Base J/60 frames", "GBU J/60 frames", "improvement", "0 ... 15x"], &rows)
     );
     for (k, r, n, bj, fj) in kind_acc {
         println!(
@@ -480,10 +480,7 @@ pub fn tab5(ctx: &Ctx) {
     }
     println!(
         "{}",
-        table(
-            &["Design", "FPS (ours)", "FPS (paper)", "energy eff. (ours)", "(paper)"],
-            &rows
-        )
+        table(&["Design", "FPS (ours)", "FPS (paper)", "energy eff. (ours)", "(paper)"], &rows)
     );
 }
 
@@ -513,10 +510,7 @@ pub fn fig16(ctx: &Ctx) {
             ]);
         }
     }
-    println!(
-        "{}",
-        table(&["Scene", "Resolution", "Orin NX FPS", "+GBU FPS", "speedup"], &rows)
-    );
+    println!("{}", table(&["Scene", "Resolution", "Orin NX FPS", "+GBU FPS", "speedup"], &rows));
     println!("Paper: 3.7-4.1x speedup at 676x507 growing to 9.5-13.2x at 2704x2028.\n");
 }
 
@@ -526,8 +520,7 @@ pub fn fig17(ctx: &Ctx) {
     let sizes_kib = [0u32, 2, 4, 8, 16, 32, 64];
     let mut rows = Vec::new();
     for kind in [SceneKind::Static, SceneKind::Dynamic, SceneKind::Avatar] {
-        let scenes: Vec<_> =
-            DatasetScene::all().into_iter().filter(|d| d.kind == kind).collect();
+        let scenes: Vec<_> = DatasetScene::all().into_iter().filter(|d| d.kind == kind).collect();
         let mut per_size = vec![0.0f64; sizes_kib.len()];
         for d in &scenes {
             let m = ctx.measure(d.name);
@@ -536,8 +529,7 @@ pub fn fig17(ctx: &Ctx) {
             let trace = dnb::run(&splats, &bins, ctx.gbu()).access_trace;
             for (i, &kib) in sizes_kib.iter().enumerate() {
                 let lines = (kib as usize * 1024) / gbu_render::GBU_FEATURE_BYTES as usize;
-                per_size[i] +=
-                    simulate_trace(&trace, lines, Policy::ReuseDistance).hit_rate();
+                per_size[i] += simulate_trace(&trace, lines, Policy::ReuseDistance).hit_rate();
             }
         }
         let mut row = vec![kind.label().to_string()];
@@ -589,10 +581,7 @@ pub fn tab6(ctx: &Ctx) {
         .collect();
     println!(
         "{}",
-        table(
-            &["Device", "SRAM", "Area", "Power", "Step-3 PE area", "Step-3 PE power"],
-            &rows
-        )
+        table(&["Device", "SRAM", "Area", "Power", "Step-3 PE area", "Step-3 PE power"], &rows)
     );
     // Measured standalone throughput on the static scenes.
     let sa = GbuStandalone { gbu: ctx.gbu().clone(), ..Default::default() };
@@ -618,7 +607,13 @@ pub fn tab7(ctx: &Ctx) {
     println!("== Tab. VII: Benchmark vs NeRF accelerators (NeRF-Synthetic-class) ==");
     // Synthesize an 800x800 single-object scene (NeRF-Synthetic style).
     let scene = gbu_scene::synth::SceneBuilder::new(777)
-        .ellipsoid_cloud(Vec3::new(0.0, 0.0, 0.0), Vec3::new(0.8, 0.9, 0.8), 6000, Vec3::new(0.8, 0.7, 0.3), 0.2)
+        .ellipsoid_cloud(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.8, 0.9, 0.8),
+            6000,
+            Vec3::new(0.8, 0.7, 0.3),
+            0.2,
+        )
         .sphere_shell(Vec3::ZERO, 1.1, 2000, Vec3::new(0.4, 0.4, 0.5))
         .build();
     let res = (800.0 * ctx.profile.resolution_scale()) as u32;
@@ -662,10 +657,7 @@ pub fn tab7(ctx: &Ctx) {
         "0.78 W".to_string(),
         fmt_f(fps, 0),
     ]);
-    println!(
-        "{}",
-        table(&["Device", "Algorithm", "PSNR", "Tech", "Area", "Power", "FPS"], &rows)
-    );
+    println!("{}", table(&["Device", "Algorithm", "PSNR", "Tech", "Area", "Power", "FPS"], &rows));
     println!("* PSNR vs the 2x-supersampled pseudo ground truth (paper: 33.26 dB vs");
     println!("  held-out renders). Paper's GBU-Standalone row: 172 FPS.\n");
 }
@@ -685,8 +677,7 @@ pub fn limitations(ctx: &Ctx) {
         let m = apps::measure_frame(&scenario, ctx.gbu(), scale);
         let base = system::evaluate(&ctx.sys, &m.measurement, Design::GpuPfs);
         let full = system::evaluate(&ctx.sys, &m.measurement, Design::GbuFull);
-        let frags_per_row = m.raw_workload.fragments_irss
-            / m.raw_workload.rows_irss.max(1.0);
+        let frags_per_row = m.raw_workload.fragments_irss / m.raw_workload.rows_irss.max(1.0);
         rows.push(vec![
             label.to_string(),
             fmt_f(frags_per_row, 2),
@@ -697,10 +688,7 @@ pub fn limitations(ctx: &Ctx) {
     }
     println!(
         "{}",
-        table(
-            &["Camera", "IRSS frags/row", "Orin NX FPS", "+GBU FPS", "speedup"],
-            &rows
-        )
+        table(&["Camera", "IRSS frags/row", "Orin NX FPS", "+GBU FPS", "speedup"], &rows)
     );
     println!("Paper: 4x camera distance reduces the end-to-end speedup from 10.8x to 4.7x");
     println!("because Gaussians cover fewer pixels per row (less compute sharing).\n");
@@ -754,17 +742,17 @@ pub fn fig1(ctx: &Ctx) {
     );
 
     let rows = vec![
-        vec![
-            "Voxel-based NeRF (dense grid)".to_string(),
-            fmt_f(q_vox.psnr, 1),
-            fmt_f(fps_vox, 2),
-        ],
+        vec!["Voxel-based NeRF (dense grid)".to_string(), fmt_f(q_vox.psnr, 1), fmt_f(fps_vox, 2)],
         vec![
             "MLP-based NeRF (fine field, MLP decode cost)".to_string(),
             fmt_f(q_mlp.psnr, 1),
             fmt_f(fps_mlp, 3),
         ],
-        vec!["3D Gaussians (3DGS, this pipeline)".to_string(), fmt_f(q_gs.psnr, 1), fmt_f(e_gs.fps, 1)],
+        vec![
+            "3D Gaussians (3DGS, this pipeline)".to_string(),
+            fmt_f(q_gs.psnr, 1),
+            fmt_f(e_gs.fps, 1),
+        ],
         vec![
             "(suppl.) tri-plane factorized field".to_string(),
             fmt_f(q_tp.psnr, 1),
@@ -827,4 +815,70 @@ pub fn debug(ctx: &Ctx) {
             e.energy_j
         );
     }
+}
+
+/// Serving sweep: session count × scheduler policy × pool size on the
+/// heterogeneous-QoS workload, emitting `BENCH_serve.json` so later PRs
+/// can track the serving-performance trajectory.
+///
+/// The GBU clock is calibrated once — 16 sessions saturating a 2-device
+/// pool — and held fixed across the sweep, so growing the session count
+/// genuinely raises load instead of being normalised away.
+pub fn serve(_ctx: &Ctx) {
+    use gbu_hw::GbuConfig;
+    use gbu_serve::{calibrated_clock_ghz, workload, Policy, ServeConfig, ServeEngine};
+
+    const SESSIONS_SWEEP: [usize; 3] = [8, 16, 32];
+    const DEVICES_SWEEP: [usize; 3] = [1, 2, 4];
+    const FRAMES: u32 = 8;
+
+    println!("== Serving sweep: sessions x policy x pool size ==");
+    let max_sessions = *SESSIONS_SWEEP.iter().max().expect("non-empty sweep");
+    let all =
+        workload::prepare_all(workload::synthetic_mix(max_sessions, FRAMES), &GbuConfig::paper());
+    // Reference point: 16 sessions fully load 2 devices.
+    let clock_ghz = calibrated_clock_ghz(&all[..16], 2, 1.0);
+    println!("calibrated GBU clock: {:.4} GHz (16 sessions = 2 saturated devices)\n", clock_ghz);
+
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for &n in &SESSIONS_SWEEP {
+        for &devices in &DEVICES_SWEEP {
+            for policy in Policy::all() {
+                let mut cfg = ServeConfig { devices, policy, ..ServeConfig::default() };
+                cfg.gbu.clock_ghz = clock_ghz;
+                let r = ServeEngine::new(cfg, &all[..n]).run();
+                rows.push(vec![
+                    n.to_string(),
+                    devices.to_string(),
+                    r.policy.clone(),
+                    fmt_f(r.throughput_fps, 0),
+                    fmt_f(r.p50_latency_ms, 2),
+                    fmt_f(r.p95_latency_ms, 2),
+                    fmt_f(r.p99_latency_ms, 2),
+                    fmt_pct(r.deadline_miss_rate),
+                    fmt_pct(r.device_utilization),
+                ]);
+                // Wrap the report with its sweep coordinate instead of
+                // splicing into its serialised form.
+                runs.push(format!("{{\"session_count\":{n},\"report\":{}}}", r.to_json()));
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["sessions", "GBUs", "policy", "fps", "p50 ms", "p95 ms", "p99 ms", "miss", "util"],
+            &rows
+        )
+    );
+
+    let json = format!(
+        "{{\"experiment\":\"serve_sweep\",\"frames_per_session\":{FRAMES},\
+         \"clock_ghz\":{clock_ghz:.6},\"reference\":{{\"sessions\":16,\"devices\":2,\
+         \"target_utilization\":1.0}},\"runs\":[{}]}}\n",
+        runs.join(",")
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json ({} runs)\n", rows.len());
 }

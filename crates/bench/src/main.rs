@@ -4,7 +4,9 @@
 //!
 //! Experiments: fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu
 //! limits_gpu tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7
-//! limitations. Run with `--release`; the default `bench` profile renders
+//! limitations, plus `serve` — the multi-session serving sweep
+//! (sessions × policy × pool size), which writes `BENCH_serve.json`.
+//! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
 
@@ -57,7 +59,8 @@ fn print_help() {
         "repro [--profile test|bench|full] <experiment>...|all\n\n\
          experiments:\n  \
          fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu limits_gpu\n  \
-         tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7 limitations all"
+         tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7 limitations all\n  \
+         serve   (multi-session serving sweep; writes BENCH_serve.json)"
     );
 }
 
@@ -84,13 +87,33 @@ fn run(ctx: &Ctx, cmd: &str) {
         "tab6" => experiments::tab6(ctx),
         "tab7" => experiments::tab7(ctx),
         "limitations" => experiments::limitations(ctx),
+        "serve" => experiments::serve(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
             for c in [
-                "tab1", "fig4", "fig5", "challenges", "fig6", "fig8", "fig9", "irss_gpu",
-                "limits_gpu", "tab2", "tab3", "fig14", "fig15", "tab4", "tab5", "fig16",
-                "fig17", "tab6", "tab7", "limitations", "fig1",
+                "tab1",
+                "fig4",
+                "fig5",
+                "challenges",
+                "fig6",
+                "fig8",
+                "fig9",
+                "irss_gpu",
+                "limits_gpu",
+                "tab2",
+                "tab3",
+                "fig14",
+                "fig15",
+                "tab4",
+                "tab5",
+                "fig16",
+                "fig17",
+                "tab6",
+                "tab7",
+                "limitations",
+                "fig1",
+                "serve",
             ] {
                 run(ctx, c);
             }

@@ -1,0 +1,187 @@
+//! Minimal, deterministic, offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim vendors
+//! the small subset of the rand 0.8 API the workspace uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::gen_range`] over float and integer ranges. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic across
+//! platforms and runs, so synthetic scenes reproduce bit-identically.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// A range that knows how to sample a uniform value from itself.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform f64 in [0, 1) from the top 53 bits of a word.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let v = self.start + (self.end - self.start) * unit_f64(rng) as $t;
+                // Float rounding can land exactly on the excluded endpoint.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range");
+                let v = a + (b - a) * unit_f64(rng) as $t;
+                v.clamp(a, b)
+            }
+        }
+    )*};
+}
+float_range_impls!(f32, f64);
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (a, b) = (*self.start(), *self.end());
+                assert!(a <= b, "empty range");
+                let span = (b as i128 - a as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (a as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f32 = a.gen_range(0.0f32..1.0);
+            let y: f32 = b.gen_range(0.0f32..1.0);
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5f32..3.5);
+            assert!((-2.5..3.5).contains(&v));
+            let w = rng.gen_range(0.25f32..=0.75);
+            assert!((0.25..=0.75).contains(&w));
+            let n = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&n));
+            let m = rng.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&m));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let xs: Vec<f32> = (0..8).map(|_| a.gen_range(0.0f32..1.0)).collect();
+        let ys: Vec<f32> = (0..8).map(|_| b.gen_range(0.0f32..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn closure_over_rng_compiles() {
+        // Mirrors gbu_scene::synth's usage pattern.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let f = |r: &mut SmallRng| r.gen_range(0.5f32..=1.0);
+        assert!(f(&mut rng) >= 0.5);
+    }
+}

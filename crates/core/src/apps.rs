@@ -118,8 +118,7 @@ pub fn measure_frame(
         Policy::ReuseDistance,
     );
 
-    let pixels =
-        u64::from(scenario.camera.width) * u64::from(scenario.camera.height);
+    let pixels = u64::from(scenario.camera.width) * u64::from(scenario.camera.height);
     let raw = FrameWorkload::from_stats(&pre, &bin_stats, &pfs_stats, &irss_stats, pixels);
     let scaled = raw.scaled(scale);
     // Tile-engine cycles are instance/fragment-proportional, so they
@@ -237,7 +236,10 @@ mod tests {
         let diff = m.pfs.image.max_abs_diff(&m.irss.image);
         assert!(diff < 1e-2, "PFS vs IRSS diff {diff}");
         // The GBU processed the same instance stream.
-        assert_eq!(m.gbu.instances, m.irss.blend.instances + m.irss.blend.instances_skipped_saturated);
+        assert_eq!(
+            m.gbu.instances,
+            m.irss.blend.instances + m.irss.blend.instances_skipped_saturated
+        );
         // Scaled == raw under identity scale.
         assert_eq!(m.measurement.workload, m.raw_workload);
         assert!(m.measurement.gbu_pe_utilization > 0.0);

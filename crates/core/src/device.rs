@@ -153,6 +153,21 @@ impl Gbu {
         self.clock += cycles;
     }
 
+    /// Device cycles left until the in-flight frame completes (`None` when
+    /// idle, `Some(0)` when finished but not yet collected).
+    ///
+    /// Multi-device hosts (`gbu_serve::DevicePool`) use this to find the
+    /// next completion event without collecting the frame.
+    pub fn in_flight_remaining(&self) -> Option<u64> {
+        self.in_flight.as_ref().map(|f| f.completion_cycle.saturating_sub(self.clock))
+    }
+
+    /// Off-chip feature traffic (bytes) of the in-flight frame — the
+    /// device's share of DRAM bandwidth while it renders. `None` when idle.
+    pub fn in_flight_dram_bytes(&self) -> Option<u64> {
+        self.in_flight.as_ref().map(|f| f.result.run.dram_bytes)
+    }
+
     /// `GBU_check_status(blocking = false)`: polls the execution status.
     pub fn check_status(&mut self) -> GbuStatus {
         match &self.in_flight {
@@ -240,6 +255,25 @@ mod tests {
         gbu.advance(u64::MAX / 2);
         assert_eq!(gbu.check_status(), GbuStatus::Idle);
         assert!(gbu.try_collect().is_some());
+    }
+
+    #[test]
+    fn in_flight_accessors_track_progress() {
+        let (splats, bins, cam) = inputs();
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        assert_eq!(gbu.in_flight_remaining(), None);
+        assert_eq!(gbu.in_flight_dram_bytes(), None);
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        let total = gbu.in_flight_remaining().expect("frame in flight");
+        assert!(total > 0);
+        let bytes = gbu.in_flight_dram_bytes().expect("frame in flight");
+        assert!(bytes > 0);
+        gbu.advance(total / 2);
+        assert_eq!(gbu.in_flight_remaining(), Some(total - total / 2));
+        gbu.advance(total); // overshoot saturates at zero
+        assert_eq!(gbu.in_flight_remaining(), Some(0));
+        assert!(gbu.try_collect().is_some());
+        assert_eq!(gbu.in_flight_remaining(), None);
     }
 
     #[test]

@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn formatters() {
-        assert_eq!(fmt_f(3.14159, 2), "3.14");
+        assert_eq!(fmt_f(3.24159, 2), "3.24");
         assert_eq!(fmt_x(1.715), "1.72x");
         assert_eq!(fmt_pct(0.189), "18.9%");
     }

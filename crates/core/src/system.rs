@@ -143,8 +143,7 @@ pub fn evaluate_ladder(cfg: &SystemConfig, m: &FrameMeasurement) -> Vec<SystemEv
 }
 
 fn step1_extra_seconds(cfg: &SystemConfig, m: &FrameMeasurement) -> f64 {
-    m.workload.gaussians * m.step1_extra_flops
-        / (cfg.gpu.peak_flops() * cfg.gpu.efficiency_step1)
+    m.workload.gaussians * m.step1_extra_flops / (cfg.gpu.peak_flops() * cfg.gpu.efficiency_step1)
 }
 
 fn evaluate_gpu(
@@ -197,7 +196,8 @@ fn evaluate_gbu(cfg: &SystemConfig, m: &FrameMeasurement, design: Design) -> Sys
 
     // --- GBU side (Step 3, current frame). ---
     let tile_s = m.gbu_tile_cycles / (gbu.clock_ghz * 1e9);
-    let dnb_cycles = w.splats * gbu.dnb_evd_cycles as f64 + w.instances * gbu.dnb_intersect_cycles as f64;
+    let dnb_cycles =
+        w.splats * gbu.dnb_evd_cycles as f64 + w.instances * gbu.dnb_intersect_cycles as f64;
     let dnb_s = dnb_cycles / (gbu.clock_ghz * 1e9);
     let t_gbu = if has_dnb {
         // Chunk-level pipeline: D&B overlaps the Tile PE.
@@ -344,8 +344,7 @@ mod tests {
         let m = paper_measurement();
         let base = evaluate(&cfg, &m, Design::GpuPfs);
         let full = evaluate(&cfg, &m, Design::GbuFull);
-        let improvement = (base.energy_j / base.fps.recip())
-            / (full.energy_j / full.fps.recip());
+        let improvement = (base.energy_j / base.fps.recip()) / (full.energy_j / full.fps.recip());
         let _ = improvement;
         let ratio = base.energy_j / full.energy_j;
         // Paper: 10.8x on static scenes. Accept a generous band.

@@ -89,10 +89,10 @@ pub fn step3_time(w: &FrameWorkload, cfg: &GpuConfig, mapping: Step3Mapping) -> 
             // the Eq.7-and-test path; blended fragments add the α-blend
             // path. Lanes whose pixel saturated are masked but still
             // issue, so the slot count uses the full 256.
-            let slots = w.instances * 256.0 * cfg.instr_pfs_lane
-                + w.fragments_blended * cfg.instr_blend;
-            let useful = w.fragments_pfs * cfg.instr_pfs_lane
-                + w.fragments_blended * cfg.instr_blend;
+            let slots =
+                w.instances * 256.0 * cfg.instr_pfs_lane + w.fragments_blended * cfg.instr_blend;
+            let useful =
+                w.fragments_pfs * cfg.instr_pfs_lane + w.fragments_blended * cfg.instr_blend;
             let compute = slots / (cfg.peak_lane_slots() * cfg.efficiency_step3);
             (compute.max(memory), (useful / slots).min(1.0))
         }

@@ -1,7 +1,7 @@
 //! Frame workload descriptors: the bridge between the functional renderer
 //! and the timing models.
 
-use gbu_render::stats::{irss_gpu_lane_utilization, BlendStats, BinningStats, PreprocessStats};
+use gbu_render::stats::{irss_gpu_lane_utilization, BinningStats, BlendStats, PreprocessStats};
 use gbu_render::RenderOutput;
 
 /// Event counts of one rendered frame, in the units the timing models
@@ -142,7 +142,12 @@ impl WorkloadScale {
     pub const IDENTITY: Self = Self { gaussians: 1.0, pixels: 1.0 };
 
     /// Builds a scale from counts.
-    pub fn new(rendered_gaussians: f64, paper_gaussians: f64, rendered_px: f64, paper_px: f64) -> Self {
+    pub fn new(
+        rendered_gaussians: f64,
+        paper_gaussians: f64,
+        rendered_px: f64,
+        paper_px: f64,
+    ) -> Self {
         assert!(rendered_gaussians > 0.0 && rendered_px > 0.0, "degenerate rendered workload");
         Self { gaussians: paper_gaussians / rendered_gaussians, pixels: paper_px / rendered_px }
     }

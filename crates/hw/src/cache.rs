@@ -255,9 +255,7 @@ mod tests {
     fn hit_rate_monotone_in_capacity_for_optimal() {
         // Fig. 17's shape: larger caches never hurt under the optimal
         // policy (stack property of OPT).
-        let trace: Vec<u32> = (0..500u32)
-            .map(|i| (i * 17 + i * i / 7) % 97)
-            .collect();
+        let trace: Vec<u32> = (0..500u32).map(|i| (i * 17 + i * i / 7) % 97).collect();
         let mut last = 0.0;
         for cap in [0usize, 8, 16, 32, 64, 97] {
             let r = simulate_trace(&trace, cap, Policy::ReuseDistance).hit_rate();

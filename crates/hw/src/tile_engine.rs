@@ -19,7 +19,7 @@
 use crate::cache::{CacheStats, GaussianReuseCache, Policy};
 use crate::config::GbuConfig;
 use crate::dnb::DnbResult;
-use gbu_math::{F16, Vec3};
+use gbu_math::{Vec3, F16};
 use gbu_render::binning::TileBins;
 use gbu_render::irss::RowOutcome;
 use gbu_render::{alpha_from_q, FrameBuffer, Splat2D};
@@ -250,7 +250,8 @@ impl TileEngine {
                     // a threshold-unit cycle.
                     let evaluated = frags + u64::from(span.first_x as u64 + frags < x1 as u64);
                     result.fragments += evaluated;
-                    let task = cfg.rowpe_setup_cycles + evaluated.div_ceil(cfg.rowpe_frags_per_cycle);
+                    let task =
+                        cfg.rowpe_setup_cycles + evaluated.div_ceil(cfg.rowpe_frags_per_cycle);
                     let start = rowgen_t.max(pe_free[row_idx]);
                     pe_free[row_idx] = start + task;
                     result.pe_busy_cycles += task;

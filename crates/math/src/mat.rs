@@ -97,17 +97,21 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// The identity matrix.
-    pub const IDENTITY: Self = Self {
-        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
-    };
+    pub const IDENTITY: Self = Self { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// Creates a matrix from row-major entries.
     #[allow(clippy::too_many_arguments)]
     #[inline]
     pub const fn new(
-        m00: f32, m01: f32, m02: f32,
-        m10: f32, m11: f32, m12: f32,
-        m20: f32, m21: f32, m22: f32,
+        m00: f32,
+        m01: f32,
+        m02: f32,
+        m10: f32,
+        m11: f32,
+        m12: f32,
+        m20: f32,
+        m21: f32,
+        m22: f32,
     ) -> Self {
         Self { rows: [[m00, m01, m02], [m10, m11, m12], [m20, m21, m22]] }
     }
@@ -145,11 +149,7 @@ impl Mat3 {
     /// Transpose.
     pub fn transpose(self) -> Self {
         let m = &self.rows;
-        Self::new(
-            m[0][0], m[1][0], m[2][0],
-            m[0][1], m[1][1], m[2][1],
-            m[0][2], m[1][2], m[2][2],
-        )
+        Self::new(m[0][0], m[1][0], m[2][0], m[0][1], m[1][1], m[2][1], m[0][2], m[1][2], m[2][2])
     }
 
     /// Matrix determinant.
@@ -291,11 +291,7 @@ impl Mat4 {
     /// The upper-left 3×3 block (linear part).
     pub fn linear(self) -> Mat3 {
         let m = &self.rows;
-        Mat3::new(
-            m[0][0], m[0][1], m[0][2],
-            m[1][0], m[1][1], m[1][2],
-            m[2][0], m[2][1], m[2][2],
-        )
+        Mat3::new(m[0][0], m[0][1], m[0][2], m[1][0], m[1][1], m[1][2], m[2][0], m[2][1], m[2][2])
     }
 
     /// The translation column.

@@ -74,16 +74,6 @@ impl Quat {
         Self::new(self.w, -self.x, -self.y, -self.z)
     }
 
-    /// Hamilton product `self * rhs` (applies `rhs` first).
-    pub fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
-            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
-            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
-            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
-        )
-    }
-
     /// Rotates a vector by this (unit) quaternion.
     pub fn rotate(self, v: Vec3) -> Vec3 {
         self.to_mat3().mul_vec(v)
@@ -97,9 +87,15 @@ impl Quat {
         let (xy, xz, yz) = (x * y2, x * z2, y * z2);
         let (wx, wy, wz) = (w * x2, w * y2, w * z2);
         Mat3::new(
-            1.0 - (yy + zz), xy - wz,         xz + wy,
-            xy + wz,         1.0 - (xx + zz), yz - wx,
-            xz - wy,         yz + wx,         1.0 - (xx + yy),
+            1.0 - (yy + zz),
+            xy - wz,
+            xz + wy,
+            xy + wz,
+            1.0 - (xx + zz),
+            yz - wx,
+            xz - wy,
+            yz + wx,
+            1.0 - (xx + yy),
         )
     }
 
@@ -116,6 +112,19 @@ impl Quat {
             self.z + (sign * rhs.z - self.z) * t,
         )
         .normalized()
+    }
+}
+
+impl std::ops::Mul for Quat {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
     }
 }
 
@@ -179,7 +188,7 @@ mod tests {
         let qa = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 0.0), 0.4);
         let qb = Quat::from_axis_angle(Vec3::new(1.0, 0.0, 0.0), -0.9);
         let v = Vec3::new(1.0, 2.0, 3.0);
-        let composed = qa.mul(qb).rotate(v);
+        let composed = (qa * qb).rotate(v);
         let sequential = qa.rotate(qb.rotate(v));
         assert!(vec_approx_eq(composed, sequential, 1e-4));
     }

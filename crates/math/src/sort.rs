@@ -66,7 +66,7 @@ pub fn radix_sort_pairs(pairs: &mut Vec<(u64, u32)>) -> u32 {
             hist[((k >> shift) & 0xFF) as usize] += 1;
         }
         // Skip passes where every key shares the same digit.
-        if hist.iter().any(|&h| h == pairs.len()) {
+        if hist.contains(&pairs.len()) {
             continue;
         }
         passes += 1;
@@ -91,10 +91,8 @@ pub fn radix_sort_pairs(pairs: &mut Vec<(u64, u32)>) -> u32 {
 /// Convenience wrapper: sorts instances of `(tile, depth, payload)` and
 /// returns them grouped by tile in depth order.
 pub fn sort_instances(instances: &mut Vec<(u32, f32, u32)>) -> u32 {
-    let mut pairs: Vec<(u64, u32)> = instances
-        .iter()
-        .map(|&(tile, depth, payload)| (pack_key(tile, depth), payload))
-        .collect();
+    let mut pairs: Vec<(u64, u32)> =
+        instances.iter().map(|&(tile, depth, payload)| (pack_key(tile, depth), payload)).collect();
     let passes = radix_sort_pairs(&mut pairs);
     let tiles: Vec<u32> = pairs.iter().map(|&(k, _)| key_tile(k)).collect();
     // Rebuild (tile, depth, payload). Depth is recovered only approximately
@@ -103,11 +101,7 @@ pub fn sort_instances(instances: &mut Vec<(u32, f32, u32)>) -> u32 {
     // instead re-look-up from the original list via payload order.
     let depth_of: std::collections::HashMap<u32, f32> =
         instances.iter().map(|&(_, d, p)| (p, d)).collect();
-    *instances = pairs
-        .iter()
-        .zip(tiles)
-        .map(|(&(_, p), t)| (t, depth_of[&p], p))
-        .collect();
+    *instances = pairs.iter().zip(tiles).map(|(&(_, p), t)| (t, depth_of[&p], p)).collect();
     passes
 }
 
@@ -178,13 +172,8 @@ mod tests {
 
     #[test]
     fn sort_instances_groups_by_tile() {
-        let mut inst = vec![
-            (2u32, 0.5f32, 0u32),
-            (0, 9.0, 1),
-            (1, 1.0, 2),
-            (0, 1.0, 3),
-            (2, 0.25, 4),
-        ];
+        let mut inst =
+            vec![(2u32, 0.5f32, 0u32), (0, 9.0, 1), (1, 1.0, 2), (0, 1.0, 3), (2, 0.25, 4)];
         sort_instances(&mut inst);
         let tiles: Vec<u32> = inst.iter().map(|&(t, _, _)| t).collect();
         assert_eq!(tiles, vec![0, 0, 1, 2, 2]);
@@ -198,11 +187,8 @@ mod tests {
 
     #[test]
     fn sort_negative_depths() {
-        let mut pairs = vec![
-            (pack_key(0, -2.0), 0u32),
-            (pack_key(0, 1.0), 1),
-            (pack_key(0, -0.5), 2),
-        ];
+        let mut pairs =
+            vec![(pack_key(0, -2.0), 0u32), (pack_key(0, 1.0), 1), (pack_key(0, -0.5), 2)];
         radix_sort_pairs(&mut pairs);
         let order: Vec<u32> = pairs.iter().map(|&(_, p)| p).collect();
         assert_eq!(order, vec![0, 2, 1]);

@@ -171,12 +171,7 @@ impl Evd2 {
         let s1 = self.d.x.max(0.0).sqrt();
         let s2 = self.d.y.max(0.0).sqrt();
         let qt = self.q.transpose();
-        Mat2::new(
-            s1 * qt.rows[0][0],
-            s1 * qt.rows[0][1],
-            s2 * qt.rows[1][0],
-            s2 * qt.rows[1][1],
-        )
+        Mat2::new(s1 * qt.rows[0][0], s1 * qt.rows[0][1], s2 * qt.rows[1][0], s2 * qt.rows[1][1])
     }
 }
 

@@ -7,7 +7,7 @@
 //! round-trip, and the radix sort must agree with the standard sort.
 
 use gbu_math::sort::{float_to_ordered_bits, pack_key, radix_sort_pairs};
-use gbu_math::{F16, Quat, Sym2, Vec2, Vec3};
+use gbu_math::{Quat, Sym2, Vec2, Vec3, F16};
 use proptest::prelude::*;
 
 /// Strategy producing positive-definite conics with well-conditioned

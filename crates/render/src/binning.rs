@@ -65,17 +65,17 @@ impl TileBins {
     pub fn occupied(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
         (0..self.tile_count()).filter_map(move |t| {
             let e = self.entries_of(t);
-            if e.is_empty() { None } else { Some((t, e)) }
+            if e.is_empty() {
+                None
+            } else {
+                Some((t, e))
+            }
         })
     }
 }
 
 /// Bins splats into tiles and depth-sorts each tile's instance list.
-pub fn bin_splats(
-    splats: &[Splat2D],
-    camera: &Camera,
-    tile_size: u32,
-) -> (TileBins, BinningStats) {
+pub fn bin_splats(splats: &[Splat2D], camera: &Camera, tile_size: u32) -> (TileBins, BinningStats) {
     assert!(tile_size > 0, "tile size must be positive");
     let (tiles_x, tiles_y) = camera.tile_grid(tile_size);
     let tile_count = (tiles_x * tiles_y) as usize;

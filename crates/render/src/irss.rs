@@ -110,7 +110,8 @@ impl IrssSplat {
     /// preprocessing stage guarantees it is).
     pub fn new(s: &Splat2D) -> Self {
         let evd = s.conic.evd();
-        let w = evd.whitening(); // D^{1/2} Q^T
+        // Whitening W = D^{1/2} Q^T.
+        let w = evd.whitening();
         // Image of a one-pixel step right in P'-space.
         let dp = w.mul_vec(Vec2::new(1.0, 0.0));
         let len = dp.length();
@@ -232,9 +233,10 @@ pub fn blend_precomputed(
 ) -> (FrameBuffer, BlendStats) {
     assert_eq!(splats.len(), isplats.len(), "splat/transform length mismatch");
     let mut image = FrameBuffer::new(camera.width, camera.height, config.background);
-    let mut stats = BlendStats::default();
-    stats.tile_instances =
-        (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect();
+    let mut stats = BlendStats {
+        tile_instances: (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect(),
+        ..BlendStats::default()
+    };
     if config.record_row_workload {
         stats.row_workload = vec![[0u32; 16]; bins.tile_count()];
     }
@@ -275,8 +277,7 @@ pub fn blend_precomputed(
                     RowOutcome::Span(span) => {
                         if span.search_iters > 0 {
                             stats.binary_searches += 1;
-                            stats.setup_flops +=
-                                u64::from(span.search_iters) * FLOPS_SEARCH_ITER;
+                            stats.setup_flops += u64::from(span.search_iters) * FLOPS_SEARCH_ITER;
                         }
                         // First fragment of a row costs a full Eq. 7
                         // evaluation (Sec. IV-B); interior fragments cost 2.
@@ -298,8 +299,7 @@ pub fn blend_precomputed(
                             }
                         });
                         stats.fragments_evaluated += u64::from(cost.evaluated);
-                        stats.q_flops +=
-                            u64::from(cost.evaluated.saturating_sub(1)) * FLOPS_Q_T2;
+                        stats.q_flops += u64::from(cost.evaluated.saturating_sub(1)) * FLOPS_Q_T2;
                         instance_row_max = instance_row_max.max(cost.evaluated);
                         if config.record_row_workload {
                             let rows = &mut stats.row_workload[tile];

@@ -32,9 +32,10 @@ pub fn blend(
     config: &RenderConfig,
 ) -> (FrameBuffer, BlendStats) {
     let mut image = FrameBuffer::new(camera.width, camera.height, config.background);
-    let mut stats = BlendStats::default();
-    stats.tile_instances =
-        (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect();
+    let mut stats = BlendStats {
+        tile_instances: (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect(),
+        ..BlendStats::default()
+    };
 
     // Tile-local working buffers, reused across tiles.
     let tile_px = (bins.tile_size * bins.tile_size) as usize;
@@ -143,8 +144,10 @@ mod tests {
     fn front_gaussian_occludes_back() {
         let cam = camera();
         let dir = (Vec3::ZERO - cam.position()).normalized();
-        let front = Gaussian3D::isotropic(cam.position() + dir * 2.0, 0.2, Vec3::new(1.0, 0.0, 0.0), 0.99);
-        let back = Gaussian3D::isotropic(cam.position() + dir * 4.0, 0.4, Vec3::new(0.0, 1.0, 0.0), 0.99);
+        let front =
+            Gaussian3D::isotropic(cam.position() + dir * 2.0, 0.2, Vec3::new(1.0, 0.0, 0.0), 0.99);
+        let back =
+            Gaussian3D::isotropic(cam.position() + dir * 4.0, 0.4, Vec3::new(0.0, 1.0, 0.0), 0.99);
         // Insert back first to prove sorting handles order.
         let scene: GaussianScene = vec![back, front].into_iter().collect();
         let (img, _) = render_one(&scene);
@@ -156,8 +159,10 @@ mod tests {
     fn blending_order_is_depth_not_insertion() {
         let cam = camera();
         let dir = (Vec3::ZERO - cam.position()).normalized();
-        let a = Gaussian3D::isotropic(cam.position() + dir * 2.0, 0.2, Vec3::new(1.0, 0.0, 0.0), 0.99);
-        let b = Gaussian3D::isotropic(cam.position() + dir * 4.0, 0.4, Vec3::new(0.0, 1.0, 0.0), 0.99);
+        let a =
+            Gaussian3D::isotropic(cam.position() + dir * 2.0, 0.2, Vec3::new(1.0, 0.0, 0.0), 0.99);
+        let b =
+            Gaussian3D::isotropic(cam.position() + dir * 4.0, 0.4, Vec3::new(0.0, 1.0, 0.0), 0.99);
         let s1: GaussianScene = vec![a.clone(), b.clone()].into_iter().collect();
         let s2: GaussianScene = vec![b, a].into_iter().collect();
         let (i1, _) = render_one(&s1);

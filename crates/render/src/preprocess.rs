@@ -53,9 +53,15 @@ pub fn project_gaussian(
     // Jacobian of the projection at t (rows of a 2×3 matrix, embedded in a
     // Mat3 with a zero third row as the reference implementation does).
     let j = Mat3::new(
-        camera.fx / t.z, 0.0, -camera.fx * txz / t.z,
-        0.0, camera.fy / t.z, -camera.fy * tyz / t.z,
-        0.0, 0.0, 0.0,
+        camera.fx / t.z,
+        0.0,
+        -camera.fx * txz / t.z,
+        0.0,
+        camera.fy / t.z,
+        -camera.fy * tyz / t.z,
+        0.0,
+        0.0,
+        0.0,
     );
     let w = camera.world_to_camera.linear();
     let cov3 = g.covariance();
@@ -70,26 +76,15 @@ pub fn project_gaussian(
     let mean = camera.project_cam(t);
 
     // Off-screen cull: the truncated ellipse must intersect the image.
-    let bounds = EllipseBounds::from_conic(mean, conic, threshold)
-        .ok_or(CullReason::Degenerate)?;
+    let bounds = EllipseBounds::from_conic(mean, conic, threshold).ok_or(CullReason::Degenerate)?;
     let min = bounds.min();
     let max = bounds.max();
-    if max.x < 0.0 || max.y < 0.0 || min.x >= camera.width as f32 || min.y >= camera.height as f32
-    {
+    if max.x < 0.0 || max.y < 0.0 || min.x >= camera.width as f32 || min.y >= camera.height as f32 {
         return Err(CullReason::Frustum);
     }
 
     let color = g.sh.eval(camera.view_dir(g.position));
-    Ok(Splat2D {
-        mean,
-        conic,
-        cov: cov2,
-        color,
-        opacity: g.opacity,
-        depth: t.z,
-        threshold,
-        source,
-    })
+    Ok(Splat2D { mean, conic, cov: cov2, color, opacity: g.opacity, depth: t.z, threshold, source })
 }
 
 /// Why a Gaussian was culled during preprocessing.
@@ -205,18 +200,12 @@ mod tests {
     #[test]
     fn larger_world_scale_means_larger_splat() {
         let cam = camera();
-        let small = project_gaussian(
-            &Gaussian3D::isotropic(Vec3::ZERO, 0.02, Vec3::ONE, 0.9),
-            &cam,
-            0,
-        )
-        .unwrap();
-        let large = project_gaussian(
-            &Gaussian3D::isotropic(Vec3::ZERO, 0.2, Vec3::ONE, 0.9),
-            &cam,
-            0,
-        )
-        .unwrap();
+        let small =
+            project_gaussian(&Gaussian3D::isotropic(Vec3::ZERO, 0.02, Vec3::ONE, 0.9), &cam, 0)
+                .unwrap();
+        let large =
+            project_gaussian(&Gaussian3D::isotropic(Vec3::ZERO, 0.2, Vec3::ONE, 0.9), &cam, 0)
+                .unwrap();
         assert!(large.cov.a > small.cov.a);
         assert!(large.cov.c > small.cov.c);
     }

@@ -113,6 +113,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn feature_sizes_are_consistent() {
         // The FP16 record must be smaller than the FP32 record; the cache
         // size sweep (Fig. 17) depends on the ratio.

@@ -220,10 +220,7 @@ mod tests {
 
     #[test]
     fn lane_utilization_empty_tiles_ignored() {
-        let s = BlendStats {
-            row_workload: vec![[0u32; 16], [2u32; 16]],
-            ..BlendStats::default()
-        };
+        let s = BlendStats { row_workload: vec![[0u32; 16], [2u32; 16]], ..BlendStats::default() };
         assert!((s.row_lane_utilization() - 1.0).abs() < 1e-12);
     }
 

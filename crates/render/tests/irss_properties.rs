@@ -17,11 +17,7 @@ use proptest::prelude::*;
 fn conic_strategy() -> impl Strategy<Value = Sym2> {
     (0.005f32..3.0, 0.005f32..3.0, 0.0f32..std::f32::consts::PI).prop_map(|(l1, l2, th)| {
         let (s, c) = th.sin_cos();
-        Sym2::new(
-            c * c * l1 + s * s * l2,
-            s * c * (l1 - l2),
-            s * s * l1 + c * c * l2,
-        )
+        Sym2::new(c * c * l1 + s * s * l2, s * c * (l1 - l2), s * s * l1 + c * c * l2)
     })
 }
 

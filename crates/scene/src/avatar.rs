@@ -104,10 +104,8 @@ impl Skeleton {
         assert_eq!(pose.rotations.len(), self.joints.len(), "pose/skeleton size mismatch");
         let mut global = Vec::with_capacity(self.joints.len());
         for (i, joint) in self.joints.iter().enumerate() {
-            let local = Mat4::from_rotation_translation(
-                pose.rotations[i].to_mat3(),
-                joint.rest_offset,
-            );
+            let local =
+                Mat4::from_rotation_translation(pose.rotations[i].to_mat3(), joint.rest_offset);
             let g = match joint.parent {
                 Some(p) => global[p] * local,
                 None => Mat4::from_translation(pose.root_translation) * local,
@@ -194,11 +192,8 @@ impl AvatarModel {
         let rest = self.skeleton.rest_transforms();
         let posed = self.skeleton.forward_kinematics(pose);
         // Skinning matrices: M_j = posed_j * rest_j^{-1}.
-        let skin: Vec<Mat4> = rest
-            .iter()
-            .zip(&posed)
-            .map(|(r, p)| *p * r.rigid_inverse())
-            .collect();
+        let skin: Vec<Mat4> =
+            rest.iter().zip(&posed).map(|(r, p)| *p * r.rigid_inverse()).collect();
         self.gaussians
             .iter()
             .map(|sg| {
@@ -216,7 +211,7 @@ impl AvatarModel {
                 let rot_quat = mat3_to_quat(rot3);
                 let mut g = sg.rest.clone();
                 g.position = position;
-                g.rotation = rot_quat.mul(sg.rest.rotation).normalized();
+                g.rotation = (rot_quat * sg.rest.rotation).normalized();
                 g
             })
             .collect()

@@ -279,33 +279,15 @@ impl DatasetScene {
         let h = ((self.height as f32 * scale).round() as u32).max(16);
         let azimuth = (self.seed % 7) as f32 * 0.7;
         match self.kind {
-            SceneKind::Static => Camera::orbit(
-                w,
-                h,
-                0.9,
-                Vec3::new(0.0, 0.2, 0.0),
-                5.2,
-                azimuth,
-                0.35,
-            ),
-            SceneKind::Dynamic => Camera::orbit(
-                w,
-                h,
-                0.85,
-                Vec3::new(0.0, 0.4, 0.0),
-                4.6,
-                azimuth,
-                0.25,
-            ),
-            SceneKind::Avatar => Camera::orbit(
-                w,
-                h,
-                0.6,
-                Vec3::new(0.0, 1.0, 0.0),
-                3.4,
-                azimuth,
-                0.05,
-            ),
+            SceneKind::Static => {
+                Camera::orbit(w, h, 0.9, Vec3::new(0.0, 0.2, 0.0), 5.2, azimuth, 0.35)
+            }
+            SceneKind::Dynamic => {
+                Camera::orbit(w, h, 0.85, Vec3::new(0.0, 0.4, 0.0), 4.6, azimuth, 0.25)
+            }
+            SceneKind::Avatar => {
+                Camera::orbit(w, h, 0.6, Vec3::new(0.0, 1.0, 0.0), 3.4, azimuth, 0.05)
+            }
         }
     }
 }

@@ -70,7 +70,11 @@ pub struct SceneBuilder {
 impl SceneBuilder {
     /// Creates a builder with default parameters and a deterministic seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: SmallRng::seed_from_u64(seed), params: SynthParams::default(), scene: GaussianScene::new() }
+        Self {
+            rng: SmallRng::seed_from_u64(seed),
+            params: SynthParams::default(),
+            scene: GaussianScene::new(),
+        }
     }
 
     /// Replaces the generation parameters.
@@ -96,7 +100,12 @@ impl SceneBuilder {
         Quat::new(a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos()).normalized()
     }
 
-    fn random_gaussian(&mut self, position: Vec3, base_color: Vec3, color_jitter: f32) -> Gaussian3D {
+    fn random_gaussian(
+        &mut self,
+        position: Vec3,
+        base_color: Vec3,
+        color_jitter: f32,
+    ) -> Gaussian3D {
         let p = self.params.clone();
         let base_sigma = p.scale_median * (p.scale_spread * self.normalish()).exp();
         // Random anisotropy: each axis scaled by a factor in [1/a, 1].
@@ -250,7 +259,13 @@ pub fn dynamic_scene(
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9);
     let backdrop = SceneBuilder::new(seed)
         .params(params.clone())
-        .ellipsoid_cloud(Vec3::new(0.0, 0.3, 0.0), Vec3::new(1.1, 0.7, 1.1), static_count * 7 / 10, Vec3::new(0.55, 0.45, 0.40), 0.2)
+        .ellipsoid_cloud(
+            Vec3::new(0.0, 0.3, 0.0),
+            Vec3::new(1.1, 0.7, 1.1),
+            static_count * 7 / 10,
+            Vec3::new(0.55, 0.45, 0.40),
+            0.2,
+        )
         .ground_plane(-0.6, 1.6, static_count * 3 / 10, Vec3::new(0.35, 0.32, 0.3))
         .build();
     let mut kernels: Vec<Gaussian4D> =
@@ -259,13 +274,19 @@ pub fn dynamic_scene(
     // Dynamic kernels: short temporal support, upward drift + waving.
     let flames = SceneBuilder::new(seed.wrapping_add(1))
         .params(params)
-        .ellipsoid_cloud(Vec3::new(0.0, 0.6, 0.0), Vec3::new(0.5, 0.8, 0.5), dynamic_count, Vec3::new(0.95, 0.55, 0.15), 0.2)
+        .ellipsoid_cloud(
+            Vec3::new(0.0, 0.6, 0.0),
+            Vec3::new(0.5, 0.8, 0.5),
+            dynamic_count,
+            Vec3::new(0.95, 0.55, 0.15),
+            0.2,
+        )
         .build();
     for g in flames.gaussians {
         kernels.push(Gaussian4D {
             spatial: g,
             t_mean: rng.gen_range(0.0..duration),
-            t_sigma: rng.gen_range(0.08..0.35) * duration,
+            t_sigma: rng.gen_range(0.08f32..0.35) * duration,
             velocity: Vec3::new(
                 rng.gen_range(-0.1..0.1),
                 rng.gen_range(0.05..0.4),
@@ -332,10 +353,8 @@ pub fn humanoid_avatar(seed: u64, params: SynthParams, count: usize) -> AvatarMo
             let t = ((g.position - a).dot(ab) / ab.length_squared()).clamp(0.0, 1.0);
             let w_child = 0.25 + 0.5 * t + rng.gen_range(-0.05..0.05f32);
             let w_child = w_child.clamp(0.0, 1.0);
-            gaussians.push(SkinnedGaussian {
-                rest: g,
-                influences: [(j, w_child), (p, 1.0 - w_child)],
-            });
+            gaussians
+                .push(SkinnedGaussian { rest: g, influences: [(j, w_child), (p, 1.0 - w_child)] });
         }
     }
     AvatarModel { skeleton, gaussians }

@@ -1,0 +1,55 @@
+//! `gbu_serve` — a multi-session frame-serving engine over a pool of
+//! simulated GBU devices.
+//!
+//! The paper's asynchronous `GBU_render_image` / `GBU_check_status`
+//! programming model (Listing 1; `gbu_core::device`) exists so a host can
+//! pipeline frames across concurrent workloads. This crate builds the
+//! serving layer that exploits it:
+//!
+//! - [`session`]: a [`Session`] is one AR/VR client — scene content
+//!   (static / dynamic / avatar, resolved through `gbu_core::apps`), a
+//!   preprocessed viewpoint stream, and a [`QosTarget`] (60/72/90 Hz
+//!   deadline classes);
+//! - [`pool`]: a [`DevicePool`] owns N [`gbu_core::Gbu`] devices advanced
+//!   on **one** simulated clock with shared-DRAM bandwidth contention
+//!   (the paper's Limitation 2, generalised to a pool);
+//! - [`scheduler`]: a pluggable [`Scheduler`] trait with FCFS,
+//!   round-robin and earliest-deadline-first policies plus bounded-queue
+//!   [`AdmissionControl`] backpressure;
+//! - [`metrics`]: [`ServeMetrics`] → [`ServeReport`] — throughput,
+//!   per-session FPS, p50/p95/p99 latency, deadline-miss rate and device
+//!   utilization, with JSON serialisation for the bench harness;
+//! - [`engine`]: the event-driven [`ServeEngine`] main loop and
+//!   utilization-calibrated [`run_workload`] entry point;
+//! - [`workload`]: canonical heterogeneous session mixes shared by the
+//!   `serve_many` example, the integration tests and the bench sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use gbu_serve::{run_workload, workload, Policy, ServeConfig};
+//! use gbu_hw::GbuConfig;
+//!
+//! let specs = workload::synthetic_mix(6, 3);
+//! let sessions = workload::prepare_all(specs, &GbuConfig::paper());
+//! let cfg = ServeConfig { devices: 2, policy: Policy::Edf, ..ServeConfig::default() };
+//! // Run at 80% pool utilization.
+//! let report = run_workload(cfg, &sessions, 0.8);
+//! assert_eq!(report.completed + report.rejected, 18);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine;
+pub mod metrics;
+pub mod pool;
+pub mod scheduler;
+pub mod session;
+pub mod workload;
+
+pub use engine::{calibrated_clock_ghz, run_workload, ServeConfig, ServeEngine};
+pub use metrics::{FrameRecord, RunInfo, ServeMetrics, ServeReport, SessionReport};
+pub use pool::{DevicePool, PoolCompletion};
+pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};
+pub use session::{PreparedView, QosTarget, Session, SessionContent, SessionSpec};

@@ -1,0 +1,375 @@
+//! Serving metrics: throughput, latency percentiles, deadline misses,
+//! utilization — per run and per session.
+
+use crate::scheduler::FrameTicket;
+
+/// Lifecycle record of one completed frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameRecord {
+    /// The admitted request.
+    pub ticket: FrameTicket,
+    /// Wall cycle at which the frame was dispatched to a device.
+    pub started: u64,
+    /// Wall cycle at which it completed.
+    pub completed: u64,
+}
+
+impl FrameRecord {
+    /// Request-to-completion latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.completed - self.ticket.arrival
+    }
+
+    /// Whether the frame missed its deadline.
+    pub fn missed(&self) -> bool {
+        self.completed > self.ticket.deadline
+    }
+}
+
+/// Collects events during a serving run.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    completed: Vec<FrameRecord>,
+    rejected: Vec<FrameTicket>,
+    starts: Vec<(FrameTicket, u64)>,
+}
+
+impl ServeMetrics {
+    /// Records a frame rejected at admission.
+    pub fn reject(&mut self, ticket: FrameTicket) {
+        self.rejected.push(ticket);
+    }
+
+    /// Records a dispatch.
+    pub fn start(&mut self, ticket: FrameTicket, now: u64) {
+        self.starts.push((ticket, now));
+    }
+
+    /// Records a completion.
+    pub fn complete(&mut self, ticket: FrameTicket, completed: u64) {
+        // Each ticket completes once, so its start entry can be retired —
+        // `starts` stays bounded by the in-flight count instead of
+        // growing with the run.
+        let idx = self
+            .starts
+            .iter()
+            .position(|(t, _)| *t == ticket)
+            .expect("completion without dispatch");
+        let (_, started) = self.starts.swap_remove(idx);
+        self.completed.push(FrameRecord { ticket, started, completed });
+    }
+
+    /// Completed-frame records.
+    pub fn completed(&self) -> &[FrameRecord] {
+        &self.completed
+    }
+
+    /// Rejected tickets.
+    pub fn rejected(&self) -> &[FrameTicket] {
+        &self.rejected
+    }
+
+    /// Builds the aggregate report for a finished run described by `run`.
+    pub fn report(
+        &self,
+        run: &RunInfo<'_>,
+        session_names: &[String],
+        session_hz: &[f64],
+    ) -> ServeReport {
+        let RunInfo { policy, devices, wall_cycles, utilization, clock_ghz } = *run;
+        let cycles_per_ms = clock_ghz * 1e6;
+        let mut latencies: Vec<u64> = self.completed.iter().map(FrameRecord::latency).collect();
+        latencies.sort_unstable();
+        let wall_seconds = wall_cycles as f64 / (clock_ghz * 1e9);
+        let missed = self.completed.iter().filter(|r| r.missed()).count();
+        let generated = self.completed.len() + self.rejected.len();
+
+        let sessions = session_names
+            .iter()
+            .enumerate()
+            .map(|(s, name)| {
+                let mine: Vec<&FrameRecord> =
+                    self.completed.iter().filter(|r| r.ticket.session == s as u32).collect();
+                let rejected = self.rejected.iter().filter(|t| t.session == s as u32).count();
+                let missed = mine.iter().filter(|r| r.missed()).count();
+                let mut lat: Vec<u64> = mine.iter().map(|r| r.latency()).collect();
+                lat.sort_unstable();
+                let p95 = percentile_ms(&lat, 0.95, cycles_per_ms);
+                SessionReport {
+                    name: name.clone(),
+                    qos_hz: session_hz[s],
+                    completed: mine.len(),
+                    rejected,
+                    missed,
+                    achieved_fps: if wall_seconds > 0.0 {
+                        mine.len() as f64 / wall_seconds
+                    } else {
+                        0.0
+                    },
+                    p95_latency_ms: p95,
+                }
+            })
+            .collect();
+
+        ServeReport {
+            policy: policy.to_string(),
+            devices,
+            generated,
+            completed: self.completed.len(),
+            rejected: self.rejected.len(),
+            missed,
+            throughput_fps: if wall_seconds > 0.0 {
+                self.completed.len() as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            p50_latency_ms: percentile_ms(&latencies, 0.50, cycles_per_ms),
+            p95_latency_ms: percentile_ms(&latencies, 0.95, cycles_per_ms),
+            p99_latency_ms: percentile_ms(&latencies, 0.99, cycles_per_ms),
+            deadline_miss_rate: if generated > 0 {
+                (missed + self.rejected.len()) as f64 / generated as f64
+            } else {
+                0.0
+            },
+            device_utilization: utilization,
+            wall_seconds,
+            sessions,
+        }
+    }
+}
+
+/// Run-level facts needed to turn [`ServeMetrics`] into a
+/// [`ServeReport`]: the policy label and pool size, plus the pool's
+/// final clock and utilization and the cycle↔time mapping.
+#[derive(Debug, Clone, Copy)]
+pub struct RunInfo<'a> {
+    /// Scheduler policy label.
+    pub policy: &'a str,
+    /// Pool size.
+    pub devices: usize,
+    /// Final wall clock of the run in cycles.
+    pub wall_cycles: u64,
+    /// Mean busy fraction across devices.
+    pub utilization: f64,
+    /// GBU clock in GHz (converts cycles to time).
+    pub clock_ghz: f64,
+}
+
+/// Per-session slice of a [`ServeReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Session name.
+    pub name: String,
+    /// QoS target in Hz.
+    pub qos_hz: f64,
+    /// Frames completed.
+    pub completed: usize,
+    /// Frames rejected at admission.
+    pub rejected: usize,
+    /// Completed frames that missed their deadline.
+    pub missed: usize,
+    /// Completed frames per simulated second.
+    pub achieved_fps: f64,
+    /// 95th-percentile request-to-completion latency in milliseconds.
+    pub p95_latency_ms: f64,
+}
+
+/// Aggregate results of one serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Scheduler policy label.
+    pub policy: String,
+    /// Pool size.
+    pub devices: usize,
+    /// Frames generated by all sessions (admitted + rejected).
+    pub generated: usize,
+    /// Frames completed.
+    pub completed: usize,
+    /// Frames rejected at admission (backpressure).
+    pub rejected: usize,
+    /// Completed frames that blew their deadline.
+    pub missed: usize,
+    /// Completed frames per simulated second across all sessions.
+    pub throughput_fps: f64,
+    /// Median request-to-completion latency (ms).
+    pub p50_latency_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_latency_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_latency_ms: f64,
+    /// (missed + rejected) / generated.
+    pub deadline_miss_rate: f64,
+    /// Mean busy fraction across devices.
+    pub device_utilization: f64,
+    /// Simulated run length in seconds.
+    pub wall_seconds: f64,
+    /// Per-session breakdown.
+    pub sessions: Vec<SessionReport>,
+}
+
+/// `q`-th percentile of an ascending-sorted latency list, converted to
+/// milliseconds (nearest-rank on the rounded index; 0 for an empty list).
+fn percentile_ms(sorted: &[u64], q: f64, cycles_per_ms: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx] as f64 / cycles_per_ms
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string literal with RFC 8259 escaping (Rust's `{:?}` uses
+/// `\u{..}` braces, which JSON parsers reject).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl ServeReport {
+    /// Serialises the report as a JSON object (hand-rolled; the workspace
+    /// has no serde).
+    pub fn to_json(&self) -> String {
+        let sessions: Vec<String> = self
+            .sessions
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"qos_hz\":{},\"completed\":{},\"rejected\":{},\
+                     \"missed\":{},\"achieved_fps\":{},\"p95_latency_ms\":{}}}",
+                    json_str(&s.name),
+                    json_f(s.qos_hz),
+                    s.completed,
+                    s.rejected,
+                    s.missed,
+                    json_f(s.achieved_fps),
+                    json_f(s.p95_latency_ms),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"policy\":{},\"devices\":{},\"generated\":{},\"completed\":{},\
+             \"rejected\":{},\"missed\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
+             \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
+             \"device_utilization\":{},\"wall_seconds\":{},\"sessions\":[{}]}}",
+            json_str(&self.policy),
+            self.devices,
+            self.generated,
+            self.completed,
+            self.rejected,
+            self.missed,
+            json_f(self.throughput_fps),
+            json_f(self.p50_latency_ms),
+            json_f(self.p95_latency_ms),
+            json_f(self.p99_latency_ms),
+            json_f(self.deadline_miss_rate),
+            json_f(self.device_utilization),
+            json_f(self.wall_seconds),
+            sessions.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket(session: u32, frame: u32, arrival: u64, deadline: u64) -> FrameTicket {
+        FrameTicket { session, frame, arrival, deadline }
+    }
+
+    fn sample_metrics() -> ServeMetrics {
+        let mut m = ServeMetrics::default();
+        // Session 0: two frames, one misses (deadline 100, completes 150).
+        m.start(ticket(0, 0, 0, 100), 10);
+        m.complete(ticket(0, 0, 0, 100), 90);
+        m.start(ticket(0, 1, 50, 100), 60);
+        m.complete(ticket(0, 1, 50, 100), 150);
+        // Session 1: one frame on time, one rejected.
+        m.start(ticket(1, 0, 0, 400), 0);
+        m.complete(ticket(1, 0, 0, 400), 200);
+        m.reject(ticket(1, 1, 300, 700));
+        m
+    }
+
+    fn sample_report() -> ServeReport {
+        sample_metrics().report(
+            &RunInfo {
+                policy: "fcfs",
+                devices: 2,
+                wall_cycles: 1000,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string(), "b".to_string()],
+            &[60.0, 90.0],
+        )
+    }
+
+    #[test]
+    fn counts_and_miss_rate() {
+        let r = sample_report();
+        assert_eq!(r.generated, 4);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.rejected, 1);
+        assert_eq!(r.missed, 1);
+        // (1 miss + 1 reject) / 4 generated.
+        assert!((r.deadline_miss_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let r = sample_report();
+        assert!(r.p50_latency_ms <= r.p95_latency_ms);
+        assert!(r.p95_latency_ms <= r.p99_latency_ms);
+        // Latencies are 90, 100, 200 cycles at 1 GHz -> ms = cycles/1e6.
+        assert!((r.p50_latency_ms - 100.0 / 1e6).abs() < 1e-12);
+        assert!((r.p99_latency_ms - 200.0 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_session_breakdown() {
+        let r = sample_report();
+        assert_eq!(r.sessions.len(), 2);
+        assert_eq!(r.sessions[0].completed, 2);
+        assert_eq!(r.sessions[0].missed, 1);
+        assert_eq!(r.sessions[1].rejected, 1);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough() {
+        let j = sample_report().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"policy\":\"fcfs\""));
+        assert!(j.contains("\"sessions\":[{"));
+        assert_eq!(j.matches("\"name\"").count(), 2);
+        // Balanced braces.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "completion without dispatch")]
+    fn completion_requires_start() {
+        let mut m = ServeMetrics::default();
+        m.complete(ticket(0, 0, 0, 1), 5);
+    }
+}

@@ -1,0 +1,297 @@
+//! A pool of GBU devices advanced on one simulated clock with
+//! shared-DRAM bandwidth contention.
+//!
+//! Each device is a [`gbu_core::Gbu`] driven through the paper's
+//! asynchronous `GBU_render_image` / `GBU_check_status` programming model.
+//! The pool owns the *wall* clock; every busy device makes progress at a
+//! rate `≤ 1` device-cycle per wall-cycle. When the sum of the active
+//! frames' feature-fetch bandwidths exceeds the GBUs' share of LPDDR
+//! bandwidth (the paper's Limitation 2 — the GBU shares DRAM with the
+//! GPU), every active device is slowed by the same factor, exactly like
+//! fair-share memory throttling. Rates only change at submit/completion
+//! boundaries, so advancing event-to-event is exact, not a discretisation.
+
+use crate::scheduler::FrameTicket;
+use crate::session::PreparedView;
+use gbu_core::device::CompletedFrame;
+use gbu_core::Gbu;
+use gbu_gpu::GpuConfig;
+use gbu_hw::GbuConfig;
+use gbu_math::Vec3;
+
+/// A frame completed by the pool, tagged with its ticket and wall-clock
+/// completion time.
+#[derive(Debug)]
+pub struct PoolCompletion {
+    /// The admitted request this frame fulfilled.
+    pub ticket: FrameTicket,
+    /// Index of the device that rendered it.
+    pub device: usize,
+    /// Wall cycle at which it completed.
+    pub completed_at: u64,
+    /// The rendered frame and its hardware counters.
+    pub frame: CompletedFrame,
+}
+
+#[derive(Debug)]
+struct ActiveFrame {
+    ticket: FrameTicket,
+    /// Feature-fetch bandwidth demand in bytes per *device* cycle.
+    demand: f64,
+    /// Fractional device-cycle accumulator (contention rates are not
+    /// integer, the device clock is).
+    residue: f64,
+}
+
+/// N GBU devices on one simulated clock with a shared DRAM budget.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<Gbu>,
+    active: Vec<Option<ActiveFrame>>,
+    clock: u64,
+    /// DRAM bytes per wall cycle available to the pool (the GBUs' share
+    /// of the edge SoC's LPDDR bandwidth).
+    bytes_per_cycle: f64,
+    busy_device_cycles: u64,
+}
+
+impl DevicePool {
+    /// Creates a pool of `devices` GBUs. The pool's DRAM budget is
+    /// `dram_share` of the host GPU's LPDDR bandwidth (the co-simulation
+    /// charges the GPU's preprocessing streams the rest; `gbu_core::system`
+    /// uses 0.5 for one device).
+    pub fn new(devices: usize, gbu: &GbuConfig, gpu: &GpuConfig, dram_share: f64) -> Self {
+        assert!(devices > 0, "a pool needs at least one device");
+        assert!(dram_share > 0.0 && dram_share <= 1.0, "dram_share in (0, 1]");
+        let bytes_per_cycle = gpu.dram_bytes_per_s() * dram_share / (gbu.clock_ghz * 1e9);
+        Self {
+            devices: (0..devices).map(|_| Gbu::new(gbu.clone())).collect(),
+            active: (0..devices).map(|_| None).collect(),
+            clock: 0,
+            bytes_per_cycle,
+            busy_device_cycles: 0,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// `true` when the pool has no devices (never; pools are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Current wall cycle.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Index of an idle device, if any.
+    pub fn idle_device(&self) -> Option<usize> {
+        self.active.iter().position(Option::is_none)
+    }
+
+    /// Number of devices currently rendering.
+    pub fn busy_count(&self) -> usize {
+        self.active.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Mean device utilization so far: busy device-cycles over available
+    /// device-cycles.
+    pub fn utilization(&self) -> f64 {
+        if self.clock == 0 {
+            return 0.0;
+        }
+        self.busy_device_cycles as f64 / (self.clock as f64 * self.devices.len() as f64)
+    }
+
+    /// Submits `view` to device `device` (must be idle) on behalf of
+    /// `ticket`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device still has a frame in flight — the engine only
+    /// dispatches to [`DevicePool::idle_device`] slots.
+    pub fn submit(&mut self, device: usize, view: &PreparedView, ticket: FrameTicket) {
+        let gbu = &mut self.devices[device];
+        gbu.render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO)
+            .expect("engine dispatches only to idle devices");
+        let duration = gbu.in_flight_remaining().expect("frame was just submitted");
+        let bytes = gbu.in_flight_dram_bytes().expect("frame was just submitted");
+        // The frame streams its feature traffic over its whole duration.
+        let demand = bytes as f64 / duration.max(1) as f64;
+        self.active[device] = Some(ActiveFrame { ticket, demand, residue: 0.0 });
+    }
+
+    /// Progress rate (device-cycles per wall-cycle) of every busy device
+    /// under the current contention: 1 when aggregate demand fits the
+    /// DRAM budget, uniformly scaled down otherwise.
+    fn rate(&self) -> f64 {
+        let total: f64 = self.active.iter().flatten().map(|a| a.demand).sum();
+        if total <= self.bytes_per_cycle {
+            1.0
+        } else {
+            self.bytes_per_cycle / total
+        }
+    }
+
+    /// Wall cycles until the earliest in-flight frame completes at the
+    /// current rates, or `None` when every device is idle.
+    pub fn next_completion_dt(&self) -> Option<u64> {
+        let rate = self.rate();
+        self.active
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let a = slot.as_ref()?;
+                let remaining = self.devices[i].in_flight_remaining()? as f64 - a.residue;
+                Some((remaining / rate).ceil().max(1.0) as u64)
+            })
+            .min()
+    }
+
+    /// Advances the wall clock by `wall_dt` cycles, progressing every busy
+    /// device at the shared contention rate, and collects any frames that
+    /// complete. The wall clock is strictly monotone: `wall_dt == 0` is
+    /// rejected.
+    pub fn advance(&mut self, wall_dt: u64) -> Vec<PoolCompletion> {
+        assert!(wall_dt > 0, "the simulated clock must move forward");
+        let rate = self.rate();
+        self.clock += wall_dt;
+        let mut done = Vec::new();
+        for (i, slot) in self.active.iter_mut().enumerate() {
+            let Some(a) = slot.as_mut() else { continue };
+            // Busy credit stops when the frame finishes, even if the
+            // caller overshoots the completion event.
+            let remaining = self.devices[i].in_flight_remaining().unwrap_or(0) as f64 - a.residue;
+            let needed_wall = (remaining / rate).ceil().max(0.0) as u64;
+            self.busy_device_cycles += wall_dt.min(needed_wall);
+            let progress = wall_dt as f64 * rate + a.residue;
+            let whole = progress.floor();
+            a.residue = progress - whole;
+            self.devices[i].advance(whole as u64);
+            if let Some(frame) = self.devices[i].try_collect() {
+                let ticket = a.ticket;
+                *slot = None;
+                done.push(PoolCompletion { ticket, device: i, completed_at: self.clock, frame });
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Session, SessionContent, SessionSpec};
+    use crate::QosTarget;
+
+    fn prepared() -> Session {
+        Session::prepare(
+            SessionSpec {
+                name: "t".into(),
+                content: SessionContent::Synthetic { seed: 3, gaussians: 80 },
+                qos: QosTarget::VR_72,
+                frames: 4,
+                phase: 0.0,
+            },
+            &GbuConfig::paper(),
+        )
+    }
+
+    fn ticket(n: u32) -> FrameTicket {
+        FrameTicket { session: 0, frame: n, arrival: 0, deadline: u64::MAX }
+    }
+
+    #[test]
+    fn single_frame_completes_at_base_duration() {
+        let session = prepared();
+        let mut pool = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        pool.submit(0, session.view(0), ticket(0));
+        let dt = pool.next_completion_dt().expect("one frame in flight");
+        let done = pool.advance(dt);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed_at, pool.clock());
+        assert!(pool.idle_device().is_some());
+    }
+
+    #[test]
+    fn clock_is_monotone_and_utilization_bounded() {
+        let session = prepared();
+        let mut pool = DevicePool::new(2, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        pool.submit(0, session.view(0), ticket(0));
+        pool.submit(1, session.view(1), ticket(1));
+        let mut last = pool.clock();
+        let mut completions = 0;
+        while pool.busy_count() > 0 {
+            let dt = pool.next_completion_dt().unwrap();
+            completions += pool.advance(dt).len();
+            assert!(pool.clock() > last, "clock must advance");
+            last = pool.clock();
+        }
+        assert_eq!(completions, 2);
+        let u = pool.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn starved_bandwidth_slows_completion() {
+        let session = prepared();
+        // A pool whose DRAM share is tiny: the same frame must take
+        // longer in wall cycles than on an uncontended pool.
+        let mut fat = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        fat.submit(0, session.view(0), ticket(0));
+        let fat_dt = fat.next_completion_dt().unwrap();
+
+        let mut starved = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 1e-6);
+        starved.submit(0, session.view(0), ticket(0));
+        let starved_dt = starved.next_completion_dt().unwrap();
+        assert!(
+            starved_dt > fat_dt,
+            "bandwidth starvation must stretch the frame: {starved_dt} vs {fat_dt}"
+        );
+    }
+
+    #[test]
+    fn contention_couples_devices() {
+        let session = prepared();
+        // Low-bandwidth pool: two concurrent frames must each take longer
+        // than the same frame alone.
+        let share = 1e-4;
+        let mut solo = DevicePool::new(2, &GbuConfig::paper(), &GpuConfig::orin_nx(), share);
+        solo.submit(0, session.view(0), ticket(0));
+        let solo_dt = solo.next_completion_dt().unwrap();
+
+        let mut pair = DevicePool::new(2, &GbuConfig::paper(), &GpuConfig::orin_nx(), share);
+        pair.submit(0, session.view(0), ticket(0));
+        pair.submit(1, session.view(0), ticket(1));
+        let pair_dt = pair.next_completion_dt().unwrap();
+        assert!(
+            pair_dt > solo_dt,
+            "two frames sharing starved DRAM must both slow down: {pair_dt} vs {solo_dt}"
+        );
+    }
+
+    #[test]
+    fn overshoot_does_not_inflate_utilization() {
+        let session = prepared();
+        let mut pool = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        pool.submit(0, session.view(0), ticket(0));
+        let needed = pool.next_completion_dt().unwrap();
+        // Step 100x past the completion event: the device was busy for
+        // only ~1% of the interval and utilization must say so.
+        let done = pool.advance(needed * 100);
+        assert_eq!(done.len(), 1);
+        let u = pool.utilization();
+        assert!(u <= 0.02, "overshoot must not count as busy time: {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "clock must move forward")]
+    fn zero_advance_is_rejected() {
+        let mut pool = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        pool.advance(0);
+    }
+}

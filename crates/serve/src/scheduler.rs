@@ -1,0 +1,223 @@
+//! Frame schedulers and admission control.
+//!
+//! The serving engine keeps one shared ready queue of admitted frames;
+//! whenever a device in the pool goes idle, the [`Scheduler`] picks which
+//! queued frame it renders next. Three policies are provided:
+//!
+//! - [`Fcfs`] — first-come-first-served, the baseline a naive host driver
+//!   implements;
+//! - [`RoundRobin`] — cycles over sessions for throughput fairness,
+//!   ignoring urgency;
+//! - [`Edf`] — earliest-deadline-first, the classic real-time policy that
+//!   FLICKER-style deadline-aware splat serving motivates.
+//!
+//! [`AdmissionControl`] bounds the ready queue: when a client's frame
+//! arrives while the queue is at capacity, the frame is rejected at
+//! admission (backpressure to the client) rather than queued to miss its
+//! deadline anyway.
+
+/// Identity and timing of one admitted frame request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTicket {
+    /// Index of the session in the workload.
+    pub session: u32,
+    /// Frame number within the session.
+    pub frame: u32,
+    /// Cycle at which the client requested the frame.
+    pub arrival: u64,
+    /// Cycle by which the frame must complete.
+    pub deadline: u64,
+}
+
+/// Picks the next queued frame for an idle device.
+///
+/// `queue` is ordered by admission (index 0 is the oldest). Returns the
+/// index of the frame to dispatch, or `None` to leave the device idle
+/// (no policy here does, but a gating policy may).
+pub trait Scheduler: std::fmt::Debug {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a queue index to dispatch at simulated time `now`.
+    fn pick(&mut self, queue: &[FrameTicket], now: u64) -> Option<usize>;
+}
+
+/// First-come-first-served: always the oldest admitted frame.
+#[derive(Debug, Default, Clone)]
+pub struct Fcfs;
+
+impl Scheduler for Fcfs {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn pick(&mut self, queue: &[FrameTicket], _now: u64) -> Option<usize> {
+        if queue.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+}
+
+/// Round-robin over sessions: serves the next session (in cyclic session
+/// order after the last one served) that has a frame queued, oldest frame
+/// first within the session.
+#[derive(Debug, Default, Clone)]
+pub struct RoundRobin {
+    last_session: Option<u32>,
+}
+
+impl Scheduler for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn pick(&mut self, queue: &[FrameTicket], _now: u64) -> Option<usize> {
+        if queue.is_empty() {
+            return None;
+        }
+        // Sessions present in the queue, with each session's oldest frame.
+        let start = self.last_session.map_or(0, |s| s + 1);
+        let key = |t: &FrameTicket| {
+            // Cyclic distance from the session after the last served one.
+            t.session.wrapping_sub(start) as u64
+        };
+        let (idx, ticket) = queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (key(t), t.arrival, *i))
+            .expect("queue is non-empty");
+        self.last_session = Some(ticket.session);
+        Some(idx)
+    }
+}
+
+/// Earliest-deadline-first: the queued frame whose deadline expires
+/// soonest, breaking ties by arrival order.
+#[derive(Debug, Default, Clone)]
+pub struct Edf;
+
+impl Scheduler for Edf {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn pick(&mut self, queue: &[FrameTicket], _now: u64) -> Option<usize> {
+        queue.iter().enumerate().min_by_key(|(i, t)| (t.deadline, t.arrival, *i)).map(|(i, _)| i)
+    }
+}
+
+/// The scheduling policies the engine can be configured with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// [`Fcfs`].
+    Fcfs,
+    /// [`RoundRobin`].
+    RoundRobin,
+    /// [`Edf`].
+    Edf,
+}
+
+impl Policy {
+    /// All built-in policies.
+    pub fn all() -> [Policy; 3] {
+        [Policy::Fcfs, Policy::RoundRobin, Policy::Edf]
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Fcfs => Box::new(Fcfs),
+            Policy::RoundRobin => Box::new(RoundRobin::default()),
+            Policy::Edf => Box::new(Edf),
+        }
+    }
+
+    /// Stable name used in reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Policy::Fcfs => "fcfs",
+            Policy::RoundRobin => "round_robin",
+            Policy::Edf => "edf",
+        }
+    }
+}
+
+/// Bounded-queue admission control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionControl {
+    /// Maximum number of frames the ready queue may hold; arrivals beyond
+    /// this are rejected (backpressure).
+    pub max_queue_depth: usize,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        Self { max_queue_depth: 64 }
+    }
+}
+
+impl AdmissionControl {
+    /// Whether a new arrival may enter a queue currently `depth` deep.
+    pub fn admits(&self, depth: usize) -> bool {
+        depth < self.max_queue_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ticket(session: u32, frame: u32, arrival: u64, deadline: u64) -> FrameTicket {
+        FrameTicket { session, frame, arrival, deadline }
+    }
+
+    #[test]
+    fn fcfs_picks_head() {
+        let q = vec![ticket(2, 0, 5, 100), ticket(0, 0, 7, 50)];
+        assert_eq!(Fcfs.pick(&q, 10), Some(0));
+        assert_eq!(Fcfs.pick(&[], 10), None);
+    }
+
+    #[test]
+    fn edf_picks_earliest_deadline() {
+        let q = vec![ticket(0, 0, 1, 300), ticket(1, 0, 2, 120), ticket(2, 0, 3, 200)];
+        assert_eq!(Edf.pick(&q, 10), Some(1));
+    }
+
+    #[test]
+    fn edf_breaks_deadline_ties_by_arrival() {
+        let q = vec![ticket(0, 0, 9, 100), ticket(1, 0, 2, 100)];
+        assert_eq!(Edf.pick(&q, 10), Some(1));
+    }
+
+    #[test]
+    fn round_robin_cycles_sessions() {
+        let mut rr = RoundRobin::default();
+        let q = vec![ticket(0, 0, 1, 100), ticket(1, 0, 2, 100), ticket(2, 0, 3, 100)];
+        let first = rr.pick(&q, 10).unwrap();
+        assert_eq!(first, 0);
+        // Session 0 was served; next pick prefers session 1.
+        let q2 = vec![ticket(0, 1, 4, 200), ticket(1, 0, 2, 100), ticket(2, 0, 3, 100)];
+        assert_eq!(rr.pick(&q2, 10), Some(1));
+        // ... then session 2 even though session 0 has an older frame.
+        let q3 = vec![ticket(0, 1, 4, 200), ticket(2, 0, 3, 100)];
+        assert_eq!(rr.pick(&q3, 10), Some(1));
+    }
+
+    #[test]
+    fn round_robin_wraps_around() {
+        let mut rr = RoundRobin { last_session: Some(2) };
+        let q = vec![ticket(2, 1, 4, 200), ticket(0, 0, 9, 100)];
+        assert_eq!(rr.pick(&q, 10), Some(1), "wraps to session 0 after 2");
+    }
+
+    #[test]
+    fn admission_bounds_queue() {
+        let ac = AdmissionControl { max_queue_depth: 2 };
+        assert!(ac.admits(0));
+        assert!(ac.admits(1));
+        assert!(!ac.admits(2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Sessions: per-client scene content, camera stream and QoS target.
+//!
+//! A [`Session`] is one AR/VR client being served: it owns a prepared
+//! scene (static, dynamic or avatar — resolved through the same Step-❶
+//! machinery as `gbu_core::apps`), a short orbit of preprocessed
+//! viewpoints standing in for the client's head-pose stream, and a
+//! [`QosTarget`] fixing the frame cadence and deadline.
+//!
+//! Preparation runs Rendering Steps ❶/❷ (projection + binning) once per
+//! viewpoint, exactly what the host GPU would hand the GBU each frame;
+//! serving then replays the viewpoints round-robin, so the steady-state
+//! per-frame work the scheduler sees is the paper's Step ❸.
+
+use gbu_core::apps::FrameScenario;
+use gbu_hw::GbuConfig;
+use gbu_math::Vec3;
+use gbu_render::binning::TileBins;
+use gbu_render::{binning, preprocess, Splat2D};
+use gbu_scene::synth::SceneBuilder;
+use gbu_scene::{Camera, DatasetScene, GaussianScene, ScaleProfile};
+
+/// A frame-rate / deadline class (the refresh rates AR/VR runtimes pin).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosTarget {
+    /// Target refresh rate in Hz; one frame is due every `1/hz` seconds
+    /// and must complete within that period.
+    pub hz: f64,
+}
+
+impl QosTarget {
+    /// 60 Hz — hand-held AR.
+    pub const AR_60: QosTarget = QosTarget { hz: 60.0 };
+    /// 72 Hz — standalone VR headsets.
+    pub const VR_72: QosTarget = QosTarget { hz: 72.0 };
+    /// 90 Hz — tethered/high-end VR.
+    pub const VR_90: QosTarget = QosTarget { hz: 90.0 };
+
+    /// The frame period in device cycles at the given GBU clock.
+    pub fn period_cycles(&self, clock_ghz: f64) -> u64 {
+        ((clock_ghz * 1e9) / self.hz).round().max(1.0) as u64
+    }
+}
+
+/// What a session renders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionContent {
+    /// A procedurally generated static cloud (cheap; used by tests and
+    /// synthetic sweeps). `gaussians` controls how heavy the session is.
+    Synthetic {
+        /// Scene seed.
+        seed: u64,
+        /// Number of Gaussians.
+        gaussians: usize,
+    },
+    /// A registry scene (static / dynamic / avatar) resolved through
+    /// `gbu_core::apps::FrameScenario` at the given profile.
+    Dataset {
+        /// Registry name (`DatasetScene::by_name`).
+        name: &'static str,
+        /// Scale profile for the build.
+        profile: ScaleProfile,
+    },
+}
+
+/// Declarative description of one session, turned into a [`Session`] by
+/// [`Session::prepare`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionSpec {
+    /// Display name (unique within a workload).
+    pub name: String,
+    /// Scene content.
+    pub content: SessionContent,
+    /// Frame cadence and deadline class.
+    pub qos: QosTarget,
+    /// Number of frames the client will request.
+    pub frames: u32,
+    /// Arrival phase as a fraction of this session's frame period in
+    /// `[0, 1)` — staggers clients so they don't all hit the queue on the
+    /// same cycle. The engine converts it to cycles once the clock (and
+    /// hence the period) is fixed at run time.
+    pub phase: f64,
+}
+
+/// A preprocessed viewpoint: the outputs of Rendering Steps ❶/❷ that the
+/// host GPU hands to `GBU_render_image`.
+#[derive(Debug, Clone)]
+pub struct PreparedView {
+    /// Projected, depth-sorted splats.
+    pub splats: Vec<Splat2D>,
+    /// Per-tile instance lists.
+    pub bins: TileBins,
+    /// The camera of this viewpoint.
+    pub camera: Camera,
+}
+
+/// A prepared session, ready to be served.
+#[derive(Debug)]
+pub struct Session {
+    /// The spec this session was built from.
+    pub spec: SessionSpec,
+    /// Preprocessed viewpoints, replayed round-robin as the camera stream.
+    views: Vec<PreparedView>,
+    /// Device-occupancy cycles of each view — max(D&B, Tile PE), exactly
+    /// what `GBU_render_image` schedules — measured once at preparation
+    /// time on a scratch device (used for load calibration, not serving).
+    view_cycles: Vec<u64>,
+}
+
+/// Number of orbit viewpoints prepared per session.
+const VIEWS_PER_SESSION: usize = 3;
+
+fn orbit_views(scene: &GaussianScene, width: u32, height: u32, seed: u64) -> Vec<PreparedView> {
+    let (center, radius) = match (scene.centroid(), scene.bounds()) {
+        (Some(c), Some((min, max))) => (c, ((max - min).length() * 0.9).max(1.0)),
+        _ => (Vec3::ZERO, 3.0),
+    };
+    (0..VIEWS_PER_SESSION)
+        .map(|v| {
+            // Deterministic per-session orbit: spread yaw, nod pitch.
+            let yaw = (seed % 7) as f32 * 0.9 + v as f32 * 0.35;
+            let pitch = 0.15 + 0.1 * (v as f32 - 1.0);
+            let camera = Camera::orbit(width, height, 0.9, center, radius, yaw, pitch);
+            let (splats, _) = preprocess::project_scene(scene, &camera);
+            let (bins, _) = binning::bin_splats(&splats, &camera, 16);
+            PreparedView { splats, bins, camera }
+        })
+        .collect()
+}
+
+impl Session {
+    /// Builds the session: resolves the scene, preprocesses
+    /// [`VIEWS_PER_SESSION`] viewpoints and measures each view once on a
+    /// scratch device for load calibration.
+    pub fn prepare(spec: SessionSpec, gbu: &GbuConfig) -> Self {
+        let (scene, width, height) = match &spec.content {
+            SessionContent::Synthetic { seed, gaussians } => {
+                let scene = SceneBuilder::new(*seed)
+                    .ellipsoid_cloud(
+                        Vec3::ZERO,
+                        Vec3::splat(0.8),
+                        *gaussians,
+                        Vec3::new(0.6, 0.5, 0.4),
+                        0.15,
+                    )
+                    .build();
+                (scene, 64, 64)
+            }
+            SessionContent::Dataset { name, profile } => {
+                let ds = DatasetScene::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown dataset scene {name}"));
+                let scenario = FrameScenario::from_dataset(&ds, *profile);
+                let cam = &scenario.camera;
+                (scenario.scene, cam.width, cam.height)
+            }
+        };
+        let seed = match &spec.content {
+            SessionContent::Synthetic { seed, .. } => *seed,
+            // Hash the (unique) session name so sessions sharing a dataset
+            // scene still get distinct orbits.
+            SessionContent::Dataset { .. } => {
+                spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+                })
+            }
+        };
+        let views = orbit_views(&scene, width, height, seed);
+        let view_cycles = views
+            .iter()
+            .map(|v| {
+                let mut probe = gbu_core::Gbu::new(gbu.clone());
+                probe
+                    .render_image(&v.splats, &v.bins, &v.camera, Vec3::ZERO)
+                    .expect("probe device is idle");
+                // The frame occupies the device for max(D&B, Tile PE)
+                // cycles — what `render_image` scheduled, not just the
+                // tile-engine share.
+                let occupancy = probe.in_flight_remaining().expect("frame in flight");
+                probe.wait().expect("frame in flight");
+                occupancy
+            })
+            .collect();
+        Self { spec, views, view_cycles }
+    }
+
+    /// The viewpoint frame `index` renders (round-robin camera stream).
+    pub fn view(&self, index: u32) -> &PreparedView {
+        &self.views[index as usize % self.views.len()]
+    }
+
+    /// Mean device-occupancy cycles over this session's viewpoints.
+    pub fn mean_frame_cycles(&self) -> f64 {
+        let sum: u64 = self.view_cycles.iter().sum();
+        sum as f64 / self.view_cycles.len() as f64
+    }
+
+    /// Device cycles this session demands per second of simulated time at
+    /// the given clock: frame rate × mean frame cost.
+    pub fn offered_load_cycles_per_s(&self) -> f64 {
+        self.spec.qos.hz * self.mean_frame_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(gaussians: usize) -> SessionSpec {
+        SessionSpec {
+            name: "s0".into(),
+            content: SessionContent::Synthetic { seed: 9, gaussians },
+            qos: QosTarget::VR_72,
+            frames: 4,
+            phase: 0.0,
+        }
+    }
+
+    #[test]
+    fn period_cycles_matches_clock() {
+        assert_eq!(QosTarget::AR_60.period_cycles(1.0), 16_666_667);
+        assert_eq!(QosTarget::VR_90.period_cycles(0.5), 5_555_556);
+    }
+
+    #[test]
+    fn prepare_builds_views_and_costs() {
+        let s = Session::prepare(spec(120), &GbuConfig::paper());
+        assert_eq!(s.views.len(), VIEWS_PER_SESSION);
+        assert!(s.mean_frame_cycles() > 0.0);
+        // The camera stream cycles through the views.
+        assert_eq!(s.view(0).camera.position(), s.view(VIEWS_PER_SESSION as u32).camera.position());
+    }
+
+    #[test]
+    fn heavier_scenes_cost_more() {
+        let light = Session::prepare(spec(40), &GbuConfig::paper());
+        let heavy = Session::prepare(
+            SessionSpec {
+                content: SessionContent::Synthetic { seed: 9, gaussians: 600 },
+                ..spec(0)
+            },
+            &GbuConfig::paper(),
+        );
+        assert!(heavy.mean_frame_cycles() > light.mean_frame_cycles());
+    }
+
+    #[test]
+    fn dataset_session_prepares() {
+        let s = Session::prepare(
+            SessionSpec {
+                name: "avatar".into(),
+                content: SessionContent::Dataset { name: "male-3", profile: ScaleProfile::Test },
+                qos: QosTarget::VR_90,
+                frames: 2,
+                phase: 0.0,
+            },
+            &GbuConfig::paper(),
+        );
+        assert!(s.mean_frame_cycles() > 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Canonical workload mixes shared by the example, the integration tests
+//! and the bench sweep.
+
+use crate::session::{Session, SessionContent, SessionSpec};
+use crate::QosTarget;
+use gbu_hw::GbuConfig;
+use gbu_scene::ScaleProfile;
+
+/// A heterogeneous-QoS synthetic mix: light 90 Hz VR clients, medium
+/// 72 Hz clients and heavy 60 Hz AR clients, cycled. Cheap to prepare —
+/// this is what the tests and large sweeps use.
+pub fn synthetic_mix(n_sessions: usize, frames: u32) -> Vec<SessionSpec> {
+    (0..n_sessions)
+        .map(|i| {
+            let (qos, gaussians, class) = match i % 3 {
+                0 => (QosTarget::VR_90, 60, "vr90-light"),
+                1 => (QosTarget::VR_72, 150, "vr72-medium"),
+                _ => (QosTarget::AR_60, 420, "ar60-heavy"),
+            };
+            SessionSpec {
+                name: format!("{class}-{i}"),
+                content: SessionContent::Synthetic { seed: 1000 + i as u64, gaussians },
+                qos,
+                frames,
+                // Golden-ratio stagger: spreads client phases evenly so
+                // arrivals do not all burst on the same cycle.
+                phase: (i as f64 * 0.618_033_988_749).fract(),
+            }
+        })
+        .collect()
+}
+
+/// A mix over the dataset registry — static scenes, dynamic scenes and
+/// avatars resolved through `gbu_core::apps` — for the demo and bench
+/// runs that should exercise all three AR/VR application types.
+pub fn dataset_mix(n_sessions: usize, frames: u32) -> Vec<SessionSpec> {
+    // One representative registry scene per application type.
+    const SCENES: [(&str, QosTarget); 3] = [
+        ("bonsai", QosTarget::AR_60),
+        ("flame_steak", QosTarget::VR_72),
+        ("male-3", QosTarget::VR_90),
+    ];
+    (0..n_sessions)
+        .map(|i| {
+            let (name, qos) = SCENES[i % SCENES.len()];
+            SessionSpec {
+                name: format!("{name}-{i}"),
+                content: SessionContent::Dataset { name, profile: ScaleProfile::Test },
+                qos,
+                frames,
+                // Golden-ratio stagger: spreads client phases evenly so
+                // arrivals do not all burst on the same cycle.
+                phase: (i as f64 * 0.618_033_988_749).fract(),
+            }
+        })
+        .collect()
+}
+
+/// Prepares every spec (Steps ❶/❷ per viewpoint + cost probe).
+pub fn prepare_all(specs: Vec<SessionSpec>, gbu: &GbuConfig) -> Vec<Session> {
+    specs.into_iter().map(|spec| Session::prepare(spec, gbu)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_mix_is_heterogeneous() {
+        let specs = synthetic_mix(9, 5);
+        assert_eq!(specs.len(), 9);
+        let hz: std::collections::BTreeSet<u64> = specs.iter().map(|s| s.qos.hz as u64).collect();
+        assert_eq!(hz.into_iter().collect::<Vec<_>>(), vec![60, 72, 90]);
+        // Names are unique.
+        let names: std::collections::BTreeSet<&str> =
+            specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn dataset_mix_covers_all_kinds() {
+        let specs = dataset_mix(6, 2);
+        assert!(specs.iter().any(|s| s.name.starts_with("bonsai")));
+        assert!(specs.iter().any(|s| s.name.starts_with("flame_steak")));
+        assert!(specs.iter().any(|s| s.name.starts_with("male-3")));
+    }
+}

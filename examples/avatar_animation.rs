@@ -30,9 +30,7 @@ fn main() {
         let (min, max) = scene.bounds().expect("posed scene non-empty");
         println!(
             "phase {phase:.2}: extent y [{:+.2}, {:+.2}], {:>8} fragments",
-            min.y,
-            max.y,
-            out.blend.fragments_evaluated
+            min.y, max.y, out.blend.fragments_evaluated
         );
         if frame == 2 {
             std::fs::write("avatar_frame.ppm", out.image.to_ppm()).expect("write ppm");

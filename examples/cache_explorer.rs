@@ -18,11 +18,7 @@ fn main() {
     let (splats, _) = preprocess::project_scene(&scene, &camera);
     let (bins, _) = binning::bin_splats(&splats, &camera, 16);
     let d = dnb::run(&splats, &bins, &GbuConfig::paper());
-    println!(
-        "frame: {} splats, {} (tile, Gaussian) accesses",
-        splats.len(),
-        d.access_trace.len()
-    );
+    println!("frame: {} splats, {} (tile, Gaussian) accesses", splats.len(), d.access_trace.len());
 
     println!("\ncapacity sweep (reuse-distance policy):");
     for kib in [0usize, 2, 4, 8, 16, 32, 64] {

@@ -13,7 +13,13 @@ use gbu_scene::Camera;
 fn main() {
     // 1. A small synthetic scene: an object cloud over a ground plane.
     let scene = SceneBuilder::new(7)
-        .ellipsoid_cloud(Vec3::new(0.0, 0.2, 0.0), Vec3::splat(0.8), 4000, Vec3::new(0.8, 0.4, 0.2), 0.15)
+        .ellipsoid_cloud(
+            Vec3::new(0.0, 0.2, 0.0),
+            Vec3::splat(0.8),
+            4000,
+            Vec3::new(0.8, 0.4, 0.2),
+            0.15,
+        )
         .ground_plane(-0.5, 2.0, 1500, Vec3::new(0.3, 0.5, 0.3))
         .build();
     let camera = Camera::orbit(320, 240, 0.9, Vec3::ZERO, 4.0, 0.4, 0.3);

@@ -1,0 +1,79 @@
+//! serve_many: dozens of heterogeneous AR/VR sessions on a GBU pool.
+//!
+//! Builds a 24-session workload — 18 synthetic clients plus 6 dataset
+//! clients covering all three application types (static scene, dynamic
+//! scene, avatar via `gbu_core::apps`) — and serves it across two pool
+//! sizes under all three scheduling policies, printing throughput,
+//! latency percentiles, deadline-miss rate and utilization for each run.
+//!
+//! Run with: `cargo run --release --example serve_many`
+
+use gbu_core::reports::{fmt_f, fmt_pct, table};
+use gbu_hw::GbuConfig;
+use gbu_serve::{run_workload, workload, Policy, ServeConfig};
+
+const SYNTHETIC_SESSIONS: usize = 18;
+const DATASET_SESSIONS: usize = 6;
+const FRAMES: u32 = 12;
+/// Offered load vs pool capacity — just past saturation, where the
+/// scheduling policy decides which deadlines survive.
+const UTILIZATION: f64 = 1.15;
+
+fn main() {
+    let mut specs = workload::synthetic_mix(SYNTHETIC_SESSIONS, FRAMES);
+    specs.extend(workload::dataset_mix(DATASET_SESSIONS, FRAMES));
+    let n = specs.len();
+    println!(
+        "preparing {n} sessions ({SYNTHETIC_SESSIONS} synthetic + {DATASET_SESSIONS} dataset: \
+         static/dynamic/avatar) ..."
+    );
+    let sessions = workload::prepare_all(specs, &GbuConfig::paper());
+    let mean_kcycles: f64 =
+        sessions.iter().map(|s| s.mean_frame_cycles()).sum::<f64>() / n as f64 / 1e3;
+    println!("mean frame cost {mean_kcycles:.0} kcycles; target utilization {UTILIZATION}\n");
+
+    let mut rows = Vec::new();
+    for devices in [2usize, 4] {
+        for policy in Policy::all() {
+            let cfg = ServeConfig { devices, policy, ..ServeConfig::default() };
+            let report = run_workload(cfg, &sessions, UTILIZATION);
+            rows.push(vec![
+                devices.to_string(),
+                report.policy.clone(),
+                report.completed.to_string(),
+                report.rejected.to_string(),
+                fmt_f(report.throughput_fps, 0),
+                fmt_f(report.p50_latency_ms, 1),
+                fmt_f(report.p95_latency_ms, 1),
+                fmt_f(report.p99_latency_ms, 1),
+                fmt_pct(report.deadline_miss_rate),
+                fmt_pct(report.device_utilization),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["GBUs", "policy", "done", "rej", "fps", "p50 ms", "p95 ms", "p99 ms", "miss", "util"],
+            &rows
+        )
+    );
+
+    // Per-session view of the most interesting run: EDF on the small pool.
+    let cfg = ServeConfig { devices: 2, policy: Policy::Edf, ..ServeConfig::default() };
+    let report = run_workload(cfg, &sessions, UTILIZATION);
+    let mut rows = Vec::new();
+    for s in report.sessions.iter().take(8) {
+        rows.push(vec![
+            s.name.clone(),
+            format!("{:.0} Hz", s.qos_hz),
+            s.completed.to_string(),
+            s.missed.to_string(),
+            fmt_f(s.achieved_fps, 1),
+            fmt_f(s.p95_latency_ms, 1),
+        ]);
+    }
+    println!("first sessions under EDF on 2 GBUs:");
+    println!("{}", table(&["session", "qos", "done", "missed", "fps", "p95 ms"], &rows));
+    println!("(serving {} sessions total; see BENCH_serve.json via `repro serve` for sweeps)", n);
+}

@@ -11,6 +11,7 @@
 //! - [`gbu_hw`] — the GBU hardware model
 //! - [`gbu_baselines`] — voxel / tri-plane radiance-field baselines
 //! - [`gbu_core`] — the public device API and system co-simulation
+//! - [`gbu_serve`] — multi-session frame serving over a pool of GBUs
 
 pub use gbu_baselines as baselines;
 pub use gbu_core as core_api;
@@ -19,3 +20,4 @@ pub use gbu_hw as hw;
 pub use gbu_math as math;
 pub use gbu_render as render;
 pub use gbu_scene as scene;
+pub use gbu_serve as serve;

@@ -2,7 +2,7 @@
 //! every application type, asserting the paper's headline orderings.
 
 use gbu_core::apps::{measure_frame, FrameScenario};
-use gbu_core::system::{self, Design, SystemConfig};
+use gbu_core::system::{self, SystemConfig};
 use gbu_scene::{DatasetScene, ScaleProfile};
 
 fn ladder_for(name: &str) -> Vec<system::SystemEvaluation> {

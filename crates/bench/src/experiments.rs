@@ -817,22 +817,29 @@ pub fn debug(ctx: &Ctx) {
     }
 }
 
-/// Serving sweep: session count × scheduler policy × pool size on the
+/// Serving sweep: session count × scheduler variant × pool size on the
 /// heterogeneous-QoS workload, emitting `BENCH_serve.json` so later PRs
 /// can track the serving-performance trajectory.
+///
+/// Four variants run per coordinate: the three scheduling policies with
+/// default admission, plus a deadline-aware EDF — `reject_unmeetable`
+/// admission (frames whose deadline is provably unmeetable are refused
+/// up front) combined with the `drop_unmeetable` queue pass (queued
+/// frames whose deadline became hopeless are cancelled instead of
+/// burning a device to miss).
 ///
 /// The GBU clock is calibrated once — 16 sessions saturating a 2-device
 /// pool — and held fixed across the sweep, so growing the session count
 /// genuinely raises load instead of being normalised away.
 pub fn serve(_ctx: &Ctx) {
     use gbu_hw::GbuConfig;
-    use gbu_serve::{calibrated_clock_ghz, workload, Policy, ServeConfig, ServeEngine};
+    use gbu_serve::{calibrated_clock_ghz, run_sessions, workload, Policy, ServeConfig};
 
     const SESSIONS_SWEEP: [usize; 3] = [8, 16, 32];
     const DEVICES_SWEEP: [usize; 3] = [1, 2, 4];
     const FRAMES: u32 = 8;
 
-    println!("== Serving sweep: sessions x policy x pool size ==");
+    println!("== Serving sweep: sessions x variant x pool size ==");
     let max_sessions = *SESSIONS_SWEEP.iter().max().expect("non-empty sweep");
     let all =
         workload::prepare_all(workload::synthetic_mix(max_sessions, FRAMES), &GbuConfig::paper());
@@ -840,35 +847,54 @@ pub fn serve(_ctx: &Ctx) {
     let clock_ghz = calibrated_clock_ghz(&all[..16], 2, 1.0);
     println!("calibrated GBU clock: {:.4} GHz (16 sessions = 2 saturated devices)\n", clock_ghz);
 
+    let variants: [(&str, Policy, bool); 4] = [
+        ("fcfs", Policy::Fcfs, false),
+        ("round_robin", Policy::RoundRobin, false),
+        ("edf", Policy::Edf, false),
+        ("edf+deadline_aware", Policy::Edf, true),
+    ];
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     for &n in &SESSIONS_SWEEP {
         for &devices in &DEVICES_SWEEP {
-            for policy in Policy::all() {
-                let mut cfg = ServeConfig { devices, policy, ..ServeConfig::default() };
+            for &(variant, policy, deadline_aware) in &variants {
+                let mut cfg = ServeConfig {
+                    devices,
+                    policy,
+                    drop_unmeetable: deadline_aware,
+                    ..ServeConfig::default()
+                };
+                cfg.admission.reject_unmeetable = deadline_aware;
                 cfg.gbu.clock_ghz = clock_ghz;
-                let r = ServeEngine::new(cfg, &all[..n]).run();
+                let r = run_sessions(cfg, &all[..n]);
                 rows.push(vec![
                     n.to_string(),
                     devices.to_string(),
-                    r.policy.clone(),
+                    variant.to_string(),
                     fmt_f(r.throughput_fps, 0),
                     fmt_f(r.p50_latency_ms, 2),
                     fmt_f(r.p95_latency_ms, 2),
                     fmt_f(r.p99_latency_ms, 2),
+                    format!("{}/{}", r.rejected, r.dropped),
                     fmt_pct(r.deadline_miss_rate),
                     fmt_pct(r.device_utilization),
                 ]);
                 // Wrap the report with its sweep coordinate instead of
                 // splicing into its serialised form.
-                runs.push(format!("{{\"session_count\":{n},\"report\":{}}}", r.to_json()));
+                runs.push(format!(
+                    "{{\"session_count\":{n},\"variant\":\"{variant}\",\"report\":{}}}",
+                    r.to_json()
+                ));
             }
         }
     }
     println!(
         "{}",
         table(
-            &["sessions", "GBUs", "policy", "fps", "p50 ms", "p95 ms", "p99 ms", "miss", "util"],
+            &[
+                "sessions", "GBUs", "variant", "fps", "p50 ms", "p95 ms", "p99 ms", "rej/drop",
+                "miss", "util"
+            ],
             &rows
         )
     );

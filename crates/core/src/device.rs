@@ -168,6 +168,18 @@ impl Gbu {
         self.in_flight.as_ref().map(|f| f.result.run.dram_bytes)
     }
 
+    /// Aborts the in-flight frame, if any, discarding its result and
+    /// freeing the frame context immediately — the preemption hook a
+    /// serving host uses to cancel work whose deadline already passed or
+    /// whose client detached. Returns whether a frame was cancelled.
+    ///
+    /// Safe to call on an idle device (a no-op returning `false`), and
+    /// safe to call on a frame that has finished but was not yet
+    /// collected (the result is discarded). The clock is not moved.
+    pub fn cancel_in_flight(&mut self) -> bool {
+        self.in_flight.take().is_some()
+    }
+
     /// `GBU_check_status(blocking = false)`: polls the execution status.
     pub fn check_status(&mut self) -> GbuStatus {
         match &self.in_flight {
@@ -274,6 +286,25 @@ mod tests {
         assert_eq!(gbu.in_flight_remaining(), Some(0));
         assert!(gbu.try_collect().is_some());
         assert_eq!(gbu.in_flight_remaining(), None);
+    }
+
+    #[test]
+    fn cancel_in_flight_is_noop_safe() {
+        let (splats, bins, cam) = inputs();
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        // Idle device: cancelling is a no-op.
+        assert!(!gbu.cancel_in_flight());
+        assert_eq!(gbu.check_status(), GbuStatus::Idle);
+        // In-flight frame: cancelled, context freed, clock untouched.
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        let clock = gbu.cycle();
+        assert!(gbu.cancel_in_flight());
+        assert_eq!(gbu.cycle(), clock);
+        assert_eq!(gbu.check_status(), GbuStatus::Idle);
+        assert!(gbu.try_collect().is_none(), "cancelled result is discarded");
+        // The freed context accepts a new frame immediately.
+        gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
+        assert!(gbu.wait().is_some());
     }
 
     #[test]

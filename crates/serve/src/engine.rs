@@ -1,31 +1,45 @@
-//! The serving engine: arrival generation, admission, dispatch and the
-//! event-driven main loop.
+//! The reactive serving engine: runtime session attach/detach,
+//! non-blocking frame submission, the open `step_until` loop and the
+//! batch [`run_workload`] wrapper built on top of it.
 //!
-//! Every session generates one frame request per QoS period (plus its
-//! phase offset). Arrivals pass admission control into the shared ready
-//! queue; whenever a device in the [`DevicePool`] is idle the configured
-//! [`Scheduler`] picks the next frame; the pool advances event-to-event
-//! (next arrival or next completion, whichever is sooner) on one
-//! simulated clock. The run ends when every generated frame has either
-//! completed or been rejected — frame conservation by construction, and
-//! asserted in the property tests.
+//! The engine owns its sessions (keyed by [`SessionId`], not borrowed for
+//! the engine's lifetime), so clients can join and leave mid-run. Frame
+//! arrivals come from two sources on equal footing: each attached
+//! session's QoS timer generates one request per period (plus its phase
+//! offset), and the host can push extra requests at any time through
+//! [`ServeHandle::submit_frame`]. Arrivals pass [`AdmissionControl`] into
+//! the shared ready queue; whenever a device in the [`DevicePool`] is
+//! idle the configured [`crate::Scheduler`] picks the next frame; the
+//! pool advances event-to-event (next arrival or next completion,
+//! whichever is sooner) on one simulated clock.
+//!
+//! [`ServeEngine::step_until`] only ever advances the pool to event
+//! timestamps, never to the step boundary itself, so driving the engine
+//! in arbitrary cycle slices replays the *identical* event sequence as
+//! one-shot draining — the API-equivalence property test pins this.
 
-use crate::metrics::{ServeMetrics, ServeReport};
+use crate::event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
+use crate::metrics::{RunInfo, ServeMetrics, ServeReport};
 use crate::pool::DevicePool;
-use crate::scheduler::{AdmissionControl, FrameTicket, Policy};
-use crate::session::Session;
+use crate::scheduler::{AdmissionControl, FrameTicket, Policy, Scheduler};
+use crate::session::{Session, SessionSpec};
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
 
-/// Configuration of one serving run.
+/// Configuration of one serving engine.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Number of GBU devices in the pool.
     pub devices: usize,
     /// Scheduling policy.
     pub policy: Policy,
-    /// Ready-queue bound.
+    /// Admission gate (queue bound + optional deadline-aware rejection).
     pub admission: AdmissionControl,
+    /// When set, a deadline-drop pass runs before every dispatch round
+    /// and cancels queued frames that can no longer meet their deadline
+    /// (`now + min_service_estimate > deadline`) — late-frame drop at the
+    /// queue instead of burning a device on a guaranteed miss.
+    pub drop_unmeetable: bool,
     /// GBU hardware configuration (its `clock_ghz` fixes the cycle↔time
     /// mapping; see [`calibrated_clock_ghz`]).
     pub gbu: GbuConfig,
@@ -42,6 +56,7 @@ impl Default for ServeConfig {
             devices: 1,
             policy: Policy::Edf,
             admission: AdmissionControl::default(),
+            drop_unmeetable: false,
             gbu: GbuConfig::paper(),
             gpu: GpuConfig::orin_nx(),
             dram_share: 0.5,
@@ -63,110 +78,313 @@ pub fn calibrated_clock_ghz(sessions: &[Session], devices: usize, target_utiliza
     offered / (devices as f64 * target_utilization) / 1e9
 }
 
-/// One serving run over a prepared workload.
+/// One attached session plus its engine-side serving state.
 #[derive(Debug)]
-pub struct ServeEngine<'a> {
-    cfg: ServeConfig,
-    sessions: &'a [Session],
-    pool: DevicePool,
-    queue: Vec<FrameTicket>,
-    metrics: ServeMetrics,
-    /// Per session: (arrival cycle, frame index) of the next request.
-    next_arrival: Vec<Option<(u64, u32)>>,
+struct Slot {
+    session: Session,
+    /// Frame period in cycles at the engine's clock.
+    period: u64,
+    /// Optimistic service-time lower bound (cheapest viewpoint).
+    min_service: u64,
+    /// QoS timer: (arrival cycle, frame index) of the next generated
+    /// request; `None` for push-only sessions (`spec.frames == 0`) or
+    /// once `spec.frames` requests have been generated.
+    next_arrival: Option<(u64, u32)>,
 }
 
-impl<'a> ServeEngine<'a> {
-    /// Creates an engine over `sessions`.
-    pub fn new(cfg: ServeConfig, sessions: &'a [Session]) -> Self {
+/// The reactive serving engine.
+///
+/// Construct with [`ServeEngine::new`], populate with
+/// [`ServeEngine::attach_session`] (any time, including mid-run), then
+/// drive with [`ServeEngine::step_until`] from a host loop. The batch
+/// entry points [`run_workload`] / [`run_sessions`] are thin wrappers
+/// over the same machinery.
+///
+/// Retention: the engine keeps per-frame status and metrics history for
+/// its whole lifetime so [`ServeEngine::report`] can cover everything it
+/// ever served — memory grows linearly with frames served. Long-lived
+/// deployments should run one engine per epoch and roll reports up;
+/// windowed retention is a ROADMAP item.
+#[derive(Debug)]
+pub struct ServeEngine {
+    cfg: ServeConfig,
+    pool: DevicePool,
+    scheduler: Box<dyn Scheduler>,
+    /// Attached sessions; `None` marks a detached (retired) id.
+    slots: Vec<Option<Slot>>,
+    /// `(name, qos_hz)` of every session ever attached, by id.
+    roster: Vec<(String, f64)>,
+    /// Ready queue of admitted frames.
+    queue: Vec<FrameTicket>,
+    /// Lifecycle state of every frame ever assigned an id.
+    statuses: Vec<FrameStatus>,
+    /// Events generated outside `step_until` (submission, detach),
+    /// delivered by the next `step_until` call.
+    pending: Vec<ServeEvent>,
+    /// Highest cycle the host has stepped to; pushed submissions are
+    /// stamped with this time (the pool clock lags at the last event).
+    horizon: u64,
+    metrics: ServeMetrics,
+}
+
+impl ServeEngine {
+    /// Creates an empty engine; attach sessions to give it work.
+    pub fn new(cfg: ServeConfig) -> Self {
         let pool = DevicePool::new(cfg.devices, &cfg.gbu, &cfg.gpu, cfg.dram_share);
-        let next_arrival = sessions
-            .iter()
-            .map(|s| {
-                let period = s.spec.qos.period_cycles(cfg.gbu.clock_ghz);
-                let phase = (s.spec.phase.rem_euclid(1.0) * period as f64) as u64;
-                (s.spec.frames > 0).then_some((phase, 0))
-            })
-            .collect();
+        let scheduler = cfg.policy.build();
         Self {
             cfg,
-            sessions,
             pool,
+            scheduler,
+            slots: Vec::new(),
+            roster: Vec::new(),
             queue: Vec::new(),
+            statuses: Vec::new(),
+            pending: Vec::new(),
+            horizon: 0,
             metrics: ServeMetrics::default(),
-            next_arrival,
         }
     }
 
-    fn period(&self, session: usize) -> u64 {
-        self.sessions[session].spec.qos.period_cycles(self.cfg.gbu.clock_ghz)
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
     }
 
-    /// Admits every arrival due at or before `now`, applying backpressure.
-    fn admit_due(&mut self, now: u64) {
-        for s in 0..self.sessions.len() {
-            while let Some((at, frame)) = self.next_arrival[s] {
-                if at > now {
-                    break;
-                }
-                let period = self.period(s);
-                let ticket =
-                    FrameTicket { session: s as u32, frame, arrival: at, deadline: at + period };
-                if self.cfg.admission.admits(self.queue.len()) {
-                    self.queue.push(ticket);
-                } else {
-                    self.metrics.reject(ticket);
-                }
-                let next_frame = frame + 1;
-                self.next_arrival[s] = (next_frame < self.sessions[s].spec.frames)
-                    .then_some((at + period, next_frame));
+    /// Current simulated time: the later of the last event the pool
+    /// advanced to and the highest `step_until` horizon.
+    pub fn now(&self) -> u64 {
+        self.horizon.max(self.pool.clock())
+    }
+
+    /// Number of currently attached sessions.
+    pub fn attached_sessions(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Display name of a session, attached or detached (`None` for an id
+    /// this engine never issued).
+    pub fn session_name(&self, id: SessionId) -> Option<&str> {
+        self.roster.get(id.index()).map(|(name, _)| name.as_str())
+    }
+
+    /// The client-facing handle (submission, polling, attach/detach).
+    pub fn handle(&mut self) -> ServeHandle<'_> {
+        ServeHandle { engine: self }
+    }
+
+    /// Attaches a prepared session and returns its id. The session's QoS
+    /// timer starts at the current time plus the spec's phase offset and
+    /// generates `spec.frames` requests (`0` makes the session push-only:
+    /// frames arrive solely through [`ServeHandle::submit_frame`]).
+    pub fn attach_session(&mut self, session: Session) -> SessionId {
+        let id = SessionId(self.slots.len() as u32);
+        let period = session.spec.qos.period_cycles(self.cfg.gbu.clock_ghz);
+        let phase = (session.spec.phase.rem_euclid(1.0) * period as f64) as u64;
+        let base = self.now();
+        let next_arrival = (session.spec.frames > 0).then_some((base.saturating_add(phase), 0));
+        self.roster.push((session.spec.name.clone(), session.spec.qos.hz));
+        let min_service = session.min_frame_cycles();
+        self.slots.push(Some(Slot { session, period, min_service, next_arrival }));
+        id
+    }
+
+    /// Convenience: prepares `spec` against this engine's GBU
+    /// configuration and attaches it.
+    pub fn attach_spec(&mut self, spec: SessionSpec) -> SessionId {
+        let session = Session::prepare(spec, &self.cfg.gbu);
+        self.attach_session(session)
+    }
+
+    /// Detaches a session: stops its QoS timer, drops its queued frames
+    /// and cancels its in-flight frames through the device pool's
+    /// cancellation hook (all reported as
+    /// [`DropReason::SessionDetached`]). Returns `false` when the id was
+    /// never attached or already detached.
+    pub fn detach_session(&mut self, id: SessionId) -> bool {
+        let Some(slot) = self.slots.get_mut(id.index()) else { return false };
+        if slot.take().is_none() {
+            return false;
+        }
+        let now = self.now();
+        // The pool clock lags at the last event; bring it forward to the
+        // detach time so the cancellation frees devices *now*, not
+        // retroactively at that event. This is exact: `step_until` has
+        // already processed every event at or before the horizon, so the
+        // advance crosses none (any stragglers are completed properly).
+        self.advance_pool_to(now);
+        // Cancel queued-not-started frames ...
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].session == id {
+                let ticket = self.queue.remove(i);
+                self.drop_ticket(ticket, DropReason::SessionDetached, now);
+            } else {
+                i += 1;
             }
         }
+        // ... and preempt in-flight ones.
+        for device in 0..self.pool.len() {
+            if self.pool.active_ticket(device).is_some_and(|t| t.session == id) {
+                let ticket = self.pool.cancel(device).expect("active ticket was just observed");
+                self.drop_ticket(ticket, DropReason::SessionDetached, now);
+            }
+        }
+        true
     }
 
-    /// Runs to completion and returns the aggregate report.
-    pub fn run(mut self) -> ServeReport {
-        let mut scheduler = self.cfg.policy.build();
+    /// Non-blocking submission: requests one frame of `session` rendering
+    /// viewpoint `view` (round-robin index into the session's camera
+    /// stream), arriving now with one QoS period of deadline. Always
+    /// returns a [`FrameId`] future; admission is decided immediately
+    /// (visible through [`ServeEngine::poll`]) while rendering happens on
+    /// subsequent [`ServeEngine::step_until`] calls.
+    pub fn submit_frame(&mut self, session: SessionId, view: u32) -> FrameId {
+        let at = self.now();
+        let Some(Some(slot)) = self.slots.get(session.index()) else {
+            let id = self.alloc_frame();
+            let ticket = FrameTicket { id, session, frame: view, arrival: at, deadline: at };
+            // A detached session still has a roster row, so its late
+            // submissions are recorded against it; an id this engine
+            // never issued is a caller error, reported to the caller
+            // (status + event) but kept out of the serving metrics.
+            if session.index() < self.roster.len() {
+                self.metrics.reject(ticket, RejectReason::UnknownSession);
+            }
+            self.emit(ServeEvent::Rejected {
+                frame: id,
+                session,
+                reason: RejectReason::UnknownSession,
+                at,
+            });
+            return id;
+        };
+        let deadline = at.saturating_add(slot.period);
+        let id = self.alloc_frame();
+        let ticket = FrameTicket { id, session, frame: view, arrival: at, deadline };
+        self.admit(ticket, at);
+        id
+    }
+
+    /// Polls a frame future.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `frame` was not issued by this engine.
+    pub fn poll(&self, frame: FrameId) -> FrameStatus {
+        self.statuses[frame.0 as usize]
+    }
+
+    /// `true` when nothing remains to simulate: no pending events, no
+    /// queued or in-flight frames, and no session timer with requests
+    /// left to generate.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+            && self.queue.is_empty()
+            && self.pool.busy_count() == 0
+            && self.slots.iter().flatten().all(|s| s.next_arrival.is_none())
+    }
+
+    /// Advances the simulation until the next event lies beyond `cycle`,
+    /// returning every [`ServeEvent`] that fired (plus any buffered by
+    /// submissions/detaches since the last step). The pool clock only
+    /// ever advances to event timestamps — never to `cycle` itself — so
+    /// step granularity cannot change the simulation's outcome.
+    ///
+    /// `cycle` also moves the submission horizon ([`ServeEngine::now`])
+    /// forward permanently — later submissions are stamped there. To run
+    /// out of work without declaring the end of time, use
+    /// [`ServeEngine::drain`].
+    pub fn step_until(&mut self, cycle: u64) -> Vec<ServeEvent> {
+        self.horizon = self.horizon.max(cycle);
+        self.step_events(cycle)
+    }
+
+    /// Runs the simulation to quiescence: processes every remaining event
+    /// at its own timestamp and returns the events. Unlike
+    /// `step_until(u64::MAX)` this does **not** move the submission
+    /// horizon to the end of time, so sessions can still attach and
+    /// submit afterwards at sensible timestamps.
+    pub fn drain(&mut self) -> Vec<ServeEvent> {
+        self.step_events(u64::MAX)
+    }
+
+    /// The shared event loop of [`ServeEngine::step_until`] and
+    /// [`ServeEngine::drain`].
+    fn step_events(&mut self, cycle: u64) -> Vec<ServeEvent> {
+        let mut events = std::mem::take(&mut self.pending);
         loop {
             let now = self.pool.clock();
             self.admit_due(now);
-
-            // Dispatch onto every idle device the scheduler has work for.
-            while let Some(device) = self.pool.idle_device() {
-                if self.queue.is_empty() {
-                    break;
-                }
-                let Some(i) = scheduler.pick(&self.queue, now) else { break };
-                let ticket = self.queue.remove(i);
-                self.metrics.start(ticket, now);
-                let session = &self.sessions[ticket.session as usize];
-                self.pool.submit(device, session.view(ticket.frame), ticket);
+            if self.cfg.drop_unmeetable {
+                self.drop_pass(now);
             }
+            self.dispatch(now);
+            events.append(&mut self.pending);
 
-            // Advance to the next event: completion or arrival.
-            let next_arrival = self.next_arrival.iter().flatten().map(|&(at, _)| at).min();
-            let completion_dt = self.pool.next_completion_dt();
-            let dt = match (completion_dt, next_arrival) {
-                (None, None) => break,
-                (Some(c), None) => c,
-                (None, Some(a)) => (a - now).max(1),
-                (Some(c), Some(a)) => c.min((a - now).max(1)),
-            };
-            for done in self.pool.advance(dt) {
-                self.metrics.complete(done.ticket, done.completed_at);
+            // Advance to the next event: completion, timer arrival, or a
+            // pushed frame whose stamped arrival is still in the future.
+            let next_timer =
+                self.slots.iter().flatten().filter_map(|s| s.next_arrival.map(|(at, _)| at)).min();
+            let next_push = self.queue.iter().map(|t| t.arrival).filter(|&a| a > now).min();
+            let next_completion = self.pool.next_completion_dt().map(|dt| now.saturating_add(dt));
+            let t = [next_timer, next_push, next_completion].into_iter().flatten().min();
+            match t {
+                None => break,
+                Some(t) if t > cycle => break,
+                // Degenerate end-of-time state (the clock saturated at
+                // `u64::MAX`): time cannot advance, so stop rather than
+                // livelock; whatever is in flight stays unfinished.
+                Some(t) if t <= now => break,
+                Some(t) => self.advance_pool_to(t),
             }
+            events.append(&mut self.pending);
         }
-        // The built-in policies drain the queue before the loop can end,
-        // but a gating policy (pick → None with idle devices) may leave
-        // frames behind; count them as rejected so conservation holds for
-        // every scheduler.
+        events
+    }
+
+    /// Advances the pool clock to `t` (a no-op when already there),
+    /// recording and emitting any completions that pop on the way.
+    fn advance_pool_to(&mut self, t: u64) {
+        let now = self.pool.clock();
+        if t <= now {
+            return;
+        }
+        for done in self.pool.advance(t - now) {
+            let latency = done.completed_at - done.ticket.arrival;
+            let missed = done.completed_at > done.ticket.deadline;
+            self.metrics.complete(done.ticket, done.completed_at);
+            self.emit(ServeEvent::Completed {
+                frame: done.ticket.id,
+                session: done.ticket.session,
+                at: done.completed_at,
+                latency_cycles: latency,
+                missed,
+            });
+        }
+    }
+
+    /// Seals the run: cancels every frame still sitting in the ready
+    /// queue as [`DropReason::Gated`] (only a gating scheduler leaves
+    /// any) so conservation holds for the final [`ServeEngine::report`].
+    /// Returns the drop events. Call after draining; the batch wrappers
+    /// do.
+    pub fn finish(&mut self) -> Vec<ServeEvent> {
+        let now = self.now();
         for ticket in std::mem::take(&mut self.queue) {
-            self.metrics.reject(ticket);
+            self.drop_ticket(ticket, DropReason::Gated, now);
         }
+        std::mem::take(&mut self.pending)
+    }
 
-        let names: Vec<String> = self.sessions.iter().map(|s| s.spec.name.clone()).collect();
-        let hz: Vec<f64> = self.sessions.iter().map(|s| s.spec.qos.hz).collect();
+    /// The aggregate report over everything served so far, with one
+    /// per-session entry for every session ever attached (in id order,
+    /// detached ones included).
+    pub fn report(&self) -> ServeReport {
+        let names: Vec<String> = self.roster.iter().map(|(n, _)| n.clone()).collect();
+        let hz: Vec<f64> = self.roster.iter().map(|(_, hz)| *hz).collect();
         self.metrics.report(
-            &crate::metrics::RunInfo {
+            &RunInfo {
                 policy: self.cfg.policy.label(),
                 devices: self.cfg.devices,
                 wall_cycles: self.pool.clock(),
@@ -177,9 +395,203 @@ impl<'a> ServeEngine<'a> {
             &hz,
         )
     }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Assigns the next dense frame id (status starts as `Queued` and is
+    /// immediately refined by the admission decision).
+    fn alloc_frame(&mut self) -> FrameId {
+        let id = FrameId(self.statuses.len() as u64);
+        self.statuses.push(FrameStatus::Queued);
+        id
+    }
+
+    /// Applies an event's status transition and buffers it for delivery.
+    fn emit(&mut self, event: ServeEvent) {
+        let status = match event {
+            ServeEvent::Admitted { .. } => FrameStatus::Queued,
+            ServeEvent::Rejected { reason, .. } => FrameStatus::Rejected(reason),
+            ServeEvent::Started { .. } => FrameStatus::Rendering,
+            ServeEvent::Completed { latency_cycles, missed, .. } => {
+                FrameStatus::Completed { latency_cycles, missed }
+            }
+            ServeEvent::Dropped { reason, .. } => FrameStatus::Dropped(reason),
+        };
+        self.statuses[event.frame().0 as usize] = status;
+        self.pending.push(event);
+    }
+
+    fn reject_ticket(&mut self, ticket: FrameTicket, reason: RejectReason, at: u64) {
+        self.metrics.reject(ticket, reason);
+        self.emit(ServeEvent::Rejected { frame: ticket.id, session: ticket.session, reason, at });
+    }
+
+    fn drop_ticket(&mut self, ticket: FrameTicket, reason: DropReason, at: u64) {
+        self.metrics.drop_frame(ticket, reason);
+        self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
+    }
+
+    /// Runs the admission decision for `ticket` at time `at`, queueing it
+    /// or rejecting it.
+    fn admit(&mut self, ticket: FrameTicket, at: u64) {
+        let min_service =
+            self.slots[ticket.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+        match self.cfg.admission.decide(
+            self.queue.len(),
+            ticket.arrival,
+            ticket.deadline,
+            min_service,
+        ) {
+            Ok(()) => {
+                self.queue.push(ticket);
+                self.emit(ServeEvent::Admitted { frame: ticket.id, session: ticket.session, at });
+            }
+            Err(reason) => self.reject_ticket(ticket, reason, at),
+        }
+    }
+
+    /// Admits every timer-generated arrival due at or before `now`.
+    fn admit_due(&mut self, now: u64) {
+        for s in 0..self.slots.len() {
+            while let Some((slot, (at, frame))) =
+                self.slots[s].as_ref().and_then(|slot| Some((slot, slot.next_arrival?)))
+            {
+                if at > now {
+                    break;
+                }
+                let (period, frames) = (slot.period, slot.session.spec.frames);
+                let id = self.alloc_frame();
+                let ticket = FrameTicket {
+                    id,
+                    session: SessionId(s as u32),
+                    frame,
+                    arrival: at,
+                    deadline: at.saturating_add(period),
+                };
+                self.admit(ticket, at);
+                let next_frame = frame + 1;
+                self.slots[s].as_mut().expect("slot checked above").next_arrival =
+                    (next_frame < frames).then_some((at.saturating_add(period), next_frame));
+            }
+        }
+    }
+
+    /// The deadline-drop pass: cancels queued frames that can no longer
+    /// meet their deadline even on an uncontended device.
+    fn drop_pass(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let t = self.queue[i];
+            let min_service =
+                self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+            if now.saturating_add(min_service) > t.deadline {
+                self.queue.remove(i);
+                self.drop_ticket(t, DropReason::Deadline, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Dispatches queued, already-arrived frames onto idle devices.
+    fn dispatch(&mut self, now: u64) {
+        while let Some(device) = self.pool.idle_device() {
+            if self.queue.is_empty() {
+                break;
+            }
+            let qi = if self.queue.iter().all(|t| t.arrival <= now) {
+                // Common case: every queued frame has arrived — pick in
+                // place, no copy.
+                let Some(i) = self.scheduler.pick(&self.queue, now) else { break };
+                i
+            } else {
+                // Pushed frames stamped beyond the pool clock wait for
+                // their arrival event; pick among the arrived subset.
+                let eligible: Vec<FrameTicket> =
+                    self.queue.iter().copied().filter(|t| t.arrival <= now).collect();
+                if eligible.is_empty() {
+                    break;
+                }
+                let Some(e) = self.scheduler.pick(&eligible, now) else { break };
+                let picked = eligible[e].id;
+                self.queue
+                    .iter()
+                    .position(|t| t.id == picked)
+                    .expect("picked ticket comes from the queue")
+            };
+            let ticket = self.queue.remove(qi);
+            self.metrics.start(ticket, now);
+            self.emit(ServeEvent::Started {
+                frame: ticket.id,
+                session: ticket.session,
+                device,
+                at: now,
+            });
+            let slot = self.slots[ticket.session.index()]
+                .as_ref()
+                .expect("queued frames of detached sessions are dropped at detach");
+            self.pool.submit(device, slot.session.view(ticket.frame), ticket);
+        }
+    }
 }
 
-/// Convenience: prepare, calibrate and run one workload under `policy`.
+/// A client-shaped view of a [`ServeEngine`]: the subset an AR/VR client
+/// connection (or the RPC layer fronting one) needs — attach, submit,
+/// poll, detach. Borrow it from [`ServeEngine::handle`].
+///
+/// This is an ergonomic narrowing, not a privilege boundary: the same
+/// methods stay available on the engine itself for hosts that drive both
+/// sides.
+#[derive(Debug)]
+pub struct ServeHandle<'e> {
+    engine: &'e mut ServeEngine,
+}
+
+impl ServeHandle<'_> {
+    /// See [`ServeEngine::attach_session`].
+    pub fn attach_session(&mut self, session: Session) -> SessionId {
+        self.engine.attach_session(session)
+    }
+
+    /// See [`ServeEngine::attach_spec`].
+    pub fn attach_spec(&mut self, spec: SessionSpec) -> SessionId {
+        self.engine.attach_spec(spec)
+    }
+
+    /// See [`ServeEngine::detach_session`].
+    pub fn detach_session(&mut self, id: SessionId) -> bool {
+        self.engine.detach_session(id)
+    }
+
+    /// See [`ServeEngine::submit_frame`].
+    pub fn submit_frame(&mut self, session: SessionId, view: u32) -> FrameId {
+        self.engine.submit_frame(session, view)
+    }
+
+    /// See [`ServeEngine::poll`].
+    pub fn poll(&self, frame: FrameId) -> FrameStatus {
+        self.engine.poll(frame)
+    }
+}
+
+/// Batch entry point at a fixed clock: attaches clones of `sessions`,
+/// drains the engine, seals it and returns the report — the exact
+/// behaviour of the old run-to-completion API, now a thin wrapper over
+/// [`ServeEngine::step_until`].
+pub fn run_sessions(cfg: ServeConfig, sessions: &[Session]) -> ServeReport {
+    let mut engine = ServeEngine::new(cfg);
+    for session in sessions {
+        engine.attach_session(session.clone());
+    }
+    engine.drain();
+    engine.finish();
+    debug_assert!(engine.is_drained());
+    engine.report()
+}
+
+/// Convenience: prepare, calibrate and run one workload under `cfg`.
 ///
 /// The GBU clock is chosen with [`calibrated_clock_ghz`] so the offered
 /// load is `target_utilization` of the pool's capacity; everything else
@@ -190,7 +602,7 @@ pub fn run_workload(
     target_utilization: f64,
 ) -> ServeReport {
     cfg.gbu.clock_ghz = calibrated_clock_ghz(sessions, cfg.devices, target_utilization);
-    ServeEngine::new(cfg, sessions).run()
+    run_sessions(cfg, sessions)
 }
 
 #[cfg(test)]
@@ -199,24 +611,18 @@ mod tests {
     use crate::session::{SessionContent, SessionSpec};
     use crate::QosTarget;
 
+    fn tiny_spec(i: usize, frames: u32) -> SessionSpec {
+        SessionSpec {
+            name: format!("s{i}"),
+            content: SessionContent::Synthetic { seed: i as u64, gaussians: 40 + 30 * (i % 3) },
+            qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
+            frames,
+            phase: 0.0,
+        }
+    }
+
     fn tiny_workload(n: usize, frames: u32) -> Vec<Session> {
-        (0..n)
-            .map(|i| {
-                Session::prepare(
-                    SessionSpec {
-                        name: format!("s{i}"),
-                        content: SessionContent::Synthetic {
-                            seed: i as u64,
-                            gaussians: 40 + 30 * (i % 3),
-                        },
-                        qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
-                        frames,
-                        phase: 0.0,
-                    },
-                    &GbuConfig::paper(),
-                )
-            })
-            .collect()
+        (0..n).map(|i| Session::prepare(tiny_spec(i, frames), &GbuConfig::paper())).collect()
     }
 
     #[test]
@@ -226,6 +632,7 @@ mod tests {
         assert_eq!(report.generated, 12);
         assert_eq!(report.completed, 12);
         assert_eq!(report.rejected, 0);
+        assert_eq!(report.dropped, 0);
         assert_eq!(report.missed, 0, "30% load must not miss deadlines");
         assert!(report.device_utilization < 0.6);
     }
@@ -234,13 +641,14 @@ mod tests {
     fn overload_produces_misses_and_backpressure() {
         let sessions = tiny_workload(4, 6);
         let cfg = ServeConfig {
-            admission: AdmissionControl { max_queue_depth: 2 },
+            admission: AdmissionControl { max_queue_depth: 2, ..AdmissionControl::default() },
             ..ServeConfig::default()
         };
         let report = run_workload(cfg, &sessions, 3.0);
         assert_eq!(report.generated, 24);
         assert_eq!(report.completed + report.rejected, 24, "frame conservation");
         assert!(report.rejected > 0, "3x overload with depth-2 queue must reject");
+        assert_eq!(report.reject_reasons.queue_full, report.rejected);
         assert!(report.deadline_miss_rate > 0.0);
     }
 
@@ -253,7 +661,7 @@ mod tests {
         let run = |devices: usize| {
             let mut cfg = ServeConfig { devices, ..ServeConfig::default() };
             cfg.gbu.clock_ghz = clock;
-            ServeEngine::new(cfg, &sessions).run()
+            run_sessions(cfg, &sessions)
         };
         let one = run(1);
         let three = run(3);
@@ -273,7 +681,169 @@ mod tests {
         assert_eq!(report.sessions.len(), 3);
         for (s, session) in report.sessions.iter().zip(&sessions) {
             assert_eq!(s.name, session.spec.name);
+            assert_eq!(s.generated, session.spec.frames as usize);
             assert_eq!(s.completed + s.rejected, session.spec.frames as usize);
         }
+    }
+
+    #[test]
+    fn submit_and_poll_drive_a_push_only_session() {
+        let mut cfg = ServeConfig::default();
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&tiny_workload(1, 1), 1, 0.5);
+        let mut engine = ServeEngine::new(cfg);
+        // frames: 0 -> no QoS timer; the host pushes every request.
+        let sid = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+        assert_eq!(engine.attached_sessions(), 1);
+        assert!(engine.is_drained(), "push-only session generates nothing on its own");
+
+        let f0 = engine.handle().submit_frame(sid, 0);
+        let f1 = engine.handle().submit_frame(sid, 1);
+        assert_eq!(engine.poll(f0), FrameStatus::Queued);
+        assert_eq!(engine.poll(f1), FrameStatus::Queued);
+        assert!(!engine.is_drained());
+
+        let mut t = 0u64;
+        let mut events = Vec::new();
+        while !engine.is_drained() {
+            t += 1 << 20;
+            events.extend(engine.step_until(t));
+        }
+        assert!(matches!(engine.poll(f0), FrameStatus::Completed { .. }));
+        assert!(matches!(engine.poll(f1), FrameStatus::Completed { .. }));
+        // Event stream: 2 admitted, 2 started, 2 completed.
+        assert_eq!(events.len(), 6);
+        assert_eq!(events.iter().filter(|e| matches!(e, ServeEvent::Completed { .. })).count(), 2);
+        let report = engine.report();
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.generated, 2);
+    }
+
+    #[test]
+    fn submitting_to_an_unknown_session_rejects_the_future() {
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        let ghost = SessionId::from_index(42);
+        let f = engine.handle().submit_frame(ghost, 0);
+        assert_eq!(engine.poll(f), FrameStatus::Rejected(RejectReason::UnknownSession));
+        let events = engine.step_until(0);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            ServeEvent::Rejected { reason: RejectReason::UnknownSession, .. }
+        ));
+        // A never-issued id is a caller error, not offered load: the
+        // caller sees the rejection, the serving metrics do not.
+        let report = engine.report();
+        assert_eq!(report.generated, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.reject_reasons.unknown_session, 0);
+    }
+
+    #[test]
+    fn submitting_to_a_detached_session_is_recorded_against_it() {
+        let sessions = tiny_workload(1, 1);
+        let mut cfg = ServeConfig::default();
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 0.5);
+        let mut engine = ServeEngine::new(cfg);
+        let sid = engine.attach_session(sessions[0].clone());
+        engine.drain();
+        engine.detach_session(sid);
+        let f = engine.handle().submit_frame(sid, 0);
+        assert_eq!(engine.poll(f), FrameStatus::Rejected(RejectReason::UnknownSession));
+        // The detached session keeps a roster row, so the late submit is
+        // accounted there and per-session sums still cover the totals.
+        let report = engine.report();
+        assert_eq!(report.reject_reasons.unknown_session, 1);
+        assert_eq!(report.sessions[0].rejected, 1);
+        let session_total: usize = report.sessions.iter().map(|s| s.generated).sum();
+        assert_eq!(session_total, report.generated);
+    }
+
+    #[test]
+    fn engine_outlives_a_drained_workload() {
+        let sessions = tiny_workload(2, 2);
+        let mut cfg = ServeConfig::default();
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 0.5);
+        let mut engine = ServeEngine::new(cfg);
+        engine.attach_session(sessions[0].clone());
+        engine.drain();
+        assert!(engine.is_drained());
+        let mid = engine.now();
+        // A drained engine is not finished: a new client can attach and
+        // be served — `drain` must not have declared the end of time.
+        let sid = engine.attach_session(sessions[1].clone());
+        let f = engine.handle().submit_frame(sid, 0);
+        engine.drain();
+        assert!(engine.is_drained());
+        assert!(matches!(engine.poll(f), FrameStatus::Completed { .. }));
+        assert!(engine.now() > mid, "time kept moving");
+        let report = engine.report();
+        assert_eq!(report.generated, 2 + 2 + 1);
+        assert_eq!(report.completed, report.generated);
+    }
+
+    #[test]
+    fn detach_cancels_queued_and_in_flight_work() {
+        let sessions = tiny_workload(3, 6);
+        let mut cfg = ServeConfig { devices: 1, ..ServeConfig::default() };
+        // Heavy overload: frames pile up in the queue behind one device.
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 4.0);
+        let mut engine = ServeEngine::new(cfg);
+        let ids: Vec<SessionId> =
+            sessions.iter().map(|s| engine.attach_session(s.clone())).collect();
+
+        // Step a little, then detach session 0 mid-run.
+        let period = sessions[0].spec.qos.period_cycles(engine.config().gbu.clock_ghz);
+        engine.step_until(2 * period);
+        assert!(engine.detach_session(ids[0]));
+        assert!(!engine.detach_session(ids[0]), "second detach is a no-op");
+        assert_eq!(engine.attached_sessions(), 2);
+
+        engine.drain();
+        let _ = engine.finish();
+        let report = engine.report();
+        // Detached session: everything it generated is accounted for, and
+        // nothing new was generated after detach.
+        let s0 = &report.sessions[0];
+        assert!(s0.generated < 6, "timer must stop at detach");
+        assert_eq!(s0.generated, s0.completed + s0.rejected + s0.dropped);
+        assert!(s0.dropped > 0, "overloaded queue must have held frames to drop");
+        assert_eq!(report.drop_reasons.session_detached, report.dropped);
+        // Survivors ran to completion.
+        for s in &report.sessions[1..] {
+            assert_eq!(s.generated, 6);
+            assert_eq!(s.generated, s.completed + s.rejected + s.dropped);
+        }
+        assert_eq!(report.generated, report.completed + report.rejected + report.dropped);
+    }
+
+    #[test]
+    fn deadline_drop_pass_sheds_unmeetable_queue_entries() {
+        let sessions = tiny_workload(4, 6);
+        let base = ServeConfig { devices: 1, ..ServeConfig::default() };
+        let plain = run_workload(base.clone(), &sessions, 3.0);
+        let dropping = run_workload(ServeConfig { drop_unmeetable: true, ..base }, &sessions, 3.0);
+        assert!(dropping.dropped > 0, "3x overload must leave unmeetable frames in queue");
+        assert_eq!(dropping.drop_reasons.deadline, dropping.dropped);
+        assert_eq!(dropping.generated, plain.generated);
+        assert_eq!(
+            dropping.generated,
+            dropping.completed + dropping.rejected + dropping.dropped,
+            "conservation with drops"
+        );
+        // Dropping hopeless frames can only reduce completed-but-missed.
+        assert!(dropping.missed <= plain.missed);
+    }
+
+    #[test]
+    fn reject_unmeetable_refuses_hopeless_frames_at_admission() {
+        let sessions = tiny_workload(2, 4);
+        let mut cfg = ServeConfig::default();
+        cfg.admission.reject_unmeetable = true;
+        // 5x overload: every frame's optimistic service time exceeds its
+        // period, so deadline-aware admission refuses all of them.
+        let report = run_workload(cfg, &sessions, 5.0);
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.rejected, report.generated);
+        assert_eq!(report.reject_reasons.unmeetable, report.rejected);
     }
 }

@@ -1,30 +1,48 @@
-//! `gbu_serve` — a multi-session frame-serving engine over a pool of
-//! simulated GBU devices.
+//! `gbu_serve` — a reactive multi-session frame-serving engine over a
+//! pool of simulated GBU devices.
 //!
 //! The paper's asynchronous `GBU_render_image` / `GBU_check_status`
 //! programming model (Listing 1; `gbu_core::device`) exists so a host can
 //! pipeline frames across concurrent workloads. This crate builds the
-//! serving layer that exploits it:
+//! serving layer that exploits it — and exposes the same asynchronous
+//! shape to its own callers:
 //!
+//! - [`engine`]: the [`ServeEngine`] owns its sessions (attach/detach at
+//!   runtime by [`SessionId`]) and is driven open-loop: a host calls
+//!   [`ServeEngine::step_until`] in whatever time slices it likes and
+//!   gets back typed [`ServeEvent`]s (`Admitted`, `Rejected`, `Started`,
+//!   `Completed`, `Dropped`). The [`ServeHandle`] is the client-facing
+//!   surface: non-blocking [`ServeHandle::submit_frame`] returning a
+//!   [`FrameId`] future, resolved by [`ServeEngine::poll`] →
+//!   [`FrameStatus`]. The old batch behaviour survives as the thin
+//!   [`run_workload`] / [`run_sessions`] wrappers;
 //! - [`session`]: a [`Session`] is one AR/VR client — scene content
 //!   (static / dynamic / avatar, resolved through `gbu_core::apps`), a
 //!   preprocessed viewpoint stream, and a [`QosTarget`] (60/72/90 Hz
-//!   deadline classes);
+//!   deadline classes). Sessions with `frames > 0` generate requests on a
+//!   QoS timer; push-only sessions (`frames == 0`) are driven entirely by
+//!   `submit_frame`;
 //! - [`pool`]: a [`DevicePool`] owns N [`gbu_core::Gbu`] devices advanced
 //!   on **one** simulated clock with shared-DRAM bandwidth contention
-//!   (the paper's Limitation 2, generalised to a pool);
+//!   (the paper's Limitation 2, generalised to a pool), plus per-device
+//!   cancellation over the device's `cancel_in_flight` hook;
 //! - [`scheduler`]: a pluggable [`Scheduler`] trait with FCFS,
-//!   round-robin and earliest-deadline-first policies plus bounded-queue
-//!   [`AdmissionControl`] backpressure;
+//!   round-robin and earliest-deadline-first policies plus
+//!   [`AdmissionControl`] — bounded-queue backpressure and optional
+//!   deadline-aware rejection
+//!   ([`AdmissionControl::reject_unmeetable`]); the engine-side
+//!   deadline-drop pass ([`ServeConfig::drop_unmeetable`]) sheds queued
+//!   frames whose deadline became unmeetable;
+//! - [`event`]: the shared vocabulary — [`SessionId`], [`FrameId`],
+//!   [`ServeEvent`], [`FrameStatus`], [`RejectReason`], [`DropReason`];
 //! - [`metrics`]: [`ServeMetrics`] → [`ServeReport`] — throughput,
-//!   per-session FPS, p50/p95/p99 latency, deadline-miss rate and device
-//!   utilization, with JSON serialisation for the bench harness;
-//! - [`engine`]: the event-driven [`ServeEngine`] main loop and
-//!   utilization-calibrated [`run_workload`] entry point;
+//!   per-session FPS, p50/p95/p99 latency, deadline-miss rate,
+//!   drop/reject-reason breakdowns and device utilization, with JSON
+//!   serialisation for the bench harness;
 //! - [`workload`]: canonical heterogeneous session mixes shared by the
-//!   `serve_many` example, the integration tests and the bench sweep.
+//!   examples, the integration tests and the bench sweep.
 //!
-//! # Example
+//! # Batch example
 //!
 //! ```
 //! use gbu_serve::{run_workload, workload, Policy, ServeConfig};
@@ -37,19 +55,58 @@
 //! let report = run_workload(cfg, &sessions, 0.8);
 //! assert_eq!(report.completed + report.rejected, 18);
 //! ```
+//!
+//! # Reactive example: submit a frame, poll its future
+//!
+//! ```
+//! use gbu_serve::{
+//!     FrameStatus, QosTarget, ServeConfig, ServeEngine, SessionContent, SessionSpec,
+//! };
+//!
+//! let mut engine = ServeEngine::new(ServeConfig::default());
+//! // `frames: 0` makes the session push-only: no QoS timer, the host
+//! // submits every request itself.
+//! let client = engine.attach_spec(SessionSpec {
+//!     name: "hmd-0".into(),
+//!     content: SessionContent::Synthetic { seed: 7, gaussians: 30 },
+//!     qos: QosTarget::VR_72,
+//!     frames: 0,
+//!     phase: 0.0,
+//! });
+//!
+//! // Non-blocking submission returns a frame future immediately.
+//! let frame = engine.handle().submit_frame(client, 0);
+//! assert_eq!(engine.poll(frame), FrameStatus::Queued);
+//!
+//! // Drive the engine like a host loop: step, react to events.
+//! let mut now = 0;
+//! while !engine.is_drained() {
+//!     now += 1_000_000; // one 1-Mcycle slice
+//!     for event in engine.step_until(now) {
+//!         println!("{event:?}");
+//!     }
+//! }
+//! assert!(matches!(engine.poll(frame), FrameStatus::Completed { missed: false, .. }));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod engine;
+pub mod event;
 pub mod metrics;
 pub mod pool;
 pub mod scheduler;
 pub mod session;
 pub mod workload;
 
-pub use engine::{calibrated_clock_ghz, run_workload, ServeConfig, ServeEngine};
-pub use metrics::{FrameRecord, RunInfo, ServeMetrics, ServeReport, SessionReport};
+pub use engine::{
+    calibrated_clock_ghz, run_sessions, run_workload, ServeConfig, ServeEngine, ServeHandle,
+};
+pub use event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
+pub use metrics::{
+    DropBreakdown, FrameRecord, RejectBreakdown, RunInfo, ServeMetrics, ServeReport, SessionReport,
+};
 pub use pool::{DevicePool, PoolCompletion};
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};
 pub use session::{PreparedView, QosTarget, Session, SessionContent, SessionSpec};

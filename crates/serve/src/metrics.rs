@@ -1,6 +1,15 @@
 //! Serving metrics: throughput, latency percentiles, deadline misses,
-//! utilization — per run and per session.
+//! drop/reject-reason breakdowns, utilization — per run and per session.
+//!
+//! [`ServeMetrics`] is the engine-side accumulator, fed one call per
+//! lifecycle transition (mirroring the [`crate::ServeEvent`] stream);
+//! [`ServeMetrics::report`] folds it into the serialisable
+//! [`ServeReport`]. With the reactive API a frame now has three terminal
+//! states — completed, rejected at admission, or dropped after admission
+//! (deadline pass / session detach) — and conservation reads
+//! `completed + rejected + dropped == generated`.
 
+use crate::event::{DropReason, RejectReason};
 use crate::scheduler::FrameTicket;
 
 /// Lifecycle record of one completed frame.
@@ -30,19 +39,31 @@ impl FrameRecord {
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     completed: Vec<FrameRecord>,
-    rejected: Vec<FrameTicket>,
+    rejected: Vec<(FrameTicket, RejectReason)>,
+    dropped: Vec<(FrameTicket, DropReason)>,
     starts: Vec<(FrameTicket, u64)>,
 }
 
 impl ServeMetrics {
-    /// Records a frame rejected at admission.
-    pub fn reject(&mut self, ticket: FrameTicket) {
-        self.rejected.push(ticket);
+    /// Records a frame refused at admission.
+    pub fn reject(&mut self, ticket: FrameTicket, reason: RejectReason) {
+        self.rejected.push((ticket, reason));
     }
 
     /// Records a dispatch.
     pub fn start(&mut self, ticket: FrameTicket, now: u64) {
         self.starts.push((ticket, now));
+    }
+
+    /// Records an admitted frame cancelled before completion (deadline
+    /// drop or session detach) — queued or already dispatched.
+    pub fn drop_frame(&mut self, ticket: FrameTicket, reason: DropReason) {
+        // A dropped in-flight frame will never complete; retire its start
+        // entry so `starts` stays bounded by the in-flight count.
+        if let Some(idx) = self.starts.iter().position(|(t, _)| *t == ticket) {
+            self.starts.swap_remove(idx);
+        }
+        self.dropped.push((ticket, reason));
     }
 
     /// Records a completion.
@@ -64,9 +85,14 @@ impl ServeMetrics {
         &self.completed
     }
 
-    /// Rejected tickets.
-    pub fn rejected(&self) -> &[FrameTicket] {
+    /// Rejected tickets with their reasons.
+    pub fn rejected(&self) -> &[(FrameTicket, RejectReason)] {
         &self.rejected
+    }
+
+    /// Dropped tickets with their reasons.
+    pub fn dropped(&self) -> &[(FrameTicket, DropReason)] {
+        &self.dropped
     }
 
     /// Builds the aggregate report for a finished run described by `run`.
@@ -82,15 +108,30 @@ impl ServeMetrics {
         latencies.sort_unstable();
         let wall_seconds = wall_cycles as f64 / (clock_ghz * 1e9);
         let missed = self.completed.iter().filter(|r| r.missed()).count();
-        let generated = self.completed.len() + self.rejected.len();
+        let generated = self.completed.len() + self.rejected.len() + self.dropped.len();
+
+        let count_reject =
+            |r: RejectReason| self.rejected.iter().filter(|(_, why)| *why == r).count();
+        let count_drop = |r: DropReason| self.dropped.iter().filter(|(_, why)| *why == r).count();
+        let reject_reasons = RejectBreakdown {
+            queue_full: count_reject(RejectReason::QueueFull),
+            unmeetable: count_reject(RejectReason::Unmeetable),
+            unknown_session: count_reject(RejectReason::UnknownSession),
+        };
+        let drop_reasons = DropBreakdown {
+            deadline: count_drop(DropReason::Deadline),
+            session_detached: count_drop(DropReason::SessionDetached),
+            gated: count_drop(DropReason::Gated),
+        };
 
         let sessions = session_names
             .iter()
             .enumerate()
             .map(|(s, name)| {
                 let mine: Vec<&FrameRecord> =
-                    self.completed.iter().filter(|r| r.ticket.session == s as u32).collect();
-                let rejected = self.rejected.iter().filter(|t| t.session == s as u32).count();
+                    self.completed.iter().filter(|r| r.ticket.session.index() == s).collect();
+                let rejected = self.rejected.iter().filter(|(t, _)| t.session.index() == s).count();
+                let dropped = self.dropped.iter().filter(|(t, _)| t.session.index() == s).count();
                 let missed = mine.iter().filter(|r| r.missed()).count();
                 let mut lat: Vec<u64> = mine.iter().map(|r| r.latency()).collect();
                 lat.sort_unstable();
@@ -98,8 +139,10 @@ impl ServeMetrics {
                 SessionReport {
                     name: name.clone(),
                     qos_hz: session_hz[s],
+                    generated: mine.len() + rejected + dropped,
                     completed: mine.len(),
                     rejected,
+                    dropped,
                     missed,
                     achieved_fps: if wall_seconds > 0.0 {
                         mine.len() as f64 / wall_seconds
@@ -117,7 +160,10 @@ impl ServeMetrics {
             generated,
             completed: self.completed.len(),
             rejected: self.rejected.len(),
+            dropped: self.dropped.len(),
             missed,
+            reject_reasons,
+            drop_reasons,
             throughput_fps: if wall_seconds > 0.0 {
                 self.completed.len() as f64 / wall_seconds
             } else {
@@ -126,10 +172,21 @@ impl ServeMetrics {
             p50_latency_ms: percentile_ms(&latencies, 0.50, cycles_per_ms),
             p95_latency_ms: percentile_ms(&latencies, 0.95, cycles_per_ms),
             p99_latency_ms: percentile_ms(&latencies, 0.99, cycles_per_ms),
-            deadline_miss_rate: if generated > 0 {
-                (missed + self.rejected.len()) as f64 / generated as f64
-            } else {
-                0.0
+            deadline_miss_rate: {
+                // Voluntary departures are excused from the QoS figure:
+                // a frame cancelled because its client detached, or
+                // submitted for a session that does not exist, is not a
+                // deadline the service failed to meet.
+                let excused = drop_reasons.session_detached + reject_reasons.unknown_session;
+                let accountable = generated - excused;
+                let failed = missed
+                    + (self.rejected.len() - reject_reasons.unknown_session)
+                    + (self.dropped.len() - drop_reasons.session_detached);
+                if accountable > 0 {
+                    failed as f64 / accountable as f64
+                } else {
+                    0.0
+                }
             },
             device_utilization: utilization,
             wall_seconds,
@@ -155,6 +212,29 @@ pub struct RunInfo<'a> {
     pub clock_ghz: f64,
 }
 
+/// Rejection counts by [`RejectReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectBreakdown {
+    /// Rejected because the ready queue was full.
+    pub queue_full: usize,
+    /// Rejected by deadline-aware admission.
+    pub unmeetable: usize,
+    /// Submitted for a detached session. (Submissions for ids the engine
+    /// never issued are reported to the caller but not recorded here.)
+    pub unknown_session: usize,
+}
+
+/// Drop counts by [`DropReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DropBreakdown {
+    /// Cancelled by the deadline-drop pass.
+    pub deadline: usize,
+    /// Cancelled because the owning session detached.
+    pub session_detached: usize,
+    /// Still queued when the run was sealed (gating scheduler).
+    pub gated: usize,
+}
+
 /// Per-session slice of a [`ServeReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
@@ -162,10 +242,14 @@ pub struct SessionReport {
     pub name: String,
     /// QoS target in Hz.
     pub qos_hz: f64,
+    /// Frames this session generated (completed + rejected + dropped).
+    pub generated: usize,
     /// Frames completed.
     pub completed: usize,
     /// Frames rejected at admission.
     pub rejected: usize,
+    /// Frames dropped after admission.
+    pub dropped: usize,
     /// Completed frames that missed their deadline.
     pub missed: usize,
     /// Completed frames per simulated second.
@@ -181,14 +265,20 @@ pub struct ServeReport {
     pub policy: String,
     /// Pool size.
     pub devices: usize,
-    /// Frames generated by all sessions (admitted + rejected).
+    /// Frames generated by all sessions (completed + rejected + dropped).
     pub generated: usize,
     /// Frames completed.
     pub completed: usize,
-    /// Frames rejected at admission (backpressure).
+    /// Frames rejected at admission (backpressure / deadline-aware).
     pub rejected: usize,
+    /// Admitted frames cancelled before completion.
+    pub dropped: usize,
     /// Completed frames that blew their deadline.
     pub missed: usize,
+    /// Rejections by reason.
+    pub reject_reasons: RejectBreakdown,
+    /// Drops by reason.
+    pub drop_reasons: DropBreakdown,
     /// Completed frames per simulated second across all sessions.
     pub throughput_fps: f64,
     /// Median request-to-completion latency (ms).
@@ -197,13 +287,17 @@ pub struct ServeReport {
     pub p95_latency_ms: f64,
     /// 99th-percentile latency (ms).
     pub p99_latency_ms: f64,
-    /// (missed + rejected) / generated.
+    /// Fraction of *accountable* frames the service failed: misses,
+    /// rejections and deadline drops over `generated`, with voluntary
+    /// departures (session-detached drops, unknown-session rejects)
+    /// excused from both numerator and denominator.
     pub deadline_miss_rate: f64,
     /// Mean busy fraction across devices.
     pub device_utilization: f64,
     /// Simulated run length in seconds.
     pub wall_seconds: f64,
-    /// Per-session breakdown.
+    /// Per-session breakdown (one entry per ever-attached session, in
+    /// [`crate::SessionId`] order).
     pub sessions: Vec<SessionReport>,
 }
 
@@ -254,21 +348,35 @@ impl ServeReport {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"name\":{},\"qos_hz\":{},\"completed\":{},\"rejected\":{},\
-                     \"missed\":{},\"achieved_fps\":{},\"p95_latency_ms\":{}}}",
+                    "{{\"name\":{},\"qos_hz\":{},\"generated\":{},\"completed\":{},\
+                     \"rejected\":{},\"dropped\":{},\"missed\":{},\"achieved_fps\":{},\
+                     \"p95_latency_ms\":{}}}",
                     json_str(&s.name),
                     json_f(s.qos_hz),
+                    s.generated,
                     s.completed,
                     s.rejected,
+                    s.dropped,
                     s.missed,
                     json_f(s.achieved_fps),
                     json_f(s.p95_latency_ms),
                 )
             })
             .collect();
+        let reject_reasons = format!(
+            "{{\"queue_full\":{},\"unmeetable\":{},\"unknown_session\":{}}}",
+            self.reject_reasons.queue_full,
+            self.reject_reasons.unmeetable,
+            self.reject_reasons.unknown_session,
+        );
+        let drop_reasons = format!(
+            "{{\"deadline\":{},\"session_detached\":{},\"gated\":{}}}",
+            self.drop_reasons.deadline, self.drop_reasons.session_detached, self.drop_reasons.gated,
+        );
         format!(
             "{{\"policy\":{},\"devices\":{},\"generated\":{},\"completed\":{},\
-             \"rejected\":{},\"missed\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
+             \"rejected\":{},\"dropped\":{},\"missed\":{},\"reject_reasons\":{},\
+             \"drop_reasons\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
              \"device_utilization\":{},\"wall_seconds\":{},\"sessions\":[{}]}}",
             json_str(&self.policy),
@@ -276,7 +384,10 @@ impl ServeReport {
             self.generated,
             self.completed,
             self.rejected,
+            self.dropped,
             self.missed,
+            reject_reasons,
+            drop_reasons,
             json_f(self.throughput_fps),
             json_f(self.p50_latency_ms),
             json_f(self.p95_latency_ms),
@@ -292,9 +403,16 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{FrameId, SessionId};
 
     fn ticket(session: u32, frame: u32, arrival: u64, deadline: u64) -> FrameTicket {
-        FrameTicket { session, frame, arrival, deadline }
+        FrameTicket {
+            id: FrameId::from_index(u64::from(session) * 100 + u64::from(frame)),
+            session: SessionId::from_index(session as usize),
+            frame,
+            arrival,
+            deadline,
+        }
     }
 
     fn sample_metrics() -> ServeMetrics {
@@ -304,10 +422,12 @@ mod tests {
         m.complete(ticket(0, 0, 0, 100), 90);
         m.start(ticket(0, 1, 50, 100), 60);
         m.complete(ticket(0, 1, 50, 100), 150);
-        // Session 1: one frame on time, one rejected.
+        // Session 1: one frame on time, one rejected, one dropped from the
+        // queue by the deadline pass.
         m.start(ticket(1, 0, 0, 400), 0);
         m.complete(ticket(1, 0, 0, 400), 200);
-        m.reject(ticket(1, 1, 300, 700));
+        m.reject(ticket(1, 1, 300, 700), RejectReason::QueueFull);
+        m.drop_frame(ticket(1, 2, 350, 360), DropReason::Deadline);
         m
     }
 
@@ -328,12 +448,16 @@ mod tests {
     #[test]
     fn counts_and_miss_rate() {
         let r = sample_report();
-        assert_eq!(r.generated, 4);
+        assert_eq!(r.generated, 5);
         assert_eq!(r.completed, 3);
         assert_eq!(r.rejected, 1);
+        assert_eq!(r.dropped, 1);
         assert_eq!(r.missed, 1);
-        // (1 miss + 1 reject) / 4 generated.
-        assert!((r.deadline_miss_rate - 0.5).abs() < 1e-12);
+        assert_eq!(r.reject_reasons.queue_full, 1);
+        assert_eq!(r.drop_reasons.deadline, 1);
+        assert_eq!(r.drop_reasons.session_detached, 0);
+        // (1 miss + 1 reject + 1 drop) / 5 generated.
+        assert!((r.deadline_miss_rate - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -352,7 +476,48 @@ mod tests {
         assert_eq!(r.sessions.len(), 2);
         assert_eq!(r.sessions[0].completed, 2);
         assert_eq!(r.sessions[0].missed, 1);
+        assert_eq!(r.sessions[0].generated, 2);
         assert_eq!(r.sessions[1].rejected, 1);
+        assert_eq!(r.sessions[1].dropped, 1);
+        assert_eq!(r.sessions[1].generated, 3);
+        for s in &r.sessions {
+            assert_eq!(s.generated, s.completed + s.rejected + s.dropped);
+        }
+    }
+
+    #[test]
+    fn voluntary_departures_are_excused_from_miss_rate() {
+        let mut m = sample_metrics();
+        // A detached client's cancelled frame and a bogus-session reject
+        // must not move the QoS figure (0.6 from `counts_and_miss_rate`).
+        m.drop_frame(ticket(0, 9, 500, 900), DropReason::SessionDetached);
+        m.reject(ticket(1, 9, 510, 910), RejectReason::UnknownSession);
+        let r = m.report(
+            &RunInfo {
+                policy: "fcfs",
+                devices: 2,
+                wall_cycles: 1000,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string(), "b".to_string()],
+            &[60.0, 90.0],
+        );
+        assert_eq!(r.generated, 7, "generated still counts every frame");
+        assert!((r.deadline_miss_rate - 0.6).abs() < 1e-12, "got {}", r.deadline_miss_rate);
+    }
+
+    #[test]
+    fn dropping_an_in_flight_frame_retires_its_start() {
+        let mut m = ServeMetrics::default();
+        m.start(ticket(0, 0, 0, 100), 5);
+        m.drop_frame(ticket(0, 0, 0, 100), DropReason::SessionDetached);
+        assert_eq!(m.dropped().len(), 1);
+        assert_eq!(m.dropped()[0].1, DropReason::SessionDetached);
+        // A fresh frame of the same session still completes cleanly.
+        m.start(ticket(0, 1, 10, 200), 15);
+        m.complete(ticket(0, 1, 10, 200), 120);
+        assert_eq!(m.completed().len(), 1);
     }
 
     #[test]
@@ -361,6 +526,8 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"policy\":\"fcfs\""));
         assert!(j.contains("\"sessions\":[{"));
+        assert!(j.contains("\"reject_reasons\":{\"queue_full\":1"));
+        assert!(j.contains("\"drop_reasons\":{\"deadline\":1,\"session_detached\":0,\"gated\":0}"));
         assert_eq!(j.matches("\"name\"").count(), 2);
         // Balanced braces.
         assert_eq!(j.matches('{').count(), j.matches('}').count());

@@ -125,6 +125,24 @@ impl DevicePool {
         self.active[device] = Some(ActiveFrame { ticket, demand, residue: 0.0 });
     }
 
+    /// The ticket currently rendering on `device`, if any.
+    pub fn active_ticket(&self, device: usize) -> Option<&FrameTicket> {
+        self.active[device].as_ref().map(|a| &a.ticket)
+    }
+
+    /// Cancels the frame in flight on `device` through the device's
+    /// `cancel_in_flight` hook, freeing the slot immediately. Returns the
+    /// cancelled ticket, or `None` when the device was idle (no-op-safe).
+    ///
+    /// Device cycles already spent on the cancelled frame stay counted as
+    /// busy time — cancellation reclaims the future, not the past.
+    pub fn cancel(&mut self, device: usize) -> Option<FrameTicket> {
+        let a = self.active[device].take()?;
+        let was_in_flight = self.devices[device].cancel_in_flight();
+        debug_assert!(was_in_flight, "active slot implies an in-flight frame");
+        Some(a.ticket)
+    }
+
     /// Progress rate (device-cycles per wall-cycle) of every busy device
     /// under the current contention: 1 when aggregate demand fits the
     /// DRAM budget, uniformly scaled down otherwise.
@@ -202,7 +220,13 @@ mod tests {
     }
 
     fn ticket(n: u32) -> FrameTicket {
-        FrameTicket { session: 0, frame: n, arrival: 0, deadline: u64::MAX }
+        FrameTicket {
+            id: crate::FrameId::from_index(u64::from(n)),
+            session: crate::SessionId::from_index(0),
+            frame: n,
+            arrival: 0,
+            deadline: u64::MAX,
+        }
     }
 
     #[test]
@@ -286,6 +310,31 @@ mod tests {
         assert_eq!(done.len(), 1);
         let u = pool.utilization();
         assert!(u <= 0.02, "overshoot must not count as busy time: {u}");
+    }
+
+    #[test]
+    fn cancel_frees_the_device_and_returns_the_ticket() {
+        let session = prepared();
+        let mut pool = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        // Idle device: no-op.
+        assert!(pool.cancel(0).is_none());
+        pool.submit(0, session.view(0), ticket(7));
+        assert_eq!(pool.active_ticket(0).unwrap().frame, 7);
+        let dt = pool.next_completion_dt().unwrap();
+        // Render half the frame, then cancel it.
+        pool.advance((dt / 2).max(1));
+        let cancelled = pool.cancel(0).expect("frame was in flight");
+        assert_eq!(cancelled.frame, 7);
+        assert!(pool.active_ticket(0).is_none());
+        assert_eq!(pool.idle_device(), Some(0), "slot is free immediately");
+        assert!(pool.next_completion_dt().is_none());
+        // The spent cycles still count as busy time.
+        assert!(pool.utilization() > 0.0);
+        // The freed device accepts new work.
+        pool.submit(0, session.view(1), ticket(8));
+        let done = pool.advance(pool.next_completion_dt().unwrap());
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ticket.frame, 8);
     }
 
     #[test]

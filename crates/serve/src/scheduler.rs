@@ -11,17 +11,25 @@
 //! - [`Edf`] — earliest-deadline-first, the classic real-time policy that
 //!   FLICKER-style deadline-aware splat serving motivates.
 //!
-//! [`AdmissionControl`] bounds the ready queue: when a client's frame
-//! arrives while the queue is at capacity, the frame is rejected at
-//! admission (backpressure to the client) rather than queued to miss its
-//! deadline anyway.
+//! [`AdmissionControl`] decides at arrival time whether a frame may enter
+//! the ready queue at all: a bounded queue depth gives backpressure to
+//! the client, and the optional
+//! [`reject_unmeetable`](AdmissionControl::reject_unmeetable) check
+//! refuses frames whose deadline is provably unmeetable even on an
+//! uncontended device — rejecting at admission is cheaper than queueing a
+//! frame that can only miss.
+
+use crate::event::{FrameId, RejectReason, SessionId};
 
 /// Identity and timing of one admitted frame request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameTicket {
-    /// Index of the session in the workload.
-    pub session: u32,
-    /// Frame number within the session.
+    /// Engine-wide frame id (the client's future).
+    pub id: FrameId,
+    /// The session that requested the frame.
+    pub session: SessionId,
+    /// Frame number within the session (indexes the session's viewpoint
+    /// stream round-robin).
     pub frame: u32,
     /// Cycle at which the client requested the frame.
     pub arrival: u64,
@@ -31,9 +39,10 @@ pub struct FrameTicket {
 
 /// Picks the next queued frame for an idle device.
 ///
-/// `queue` is ordered by admission (index 0 is the oldest). Returns the
-/// index of the frame to dispatch, or `None` to leave the device idle
-/// (no policy here does, but a gating policy may).
+/// `queue` is ordered by admission (index 0 is the oldest) and contains
+/// only frames that have already arrived. Returns the index of the frame
+/// to dispatch, or `None` to leave the device idle (no policy here does,
+/// but a gating policy may).
 pub trait Scheduler: std::fmt::Debug {
     /// Short policy name for reports.
     fn name(&self) -> &'static str;
@@ -65,7 +74,7 @@ impl Scheduler for Fcfs {
 /// first within the session.
 #[derive(Debug, Default, Clone)]
 pub struct RoundRobin {
-    last_session: Option<u32>,
+    last_session: Option<SessionId>,
 }
 
 impl Scheduler for RoundRobin {
@@ -78,10 +87,10 @@ impl Scheduler for RoundRobin {
             return None;
         }
         // Sessions present in the queue, with each session's oldest frame.
-        let start = self.last_session.map_or(0, |s| s + 1);
+        let start = self.last_session.map_or(0, |s| s.0 + 1);
         let key = |t: &FrameTicket| {
             // Cyclic distance from the session after the last served one.
-            t.session.wrapping_sub(start) as u64
+            t.session.0.wrapping_sub(start) as u64
         };
         let (idx, ticket) = queue
             .iter()
@@ -144,17 +153,23 @@ impl Policy {
     }
 }
 
-/// Bounded-queue admission control.
+/// Admission control: the gate every arrival passes before entering the
+/// ready queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionControl {
     /// Maximum number of frames the ready queue may hold; arrivals beyond
     /// this are rejected (backpressure).
     pub max_queue_depth: usize,
+    /// When set, reject at admission any frame whose deadline is already
+    /// unmeetable: `arrival + min_service_estimate > deadline`, where the
+    /// estimate is the session's cheapest viewpoint on an uncontended
+    /// device. Such a frame could only burn device time to miss anyway.
+    pub reject_unmeetable: bool,
 }
 
 impl Default for AdmissionControl {
     fn default() -> Self {
-        Self { max_queue_depth: 64 }
+        Self { max_queue_depth: 64, reject_unmeetable: false }
     }
 }
 
@@ -163,6 +178,26 @@ impl AdmissionControl {
     pub fn admits(&self, depth: usize) -> bool {
         depth < self.max_queue_depth
     }
+
+    /// Full admission decision for a frame arriving at `arrival` with
+    /// `deadline`, given the current queue `depth` and the session's
+    /// optimistic `min_service_cycles` estimate. `Ok(())` admits; `Err`
+    /// carries the rejection reason.
+    pub fn decide(
+        &self,
+        depth: usize,
+        arrival: u64,
+        deadline: u64,
+        min_service_cycles: u64,
+    ) -> Result<(), RejectReason> {
+        if !self.admits(depth) {
+            return Err(RejectReason::QueueFull);
+        }
+        if self.reject_unmeetable && arrival.saturating_add(min_service_cycles) > deadline {
+            return Err(RejectReason::Unmeetable);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +205,13 @@ mod tests {
     use super::*;
 
     fn ticket(session: u32, frame: u32, arrival: u64, deadline: u64) -> FrameTicket {
-        FrameTicket { session, frame, arrival, deadline }
+        FrameTicket {
+            id: FrameId::from_index(u64::from(session) * 1000 + u64::from(frame)),
+            session: SessionId::from_index(session as usize),
+            frame,
+            arrival,
+            deadline,
+        }
     }
 
     #[test]
@@ -208,16 +249,37 @@ mod tests {
 
     #[test]
     fn round_robin_wraps_around() {
-        let mut rr = RoundRobin { last_session: Some(2) };
+        let mut rr = RoundRobin { last_session: Some(SessionId::from_index(2)) };
         let q = vec![ticket(2, 1, 4, 200), ticket(0, 0, 9, 100)];
         assert_eq!(rr.pick(&q, 10), Some(1), "wraps to session 0 after 2");
     }
 
     #[test]
     fn admission_bounds_queue() {
-        let ac = AdmissionControl { max_queue_depth: 2 };
+        let ac = AdmissionControl { max_queue_depth: 2, ..AdmissionControl::default() };
         assert!(ac.admits(0));
         assert!(ac.admits(1));
         assert!(!ac.admits(2));
+        assert_eq!(ac.decide(2, 0, 100, 10), Err(RejectReason::QueueFull));
+        assert_eq!(ac.decide(1, 0, 100, 10), Ok(()));
+    }
+
+    #[test]
+    fn unmeetable_rejection_is_opt_in() {
+        let lax = AdmissionControl::default();
+        // Deadline 100 with a 500-cycle minimum service: hopeless, but
+        // admitted unless the deadline-aware check is enabled.
+        assert_eq!(lax.decide(0, 50, 100, 500), Ok(()));
+        let strict = AdmissionControl { reject_unmeetable: true, ..lax };
+        assert_eq!(strict.decide(0, 50, 100, 500), Err(RejectReason::Unmeetable));
+        // A meetable frame still passes.
+        assert_eq!(strict.decide(0, 50, 600, 500), Ok(()));
+        // Saturating arithmetic: a huge arrival cannot wrap around and
+        // sneak past an effectively-infinite deadline.
+        assert_eq!(strict.decide(0, u64::MAX - 1, u64::MAX, 500), Ok(()));
+        assert_eq!(
+            strict.decide(0, u64::MAX - 1, u64::MAX - 1, 500),
+            Err(RejectReason::Unmeetable)
+        );
     }
 }

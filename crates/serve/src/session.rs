@@ -94,7 +94,12 @@ pub struct PreparedView {
 }
 
 /// A prepared session, ready to be served.
-#[derive(Debug)]
+///
+/// Cloning is cheap relative to [`Session::prepare`] (it copies the
+/// prepared viewpoints, not the Step-❶/❷ work), which lets one prepared
+/// workload be attached to many engines — the bench sweeps and the
+/// equivalence tests rely on this.
+#[derive(Debug, Clone)]
 pub struct Session {
     /// The spec this session was built from.
     pub spec: SessionSpec,
@@ -129,7 +134,7 @@ fn orbit_views(scene: &GaussianScene, width: u32, height: u32, seed: u64) -> Vec
 
 impl Session {
     /// Builds the session: resolves the scene, preprocesses
-    /// [`VIEWS_PER_SESSION`] viewpoints and measures each view once on a
+    /// `VIEWS_PER_SESSION` viewpoints and measures each view once on a
     /// scratch device for load calibration.
     pub fn prepare(spec: SessionSpec, gbu: &GbuConfig) -> Self {
         let (scene, width, height) = match &spec.content {
@@ -193,6 +198,14 @@ impl Session {
         sum as f64 / self.view_cycles.len() as f64
     }
 
+    /// Cheapest viewpoint's device-occupancy cycles — the optimistic
+    /// lower bound on service time that deadline-aware admission and the
+    /// deadline-drop pass use: if even this bound cannot fit before the
+    /// deadline on an uncontended device, the frame is unmeetable.
+    pub fn min_frame_cycles(&self) -> u64 {
+        self.view_cycles.iter().copied().min().unwrap_or(0)
+    }
+
     /// Device cycles this session demands per second of simulated time at
     /// the given clock: frame rate × mean frame cost.
     pub fn offered_load_cycles_per_s(&self) -> f64 {
@@ -227,6 +240,13 @@ mod tests {
         assert!(s.mean_frame_cycles() > 0.0);
         // The camera stream cycles through the views.
         assert_eq!(s.view(0).camera.position(), s.view(VIEWS_PER_SESSION as u32).camera.position());
+    }
+
+    #[test]
+    fn min_frame_cycles_bounds_mean() {
+        let s = Session::prepare(spec(120), &GbuConfig::paper());
+        assert!(s.min_frame_cycles() > 0);
+        assert!(s.min_frame_cycles() as f64 <= s.mean_frame_cycles());
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Property tests for the reactive serving API:
+//!
+//! 1. **Step-slicing equivalence** — driving the engine through
+//!    `step_until` in arbitrary (proptest-chosen) cycle slices produces a
+//!    `ServeReport` *identical* (bit-for-bit, `PartialEq` on every float)
+//!    to the one-shot `run_sessions` batch wrapper on the same workload:
+//!    step granularity is an observation choice, never a simulation
+//!    input;
+//! 2. **Frame conservation under detach** — detaching sessions mid-run
+//!    stops their timers and cancels their queued/in-flight frames, and
+//!    every generated frame still ends in exactly one terminal state
+//!    (`completed + rejected + dropped == generated`), per session and in
+//!    aggregate;
+//! 3. **Event-stream / report consistency** — the typed `ServeEvent`
+//!    stream, the `poll` futures and the final `ServeReport` agree on
+//!    every count.
+
+use gbu_hw::GbuConfig;
+use gbu_serve::{
+    calibrated_clock_ghz, run_sessions, AdmissionControl, FrameStatus, Policy, QosTarget,
+    ServeConfig, ServeEngine, ServeEvent, Session, SessionContent, SessionSpec,
+};
+use proptest::prelude::*;
+
+fn workload(n_sessions: usize, frames: u32, seed: u64) -> Vec<Session> {
+    (0..n_sessions)
+        .map(|i| {
+            Session::prepare(
+                SessionSpec {
+                    name: format!("s{i}"),
+                    content: SessionContent::Synthetic {
+                        seed: seed + i as u64,
+                        gaussians: 30 + 40 * (i % 3),
+                    },
+                    qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
+                    frames,
+                    phase: (i as f64 * 0.37).fract(),
+                },
+                &GbuConfig::paper(),
+            )
+        })
+        .collect()
+}
+
+fn config(devices: usize, policy: Policy, depth: usize, deadline_aware: bool) -> ServeConfig {
+    ServeConfig {
+        devices,
+        policy,
+        admission: AdmissionControl { max_queue_depth: depth, reject_unmeetable: deadline_aware },
+        drop_unmeetable: deadline_aware,
+        ..ServeConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Arbitrary step slicing replays the identical simulation.
+    #[test]
+    fn step_slicing_matches_one_shot_run(
+        n_sessions in 2usize..5,
+        frames in 2u32..5,
+        devices in 1usize..3,
+        depth in 2usize..8,
+        util_pct in 50u32..220,
+        seed in 0u64..1000,
+        deadline_aware in any::<bool>(),
+        slices in prop::collection::vec(1u64..50_000, 1..32),
+    ) {
+        let sessions = workload(n_sessions, frames, seed);
+        for policy in Policy::all() {
+            let mut cfg = config(devices, policy, depth, deadline_aware);
+            cfg.gbu.clock_ghz =
+                calibrated_clock_ghz(&sessions, devices, f64::from(util_pct) / 100.0);
+
+            let one_shot = run_sessions(cfg.clone(), &sessions);
+
+            let mut engine = ServeEngine::new(cfg);
+            for s in &sessions {
+                engine.attach_session(s.clone());
+            }
+            let mut now = 0u64;
+            let mut events = Vec::new();
+            for &slice in &slices {
+                now += slice;
+                events.extend(engine.step_until(now));
+            }
+            // Whatever the slices left unfinished, drain it the same way
+            // the batch wrapper does.
+            events.extend(engine.drain());
+            events.extend(engine.finish());
+            prop_assert!(engine.is_drained());
+            let sliced = engine.report();
+
+            prop_assert_eq!(&sliced, &one_shot, "policy {:?} diverged under slicing", policy);
+
+            // The event stream agrees with the report it accompanied.
+            let completed =
+                events.iter().filter(|e| matches!(e, ServeEvent::Completed { .. })).count();
+            let rejected =
+                events.iter().filter(|e| matches!(e, ServeEvent::Rejected { .. })).count();
+            let admitted =
+                events.iter().filter(|e| matches!(e, ServeEvent::Admitted { .. })).count();
+            let started = events.iter().filter(|e| matches!(e, ServeEvent::Started { .. })).count();
+            prop_assert_eq!(completed, sliced.completed);
+            prop_assert_eq!(rejected, sliced.rejected);
+            prop_assert_eq!(admitted + rejected, sliced.generated);
+            let dropped = events.iter().filter(|e| matches!(e, ServeEvent::Dropped { .. })).count();
+            prop_assert_eq!(dropped, sliced.dropped);
+            prop_assert_eq!(started, completed, "the drop pass only cancels queued frames");
+        }
+    }
+
+    /// Detaching sessions mid-run preserves frame conservation.
+    #[test]
+    fn conservation_holds_under_mid_run_detach(
+        n_sessions in 3usize..6,
+        frames in 3u32..7,
+        devices in 1usize..3,
+        util_pct in 120u32..350,
+        seed in 0u64..1000,
+        detach_count in 1usize..3,
+        detach_after in 1u64..200_000,
+    ) {
+        let sessions = workload(n_sessions, frames, seed);
+        let mut cfg = config(devices, Policy::Edf, 64, false);
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, devices, f64::from(util_pct) / 100.0);
+
+        let mut engine = ServeEngine::new(cfg);
+        let ids: Vec<_> = sessions.iter().map(|s| engine.attach_session(s.clone())).collect();
+        engine.step_until(detach_after);
+        for id in ids.iter().take(detach_count) {
+            prop_assert!(engine.detach_session(*id));
+        }
+        engine.drain();
+        engine.finish();
+        prop_assert!(engine.is_drained());
+        let report = engine.report();
+
+        // Per-session and aggregate conservation, detached or not.
+        prop_assert_eq!(report.sessions.len(), n_sessions, "roster keeps detached sessions");
+        for (i, s) in report.sessions.iter().enumerate() {
+            prop_assert_eq!(
+                s.generated, s.completed + s.rejected + s.dropped,
+                "conservation for session {}", i
+            );
+            prop_assert!(s.generated <= frames as usize);
+            if i >= detach_count {
+                prop_assert_eq!(s.generated, frames as usize, "survivors generate every frame");
+            }
+        }
+        prop_assert_eq!(
+            report.generated,
+            report.completed + report.rejected + report.dropped
+        );
+        let session_total: usize = report.sessions.iter().map(|s| s.generated).sum();
+        prop_assert_eq!(session_total, report.generated);
+        prop_assert_eq!(report.drop_reasons.session_detached, report.dropped);
+
+        // Nothing is generated beyond the specs' frame budgets.
+        prop_assert!(report.generated <= n_sessions * frames as usize);
+    }
+}
+
+/// Pushed frames and timer frames share one queue, one id space and one
+/// conservation law.
+#[test]
+fn pushed_and_timer_frames_share_conservation() {
+    let sessions = workload(2, 3, 99);
+    let mut cfg = config(1, Policy::Edf, 64, false);
+    cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 1.5);
+    let period = sessions[0].spec.qos.period_cycles(cfg.gbu.clock_ghz);
+
+    let mut engine = ServeEngine::new(cfg);
+    let ids: Vec<_> = sessions.iter().map(|s| engine.attach_session(s.clone())).collect();
+    // Interleave stepping with pushed submissions on top of the timers.
+    let mut pushed = Vec::new();
+    for k in 1..=4u64 {
+        engine.step_until(k * period / 2);
+        pushed.push(engine.handle().submit_frame(ids[(k % 2) as usize], k as u32));
+    }
+    engine.drain();
+    engine.finish();
+    assert!(engine.is_drained());
+
+    for f in &pushed {
+        let status = engine.poll(*f);
+        assert!(
+            matches!(
+                status,
+                FrameStatus::Completed { .. } | FrameStatus::Rejected(_) | FrameStatus::Dropped(_)
+            ),
+            "pushed frame must reach a terminal state, got {status:?}"
+        );
+    }
+    let report = engine.report();
+    assert_eq!(report.generated, 2 * 3 + 4, "timer frames + pushed frames");
+    assert_eq!(report.generated, report.completed + report.rejected + report.dropped);
+}

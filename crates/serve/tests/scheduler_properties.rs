@@ -10,8 +10,8 @@
 
 use gbu_hw::GbuConfig;
 use gbu_serve::{
-    calibrated_clock_ghz, AdmissionControl, DevicePool, Edf, FrameTicket, Policy, QosTarget,
-    Scheduler, ServeConfig, ServeEngine, Session, SessionContent, SessionSpec,
+    calibrated_clock_ghz, run_sessions, AdmissionControl, DevicePool, Edf, FrameId, FrameTicket,
+    Policy, QosTarget, Scheduler, ServeConfig, Session, SessionContent, SessionId, SessionSpec,
 };
 use proptest::prelude::*;
 
@@ -54,20 +54,20 @@ proptest! {
             let mut cfg = ServeConfig {
                 devices,
                 policy,
-                admission: AdmissionControl { max_queue_depth: depth },
+                admission: AdmissionControl { max_queue_depth: depth, ..Default::default() },
                 ..ServeConfig::default()
             };
             cfg.gbu.clock_ghz =
                 calibrated_clock_ghz(&sessions, devices, f64::from(util_pct) / 100.0);
-            let report = ServeEngine::new(cfg, &sessions).run();
+            let report = run_sessions(cfg, &sessions);
             let generated = n_sessions * frames as usize;
             prop_assert_eq!(report.generated, generated, "policy {:?}", policy);
             prop_assert_eq!(
-                report.completed + report.rejected, generated,
+                report.completed + report.rejected + report.dropped, generated,
                 "conservation under {:?}", policy
             );
             for s in &report.sessions {
-                prop_assert_eq!(s.completed + s.rejected, frames as usize);
+                prop_assert_eq!(s.completed + s.rejected + s.dropped, frames as usize);
             }
         }
     }
@@ -82,7 +82,8 @@ proptest! {
             .iter()
             .enumerate()
             .map(|(i, &(session, arrival, slack))| FrameTicket {
-                session,
+                id: FrameId::from_index(i as u64),
+                session: SessionId::from_index(session as usize),
                 frame: i as u32,
                 arrival,
                 deadline: arrival + slack,
@@ -117,7 +118,8 @@ proptest! {
             if action == 0 {
                 if let Some(idle) = pool.idle_device() {
                     let ticket = FrameTicket {
-                        session: 0,
+                        id: FrameId::from_index(u64::from(frame)),
+                        session: SessionId::from_index(0),
                         frame,
                         arrival: pool.clock(),
                         deadline: u64::MAX,

@@ -1,0 +1,144 @@
+//! serve_live: a simulated host loop on the reactive serving API.
+//!
+//! Attaches 8 heterogeneous AR/VR sessions to a 2-GBU pool, drives the
+//! engine open-loop in 1 ms slices (`step_until`), pushes one manual
+//! frame through the non-blocking `submit_frame` future, detaches 2
+//! sessions mid-run, and prints the typed per-event trace — the
+//! lifecycle a real client driver (or RPC frontend) would react to.
+//!
+//! Deadline-aware serving is on: admission rejects provably-unmeetable
+//! frames (`reject_unmeetable`) and the deadline-drop pass cancels
+//! queued frames that became hopeless (`drop_unmeetable`).
+//!
+//! Run with: `cargo run --release --example serve_live`
+
+use gbu_core::reports::{fmt_f, fmt_pct, table};
+use gbu_hw::GbuConfig;
+use gbu_serve::{
+    calibrated_clock_ghz, workload, FrameStatus, Policy, ServeConfig, ServeEngine, ServeEvent,
+};
+
+const SESSIONS: usize = 8;
+const DETACHED: usize = 2;
+const FRAMES: u32 = 10;
+const DEVICES: usize = 2;
+/// Offered load vs pool capacity — past saturation so rejections and
+/// deadline drops actually appear in the trace.
+const UTILIZATION: f64 = 1.3;
+
+fn main() {
+    println!("preparing {SESSIONS} sessions ...");
+    let sessions =
+        workload::prepare_all(workload::synthetic_mix(SESSIONS, FRAMES), &GbuConfig::paper());
+
+    let mut cfg = ServeConfig {
+        devices: DEVICES,
+        policy: Policy::Edf,
+        drop_unmeetable: true,
+        ..ServeConfig::default()
+    };
+    cfg.admission.reject_unmeetable = true;
+    cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, DEVICES, UTILIZATION);
+    let cycles_per_ms = (cfg.gbu.clock_ghz * 1e6).max(1.0) as u64;
+    println!(
+        "clock {:.4} GHz -> 1 ms slice = {} cycles; EDF on {DEVICES} GBUs at {UTILIZATION}x load\n",
+        cfg.gbu.clock_ghz, cycles_per_ms
+    );
+
+    let mut engine = ServeEngine::new(cfg);
+    let ids: Vec<_> = sessions.into_iter().map(|s| engine.attach_session(s)).collect();
+    let names: Vec<String> =
+        ids.iter().map(|&id| engine.session_name(id).expect("just attached").to_string()).collect();
+
+    // One manually pushed frame on top of session 0's QoS timer: the
+    // non-blocking submission returns a future we poll as the loop runs.
+    let pushed = engine.handle().submit_frame(ids[0], 0);
+    println!("pushed one extra frame for {}: future {pushed:?} -> {:?}\n", names[0], {
+        engine.poll(pushed)
+    });
+
+    let mut ms = 0u64;
+    let mut printed_pushed = false;
+    while !engine.is_drained() {
+        ms += 1;
+        let events = engine.step_until(ms * cycles_per_ms);
+        for e in &events {
+            print_event(e, &names, cycles_per_ms);
+        }
+        if !printed_pushed && matches!(engine.poll(pushed), FrameStatus::Completed { .. }) {
+            println!("        -> pushed future {pushed:?} resolved: {:?}", engine.poll(pushed));
+            printed_pushed = true;
+        }
+        // Two clients leave a third of the way in; their queued and
+        // in-flight frames are cancelled and their timers stop.
+        if ms == u64::from(FRAMES) * 1000 / (3 * 72) {
+            for id in ids.iter().take(DETACHED) {
+                engine.detach_session(*id);
+                println!("[{ms:>3} ms] ---- detach {} ({id}) ----", names[id.index()]);
+            }
+        }
+    }
+    engine.finish();
+
+    let report = engine.report();
+    println!("\nrun drained after {ms} ms of host-loop slices");
+    println!(
+        "completed {} / rejected {} (queue_full {}, unmeetable {}) / dropped {} \
+         (deadline {}, detached {})",
+        report.completed,
+        report.rejected,
+        report.reject_reasons.queue_full,
+        report.reject_reasons.unmeetable,
+        report.dropped,
+        report.drop_reasons.deadline,
+        report.drop_reasons.session_detached,
+    );
+    let mut rows = Vec::new();
+    for s in &report.sessions {
+        rows.push(vec![
+            s.name.clone(),
+            format!("{:.0} Hz", s.qos_hz),
+            s.generated.to_string(),
+            s.completed.to_string(),
+            s.rejected.to_string(),
+            s.dropped.to_string(),
+            s.missed.to_string(),
+            fmt_f(s.p95_latency_ms, 2),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["session", "qos", "gen", "done", "rej", "drop", "missed", "p95 ms"], &rows)
+    );
+    println!(
+        "throughput {} fps, p99 {} ms, miss rate {}, utilization {}",
+        fmt_f(report.throughput_fps, 0),
+        fmt_f(report.p99_latency_ms, 2),
+        fmt_pct(report.deadline_miss_rate),
+        fmt_pct(report.device_utilization),
+    );
+}
+
+fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
+    let ms = e.at() / cycles_per_ms;
+    let name = &names[e.session().index()];
+    match e {
+        ServeEvent::Admitted { frame, .. } => {
+            println!("[{ms:>3} ms] admitted  {frame} ({name})");
+        }
+        ServeEvent::Rejected { frame, reason, .. } => {
+            println!("[{ms:>3} ms] rejected  {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::Started { frame, device, .. } => {
+            println!("[{ms:>3} ms] started   {frame} ({name}) on GBU {device}");
+        }
+        ServeEvent::Completed { frame, latency_cycles, missed, .. } => {
+            let lat_ms = *latency_cycles as f64 / cycles_per_ms as f64;
+            let verdict = if *missed { "MISSED" } else { "on time" };
+            println!("[{ms:>3} ms] completed {frame} ({name}) in {lat_ms:.2} ms, {verdict}");
+        }
+        ServeEvent::Dropped { frame, reason, .. } => {
+            println!("[{ms:>3} ms] dropped   {frame} ({name}): {}", reason.label());
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! scene, avatar via `gbu_core::apps`) — and serves it across two pool
 //! sizes under all three scheduling policies, printing throughput,
 //! latency percentiles, deadline-miss rate and utilization for each run.
+//! Uses the batch `run_workload` wrapper; see `serve_live` for the
+//! reactive host-loop API (step_until / submit_frame / attach/detach).
 //!
 //! Run with: `cargo run --release --example serve_many`
 
@@ -75,5 +77,6 @@ fn main() {
     }
     println!("first sessions under EDF on 2 GBUs:");
     println!("{}", table(&["session", "qos", "done", "missed", "fps", "p95 ms"], &rows));
-    println!("(serving {} sessions total; see BENCH_serve.json via `repro serve` for sweeps)", n);
+    println!("(serving {} sessions total; see BENCH_serve.json via `repro serve` for sweeps,", n);
+    println!(" and `cargo run --release --example serve_live` for the reactive API demo)");
 }

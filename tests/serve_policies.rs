@@ -41,7 +41,7 @@ fn edf_beats_fcfs_on_heterogeneous_qos() {
             );
             // Conservation and sanity on every policy.
             assert_eq!(r.generated, SESSIONS * FRAMES as usize);
-            assert_eq!(r.completed + r.rejected, r.generated);
+            assert_eq!(r.completed + r.rejected + r.dropped, r.generated);
             assert!(r.throughput_fps > 0.0);
         }
 
@@ -63,7 +63,7 @@ fn pool_scaling_relieves_overload() {
     let run = |devices: usize| {
         let mut cfg = ServeConfig { devices, policy: Policy::Edf, ..ServeConfig::default() };
         cfg.gbu.clock_ghz = clock;
-        gbu_serve::ServeEngine::new(cfg, &sessions).run()
+        gbu_serve::run_sessions(cfg, &sessions)
     };
     let small = run(1);
     let big = run(3);

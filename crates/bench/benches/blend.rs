@@ -23,6 +23,45 @@ fn bench_blend(c: &mut Criterion) {
     g.bench_function("irss", |b| {
         b.iter(|| irss::blend(&splats, &bins, &camera, &cfg));
     });
+
+    // The allocation-free reuse path (`blend_into`) across thread
+    // counts — the hot loop the device simulators and servers run.
+    let isplats = irss::precompute(&splats);
+    for threads in [1usize, 2, 4] {
+        let pool = gbu_par::ThreadPool::new(threads);
+        let mut image = gbu_render::FrameBuffer::new(camera.width, camera.height, cfg.background);
+        let mut stats = gbu_render::stats::BlendStats::default();
+        let mut scratch = gbu_render::BlendScratch::new();
+        g.bench_function(format!("pfs_into_{threads}t"), |b| {
+            b.iter(|| {
+                pfs::blend_into(
+                    &pool,
+                    &splats,
+                    &bins,
+                    &camera,
+                    &cfg,
+                    &mut scratch,
+                    &mut image,
+                    &mut stats,
+                )
+            });
+        });
+        g.bench_function(format!("irss_into_{threads}t"), |b| {
+            b.iter(|| {
+                irss::blend_precomputed_into(
+                    &pool,
+                    &splats,
+                    &isplats,
+                    &bins,
+                    &camera,
+                    &cfg,
+                    &mut scratch,
+                    &mut image,
+                    &mut stats,
+                )
+            });
+        });
+    }
     g.finish();
 }
 

@@ -817,6 +817,269 @@ pub fn debug(ctx: &Ctx) {
     }
 }
 
+/// Render-performance trajectory: host wall-clock of the Step-❶/❸ hot
+/// path, serial vs. parallel at 1/2/4/8 threads on small and large
+/// synthetic scenes, emitting `BENCH_render.json` — the render-side
+/// counterpart of `BENCH_serve.json`, so every future PR can be checked
+/// for render-perf regressions.
+///
+/// Two numbers are reported per (stage, thread count):
+///
+/// - `wall_ms` — measured wall-clock on this host (best of the reps);
+/// - `critical_path_ms` — the per-tile-row costs measured on the serial
+///   run, list-scheduled onto N workers exactly the way the pool's
+///   work-stealing claims jobs. On an unloaded N-core host the two
+///   agree; on a single-core CI container `wall_ms` cannot drop below
+///   serial (there is one core) while `critical_path_ms` still tracks
+///   the parallel structure, which is what the regression trajectory
+///   needs to be deterministic.
+///
+/// The experiment validates its own output (finite, non-zero times and
+/// throughputs) and exits non-zero otherwise — CI runs it as a smoke
+/// test in the `test` profile.
+pub fn render(ctx: &Ctx) {
+    use gbu_par::ThreadPool;
+    use gbu_render::{irss, pfs, BlendScratch, FrameBuffer, RenderConfig};
+    use gbu_scene::synth::SceneBuilder;
+    use gbu_scene::{Camera, ScaleProfile};
+    use std::time::Instant;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+    // Scene scale and repetitions by profile: `test` is the CI smoke
+    // configuration, `bench`/`full` the tracked trajectory.
+    let (small, large, reps) = match ctx.profile {
+        ScaleProfile::Test => ((600usize, 160u32, 96u32), (2_500usize, 320u32, 192u32), 1usize),
+        _ => ((1_500, 256, 192), (12_000, 896, 512), 3),
+    };
+
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("== Render hot-path wall-clock: serial vs. parallel ==");
+    println!("   host cores: {host_cores}; threads swept: {THREADS:?}; reps: {reps}");
+    if host_cores < 4 {
+        println!(
+            "   NOTE: fewer host cores than swept threads — wall_ms cannot beat serial\n\
+             \x20        here; the critical-path column carries the parallel trajectory."
+        );
+    }
+
+    let pools: Vec<(usize, ThreadPool)> =
+        THREADS.iter().map(|&t| (t, ThreadPool::new(t))).collect();
+
+    /// Best-of-`reps` wall milliseconds of `f` (one warm-up call first).
+    fn best_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+        f();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    }
+
+    /// List-schedule the measured per-tile-row costs onto `workers`
+    /// (jobs claimed in order by the first free worker — exactly the
+    /// pool's stealing discipline) and return the makespan in ms.
+    fn critical_path_ms(job_nanos: &[u64], workers: usize) -> f64 {
+        let mut free = vec![0u64; workers.max(1)];
+        for &n in job_nanos {
+            let w = (0..free.len()).min_by_key(|&w| free[w]).expect("non-empty");
+            free[w] += n;
+        }
+        free.into_iter().max().unwrap_or(0) as f64 / 1e6
+    }
+
+    fn per_thread_json(pairs: &[(usize, f64)]) -> String {
+        let fields: Vec<String> = pairs.iter().map(|(t, ms)| format!("\"{t}\":{ms:.4}")).collect();
+        format!("{{{}}}", fields.join(","))
+    }
+
+    let mut invalid = false;
+    let mut check = |label: &str, v: f64| {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("INVALID: {label} = {v}");
+            invalid = true;
+        }
+    };
+
+    let mut scene_jsons = Vec::new();
+    let mut rows = Vec::new();
+    for (scene_name, (gaussians, width, height)) in [("small", small), ("large", large)] {
+        let scene = SceneBuilder::new(97)
+            .ellipsoid_cloud(
+                gbu_math::Vec3::ZERO,
+                gbu_math::Vec3::new(0.9, 0.7, 0.9),
+                gaussians * 3 / 4,
+                gbu_math::Vec3::new(0.7, 0.5, 0.3),
+                0.25,
+            )
+            .sphere_shell(
+                gbu_math::Vec3::ZERO,
+                1.2,
+                gaussians / 4,
+                gbu_math::Vec3::new(0.3, 0.4, 0.6),
+            )
+            .build();
+        let camera = Camera::orbit(width, height, 0.9, gbu_math::Vec3::ZERO, 3.4, 0.4, 0.2);
+        let cfg = RenderConfig::default();
+
+        let serial = &pools[0].1;
+        let (splats, _) = gbu_render::preprocess::project_scene_pooled(serial, &scene, &camera);
+        let (bins, bin_stats) = gbu_render::binning::bin_splats(&splats, &camera, cfg.tile_size);
+        let isplats = irss::precompute_pooled(serial, &splats);
+
+        // Step ❶ stages, per thread count.
+        let mut pre_ms = Vec::new();
+        let mut xform_ms = Vec::new();
+        for (t, pool) in &pools {
+            let ms = best_ms(reps, || {
+                let _ = gbu_render::preprocess::project_scene_pooled(pool, &scene, &camera);
+            });
+            check(&format!("{scene_name}/preprocess@{t}"), ms);
+            pre_ms.push((*t, ms));
+            let ms = best_ms(reps, || {
+                let _ = irss::precompute_pooled(pool, &splats);
+            });
+            check(&format!("{scene_name}/precompute@{t}"), ms);
+            xform_ms.push((*t, ms));
+        }
+
+        // Step ❸, both dataflows, through the allocation-free reuse path.
+        let mut image = FrameBuffer::new(camera.width, camera.height, cfg.background);
+        let mut stats = gbu_render::stats::BlendStats::default();
+        let mut scratch = BlendScratch::new();
+        let mut dataflow_jsons = Vec::new();
+        let mut serial_sums = [0.0f64; 2];
+        let mut four_thread = [[0.0f64; 2]; 2]; // [dataflow][wall|model] at 4 threads
+        for (di, dataflow) in ["pfs", "irss"].into_iter().enumerate() {
+            let mut wall = Vec::new();
+            let mut model = Vec::new();
+            let mut job_nanos: Vec<u64> = Vec::new();
+            for (t, pool) in &pools {
+                let ms = best_ms(reps, || match dataflow {
+                    "pfs" => pfs::blend_into(
+                        pool,
+                        &splats,
+                        &bins,
+                        &camera,
+                        &cfg,
+                        &mut scratch,
+                        &mut image,
+                        &mut stats,
+                    ),
+                    _ => irss::blend_precomputed_into(
+                        pool,
+                        &splats,
+                        &isplats,
+                        &bins,
+                        &camera,
+                        &cfg,
+                        &mut scratch,
+                        &mut image,
+                        &mut stats,
+                    ),
+                });
+                check(&format!("{scene_name}/{dataflow}@{t}"), ms);
+                if *t == 1 {
+                    job_nanos = scratch.job_nanos().to_vec();
+                    serial_sums[di] = ms;
+                }
+                let cp = critical_path_ms(&job_nanos, *t);
+                check(&format!("{scene_name}/{dataflow}/critical_path@{t}"), cp);
+                wall.push((*t, ms));
+                model.push((*t, cp));
+                if *t == 4 {
+                    four_thread[di] = [ms, cp];
+                }
+            }
+            let throughput = stats.fragments_evaluated as f64 / (serial_sums[di] / 1e3) / 1e6;
+            check(&format!("{scene_name}/{dataflow}/throughput"), throughput);
+            check(&format!("{scene_name}/{dataflow}/fragments"), stats.fragments_evaluated as f64);
+            rows.push(vec![
+                scene_name.to_string(),
+                dataflow.to_string(),
+                fmt_f(serial_sums[di], 2),
+                fmt_f(four_thread[di][0], 2),
+                fmt_f(four_thread[di][1], 2),
+                fmt_x(serial_sums[di] / four_thread[di][1]),
+                fmt_f(throughput, 1),
+            ]);
+            dataflow_jsons.push(format!(
+                "\"{dataflow}\":{{\"serial_ms\":{:.4},\"wall_ms\":{},\"critical_path_ms\":{},\
+                 \"fragments\":{},\"mfrag_per_s_serial\":{:.2}}}",
+                serial_sums[di],
+                per_thread_json(&wall),
+                per_thread_json(&model),
+                stats.fragments_evaluated,
+                throughput,
+            ));
+        }
+
+        let blend_serial = serial_sums[0] + serial_sums[1];
+        let speedup_wall = blend_serial / (four_thread[0][0] + four_thread[1][0]);
+        let speedup_cp = blend_serial / (four_thread[0][1] + four_thread[1][1]);
+        check(&format!("{scene_name}/blend_speedup_4t"), speedup_cp);
+        println!(
+            "   {scene_name}: PFS+IRSS blend speedup at 4 threads: {:.2}x wall, {:.2}x critical-path",
+            speedup_wall, speedup_cp
+        );
+
+        scene_jsons.push(format!(
+            "{{\"name\":\"{scene_name}\",\"gaussians\":{},\"splats\":{},\"width\":{width},\
+             \"height\":{height},\"occupied_tiles\":{},\"preprocess_wall_ms\":{},\
+             \"irss_precompute_wall_ms\":{},{},{},\
+             \"blend_speedup_4t\":{{\"wall\":{speedup_wall:.3},\"critical_path\":{speedup_cp:.3}}}}}",
+            scene.len(),
+            splats.len(),
+            bin_stats.occupied_tiles,
+            per_thread_json(&pre_ms),
+            per_thread_json(&xform_ms),
+            dataflow_jsons[0],
+            dataflow_jsons[1],
+        ));
+    }
+
+    println!(
+        "{}",
+        table(
+            &[
+                "scene",
+                "dataflow",
+                "serial ms",
+                "4T wall ms",
+                "4T crit-path ms",
+                "4T speedup (cp)",
+                "Mfrag/s (serial)"
+            ],
+            &rows
+        )
+    );
+
+    if invalid {
+        eprintln!("render bench produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let threads_json: Vec<String> = THREADS.iter().map(usize::to_string).collect();
+    let json = format!(
+        "{{\"experiment\":\"render_bench\",\"profile\":\"{:?}\",\"host_cores\":{host_cores},\
+         \"threads\":[{}],\"reps\":{reps},\"scenes\":[{}]}}\n",
+        ctx.profile,
+        threads_json.join(","),
+        scene_jsons.join(",")
+    );
+    // The committed trajectory is bench/full-profile data; the `test`
+    // profile is the CI smoke configuration and must not clobber it
+    // when reproduced locally (the smoke file is gitignored).
+    let path = match ctx.profile {
+        ScaleProfile::Test => "BENCH_render.smoke.json",
+        _ => "BENCH_render.json",
+    };
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}\n");
+}
+
 /// Serving sweep: session count × scheduler variant × pool size on the
 /// heterogeneous-QoS workload, emitting `BENCH_serve.json` so later PRs
 /// can track the serving-performance trajectory.

@@ -5,7 +5,9 @@
 //! Experiments: fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu
 //! limits_gpu tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7
 //! limitations, plus `serve` — the multi-session serving sweep
-//! (sessions × policy × pool size), which writes `BENCH_serve.json`.
+//! (sessions × policy × pool size), which writes `BENCH_serve.json`, and
+//! `render` — the render hot-path wall-clock sweep (serial vs. parallel
+//! at 1/2/4/8 threads), which writes `BENCH_render.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -60,7 +62,8 @@ fn print_help() {
          experiments:\n  \
          fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu limits_gpu\n  \
          tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7 limitations all\n  \
-         serve   (multi-session serving sweep; writes BENCH_serve.json)"
+         serve   (multi-session serving sweep; writes BENCH_serve.json)\n  \
+         render  (render hot-path wall-clock sweep; writes BENCH_render.json)"
     );
 }
 
@@ -88,6 +91,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "tab7" => experiments::tab7(ctx),
         "limitations" => experiments::limitations(ctx),
         "serve" => experiments::serve(ctx),
+        "render" => experiments::render(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -114,6 +118,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "limitations",
                 "fig1",
                 "serve",
+                "render",
             ] {
                 run(ctx, c);
             }

@@ -103,11 +103,19 @@ pub fn measure_frame(
     let (splats, pre) = preprocess::project_scene(&scenario.scene, &scenario.camera);
     let (bins, bin_stats) = binning::bin_splats(&splats, &scenario.camera, cfg_pfs.tile_size);
 
-    let (pfs_img, pfs_stats) = gbu_render::pfs::blend(&splats, &bins, &scenario.camera, &cfg_pfs);
-    let (irss_img, irss_stats) =
-        gbu_render::irss::blend(&splats, &bins, &scenario.camera, &cfg_irss);
-
+    // The D&B pass runs first so the software IRSS blend can reuse its
+    // transforms (one EVD per splat, not two); both blends and the tile
+    // engine dispatch tile rows over the global `gbu_par` pool.
     let d = dnb::run(&splats, &bins, gbu_cfg);
+    let (pfs_img, pfs_stats) = gbu_render::pfs::blend(&splats, &bins, &scenario.camera, &cfg_pfs);
+    let (irss_img, irss_stats) = gbu_render::irss::blend_precomputed(
+        &splats,
+        &d.transforms,
+        &bins,
+        &scenario.camera,
+        &cfg_irss,
+    );
+
     let engine = TileEngine::new(gbu_cfg.clone());
     let gbu = engine.render(
         &splats,

@@ -34,7 +34,10 @@ pub struct DnbResult {
     pub cycles: u64,
 }
 
-/// Runs the D&B engine over a binned frame.
+/// Runs the D&B engine over a binned frame. Transform generation (one
+/// EVD + rotation per splat) is index-stable parallel work and runs on
+/// the global `gbu_par` pool; the next-use scan is inherently sequential
+/// (it walks the trace back to front) and stays serial.
 pub fn run(splats: &[Splat2D], bins: &TileBins, cfg: &GbuConfig) -> DnbResult {
     let transforms = gbu_render::irss::precompute(splats);
     let mut access_trace = Vec::with_capacity(bins.entries.len());

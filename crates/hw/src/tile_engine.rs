@@ -20,6 +20,7 @@ use crate::cache::{CacheStats, GaussianReuseCache, Policy};
 use crate::config::GbuConfig;
 use crate::dnb::DnbResult;
 use gbu_math::{Vec3, F16};
+use gbu_par::ThreadPool;
 use gbu_render::binning::TileBins;
 use gbu_render::irss::RowOutcome;
 use gbu_render::{alpha_from_q, FrameBuffer, Splat2D};
@@ -81,7 +82,8 @@ impl GbuRunResult {
 }
 
 /// Per-pixel blending state, generic over the datapath precision.
-trait PixelState: Clone {
+/// (`Send` so per-worker pixel buffers can live on pool workers.)
+trait PixelState: Clone + Send {
     fn fresh() -> Self;
     fn transmittance(&self) -> f32;
     fn blend(&mut self, alpha: f32, color: Vec3);
@@ -162,15 +164,41 @@ impl TileEngine {
         background: Vec3,
         policy: Policy,
     ) -> GbuRunResult {
+        self.render_pooled(gbu_par::global(), splats, dnb, bins, camera, background, policy)
+    }
+
+    /// [`TileEngine::render`] on an explicit thread pool.
+    ///
+    /// The run splits into two phases: the Gaussian Reuse Cache is one
+    /// shared structure whose state threads through the whole frame, so
+    /// its simulation walks the D&B access trace serially (it is a few
+    /// table lookups per instance); the per-tile shading and queue
+    /// timing — all of the real work — is independent per tile and is
+    /// dispatched across the pool one tile row at a time. Results are
+    /// merged in tile order, so cycle counts and the image are identical
+    /// at every thread count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_pooled(
+        &self,
+        pool: &ThreadPool,
+        splats: &[Splat2D],
+        dnb: &DnbResult,
+        bins: &TileBins,
+        camera: &Camera,
+        background: Vec3,
+        policy: Policy,
+    ) -> GbuRunResult {
         if self.config.fp16_datapath {
-            self.render_with::<StateF16>(splats, dnb, bins, camera, background, policy)
+            self.render_with::<StateF16>(pool, splats, dnb, bins, camera, background, policy)
         } else {
-            self.render_with::<StateF32>(splats, dnb, bins, camera, background, policy)
+            self.render_with::<StateF32>(pool, splats, dnb, bins, camera, background, policy)
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn render_with<S: PixelState>(
         &self,
+        pool: &ThreadPool,
         splats: &[Splat2D],
         dnb: &DnbResult,
         bins: &TileBins,
@@ -182,7 +210,6 @@ impl TileEngine {
         let cfg = &self.config;
         assert_eq!(cfg.covered_rows(), 16, "Row PEs must cover the 16-row tile");
         let mut image = FrameBuffer::new(camera.width, camera.height, background);
-        let mut cache = GaussianReuseCache::new(cfg.cache_lines(), policy);
         let mut result = GbuRunResult {
             image: FrameBuffer::new(1, 1, background),
             compute_cycles: 0,
@@ -196,85 +223,149 @@ impl TileEngine {
             tiles: 0,
         };
 
-        let tile_px = (bins.tile_size * bins.tile_size) as usize;
-        let mut state: Vec<S> = vec![S::fresh(); tile_px];
-        let mut trace_pos = 0usize;
-        // One slot per pixel row: each Row PE renders its two rows on
-        // parallel lanes (Sec. VI-A: "each row PE renders 2 rows ...
-        // 2 x 16 pixels in total").
-        let mut pe_free = vec![0u64; cfg.covered_rows() as usize];
-
-        for tile in 0..bins.tile_count() {
-            let entries = bins.entries_of(tile);
-            if entries.is_empty() {
-                continue;
-            }
-            result.tiles += 1;
-            let (x0, y0, x1, y1) = bins.tile_pixel_rect(tile, camera.width, camera.height);
-            let w = (x1 - x0) as usize;
-            for s in state.iter_mut().take(w * (y1 - y0) as usize) {
-                *s = S::fresh();
-            }
-            let mut rowgen_t = 0u64;
-            pe_free.fill(0);
-
-            for &entry in entries {
-                debug_assert_eq!(dnb.access_trace[trace_pos], entry, "trace desync");
-                let hit = cache.access(entry, dnb.next_use[trace_pos]);
-                trace_pos += 1;
-                if !hit {
-                    result.dram_bytes += cfg.bytes_per_miss;
-                }
-                result.instances += 1;
-                let isp = &dnb.transforms[entry as usize];
-                rowgen_t += cfg.rowgen_instance_cycles;
-
-                let mut nspans = 0u64;
-                for py in y0..y1 {
-                    let outcome = isp.row_outcome(py, x0, x1);
-                    let RowOutcome::Span(span) = outcome else { continue };
-                    nspans += 1;
-                    let row_idx = (py - y0) as usize;
-                    let mut frags = 0u64;
-                    isp.march(&span, x1, |px, q| {
-                        frags += 1;
-                        let idx = row_idx * w + (px - x0) as usize;
-                        let st = &mut state[idx];
-                        if st.transmittance() < T_SATURATED {
-                            return;
-                        }
-                        st.blend(alpha_from_q(isp.opacity, q), isp.color);
-                    });
-                    // The marching above counts interior fragments; the
-                    // terminating out-of-threshold fragment also occupies
-                    // a threshold-unit cycle.
-                    let evaluated = frags + u64::from(span.first_x as u64 + frags < x1 as u64);
-                    result.fragments += evaluated;
-                    let task =
-                        cfg.rowpe_setup_cycles + evaluated.div_ceil(cfg.rowpe_frags_per_cycle);
-                    let start = rowgen_t.max(pe_free[row_idx]);
-                    pe_free[row_idx] = start + task;
-                    result.pe_busy_cycles += task;
-                }
-                result.spans += nspans;
-                rowgen_t += nspans.div_ceil(cfg.rowgen_spans_per_cycle);
-            }
-
-            let tile_cycles =
-                rowgen_t.max(pe_free.iter().copied().max().unwrap_or(0)) + cfg.tile_overhead_cycles;
-            result.compute_cycles += tile_cycles;
-            result.rowgen_cycles += rowgen_t;
-
-            // Flush the row pixel buffers to the frame buffer.
-            for py in y0..y1 {
-                for px in x0..x1 {
-                    let st = &state[(py - y0) as usize * w + (px - x0) as usize];
-                    image.set(px, py, st.color() + background * st.transmittance());
-                }
+        // Phase 1 — the Gaussian Reuse Cache over the full access trace
+        // (instance stream in tile order), exactly as the D&B engine
+        // feeds it.
+        let mut cache = GaussianReuseCache::new(cfg.cache_lines(), policy);
+        for (pos, &entry) in dnb.access_trace.iter().enumerate() {
+            if !cache.access(entry, dnb.next_use[pos]) {
+                result.dram_bytes += cfg.bytes_per_miss;
             }
         }
-
         result.cache = cache.stats();
+
+        // Phase 2 — per-tile shading and Row-PE queue timing, tile rows
+        // in parallel. Each job owns its slice of image rows; per-worker
+        // scratch holds the tile pixel states and Row-PE free times.
+        struct RowJob<'a> {
+            ty: u32,
+            pixels: &'a mut [Vec3],
+            compute_cycles: u64,
+            rowgen_cycles: u64,
+            pe_busy_cycles: u64,
+            instances: u64,
+            spans: u64,
+            fragments: u64,
+            tiles: u64,
+        }
+        struct WorkerScratch<S> {
+            state: Vec<S>,
+            pe_free: Vec<u64>,
+        }
+
+        let tile_px = (bins.tile_size * bins.tile_size) as usize;
+        let row_px = bins.tile_size as usize * camera.width as usize;
+        let width = camera.width as usize;
+        let mut jobs: Vec<RowJob> = image
+            .pixels_mut()
+            .chunks_mut(row_px)
+            .enumerate()
+            .map(|(ty, pixels)| RowJob {
+                ty: ty as u32,
+                pixels,
+                compute_cycles: 0,
+                rowgen_cycles: 0,
+                pe_busy_cycles: 0,
+                instances: 0,
+                spans: 0,
+                fragments: 0,
+                tiles: 0,
+            })
+            .collect();
+        let workers = pool.threads().min(jobs.len()).max(1);
+        let mut scratch: Vec<WorkerScratch<S>> = (0..workers)
+            .map(|_| WorkerScratch {
+                state: vec![S::fresh(); tile_px],
+                pe_free: vec![0u64; cfg.covered_rows() as usize],
+            })
+            .collect();
+
+        pool.for_each_mut_with(&mut scratch, &mut jobs, |ws, _, job| {
+            for tx in 0..bins.tiles_x {
+                let tile = (job.ty * bins.tiles_x + tx) as usize;
+                let entries = bins.entries_of(tile);
+                if entries.is_empty() {
+                    continue;
+                }
+                debug_assert_eq!(
+                    &dnb.access_trace[bins.offsets[tile]..bins.offsets[tile + 1]],
+                    entries,
+                    "trace desync"
+                );
+                job.tiles += 1;
+                let (x0, y0, x1, y1) = bins.tile_pixel_rect(tile, camera.width, camera.height);
+                let w = (x1 - x0) as usize;
+                let state = &mut ws.state;
+                for s in state.iter_mut().take(w * (y1 - y0) as usize) {
+                    *s = S::fresh();
+                }
+                let mut rowgen_t = 0u64;
+                let pe_free = &mut ws.pe_free;
+                pe_free.fill(0);
+
+                for &entry in entries {
+                    job.instances += 1;
+                    let isp = &dnb.transforms[entry as usize];
+                    rowgen_t += cfg.rowgen_instance_cycles;
+
+                    let mut nspans = 0u64;
+                    for py in y0..y1 {
+                        let outcome = isp.row_outcome(py, x0, x1);
+                        let RowOutcome::Span(span) = outcome else { continue };
+                        nspans += 1;
+                        let row_idx = (py - y0) as usize;
+                        let mut frags = 0u64;
+                        isp.march(&span, x1, |px, q| {
+                            frags += 1;
+                            let idx = row_idx * w + (px - x0) as usize;
+                            let st = &mut state[idx];
+                            if st.transmittance() < T_SATURATED {
+                                return;
+                            }
+                            st.blend(alpha_from_q(isp.opacity, q), isp.color);
+                        });
+                        // The marching above counts interior fragments;
+                        // the terminating out-of-threshold fragment also
+                        // occupies a threshold-unit cycle.
+                        let evaluated = frags + u64::from(span.first_x as u64 + frags < x1 as u64);
+                        job.fragments += evaluated;
+                        let task =
+                            cfg.rowpe_setup_cycles + evaluated.div_ceil(cfg.rowpe_frags_per_cycle);
+                        let start = rowgen_t.max(pe_free[row_idx]);
+                        pe_free[row_idx] = start + task;
+                        job.pe_busy_cycles += task;
+                    }
+                    job.spans += nspans;
+                    rowgen_t += nspans.div_ceil(cfg.rowgen_spans_per_cycle);
+                }
+
+                let tile_cycles = rowgen_t.max(pe_free.iter().copied().max().unwrap_or(0))
+                    + cfg.tile_overhead_cycles;
+                job.compute_cycles += tile_cycles;
+                job.rowgen_cycles += rowgen_t;
+
+                // Flush the row pixel buffers to this tile row's slice of
+                // the frame buffer (`pixels` starts at image row `y0`).
+                for py in y0..y1 {
+                    for px in x0..x1 {
+                        let st = &state[(py - y0) as usize * w + (px - x0) as usize];
+                        job.pixels[(py - y0) as usize * width + px as usize] =
+                            st.color() + background * st.transmittance();
+                    }
+                }
+            }
+        });
+
+        for job in &jobs {
+            result.compute_cycles += job.compute_cycles;
+            result.rowgen_cycles += job.rowgen_cycles;
+            result.pe_busy_cycles += job.pe_busy_cycles;
+            result.instances += job.instances;
+            result.spans += job.spans;
+            result.fragments += job.fragments;
+            result.tiles += job.tiles;
+        }
+        drop(jobs);
         result.image = image;
         result
     }
@@ -404,6 +495,34 @@ mod tests {
         let r = TileEngine::new(cfg).render(&splats, &d, &bins, &cam, bg, Policy::ReuseDistance);
         assert_eq!(r.compute_cycles, 0);
         assert_eq!(r.image.get(5, 5), bg);
+    }
+
+    #[test]
+    fn engine_is_bit_identical_across_thread_counts() {
+        let cfg = GbuConfig::paper();
+        let (scene, cam) = test_scene(70);
+        let (splats, _) = gbu_render::preprocess::project_scene(&scene, &cam);
+        let (bins, _) = bin_splats(&splats, &cam, 16);
+        let d = dnb::run(&splats, &bins, &cfg);
+        let engine = TileEngine::new(cfg);
+        let run = |threads: usize| {
+            let pool = gbu_par::ThreadPool::new(threads);
+            engine.render_pooled(&pool, &splats, &d, &bins, &cam, Vec3::ZERO, Policy::ReuseDistance)
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let r = run(threads);
+            assert_eq!(r.image.pixels(), reference.image.pixels(), "image @ {threads} threads");
+            assert_eq!(r.compute_cycles, reference.compute_cycles, "cycles @ {threads} threads");
+            assert_eq!(r.rowgen_cycles, reference.rowgen_cycles);
+            assert_eq!(r.pe_busy_cycles, reference.pe_busy_cycles);
+            assert_eq!(r.cache, reference.cache, "cache stats @ {threads} threads");
+            assert_eq!(r.dram_bytes, reference.dram_bytes);
+            assert_eq!(
+                (r.instances, r.spans, r.fragments, r.tiles),
+                (reference.instances, reference.spans, reference.fragments, reference.tiles)
+            );
+        }
     }
 
     #[test]

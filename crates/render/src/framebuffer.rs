@@ -58,6 +58,20 @@ impl FrameBuffer {
         &self.pixels
     }
 
+    /// Mutable access to all pixels in row-major order. The blending
+    /// hot path partitions this into disjoint tile-row slices for the
+    /// parallel workers.
+    pub fn pixels_mut(&mut self) -> &mut [Vec3] {
+        &mut self.pixels
+    }
+
+    /// Fills every pixel with `value`, reusing the allocation — the
+    /// buffer-reuse counterpart of [`FrameBuffer::new`] for
+    /// repeated-render loops.
+    pub fn fill(&mut self, value: Vec3) {
+        self.pixels.fill(value);
+    }
+
     /// Mean value of all pixels (quick content check in tests).
     pub fn mean(&self) -> Vec3 {
         let sum: Vec3 = self.pixels.iter().copied().sum();

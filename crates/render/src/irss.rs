@@ -24,10 +24,12 @@
 
 use crate::binning::TileBins;
 use crate::preprocess::pixel_center;
+use crate::scratch::{BlendScratch, TileScratch};
 use crate::splat::{alpha_from_q, Splat2D};
-use crate::stats::{BlendStats, FLOPS_BLEND, FLOPS_Q_FULL, FLOPS_Q_T2};
+use crate::stats::{self, BlendStats, FLOPS_BLEND, FLOPS_Q_FULL, FLOPS_Q_T2};
 use crate::{FrameBuffer, RenderConfig};
 use gbu_math::{Mat2, Vec2, Vec3};
+use gbu_par::ThreadPool;
 use gbu_scene::Camera;
 
 /// FLOPs charged per considered row for the incremental `y''` update and
@@ -205,9 +207,17 @@ impl IrssSplat {
     }
 }
 
-/// Precomputes IRSS transforms for every splat.
+/// Precomputes IRSS transforms for every splat on the global pool (one
+/// EVD + rotation per splat — Rendering Step ❶ work, embarrassingly
+/// parallel).
 pub fn precompute(splats: &[Splat2D]) -> Vec<IrssSplat> {
-    splats.iter().map(IrssSplat::new).collect()
+    precompute_pooled(gbu_par::global(), splats)
+}
+
+/// [`precompute`] on an explicit pool. Output ordering is index-stable,
+/// so the transform list is identical at any thread count.
+pub fn precompute_pooled(pool: &ThreadPool, splats: &[Splat2D]) -> Vec<IrssSplat> {
+    pool.map_indexed(splats, |_, s| IrssSplat::new(s))
 }
 
 /// Blends all tiles with the IRSS dataflow. Produces the same image as
@@ -231,26 +241,130 @@ pub fn blend_precomputed(
     camera: &Camera,
     config: &RenderConfig,
 ) -> (FrameBuffer, BlendStats) {
-    assert_eq!(splats.len(), isplats.len(), "splat/transform length mismatch");
     let mut image = FrameBuffer::new(camera.width, camera.height, config.background);
-    let mut stats = BlendStats {
-        tile_instances: (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect(),
-        ..BlendStats::default()
-    };
+    let mut stats = BlendStats::default();
+    let mut scratch = BlendScratch::new();
+    blend_precomputed_into(
+        gbu_par::global(),
+        splats,
+        isplats,
+        bins,
+        camera,
+        config,
+        &mut scratch,
+        &mut image,
+        &mut stats,
+    );
+    (image, stats)
+}
+
+/// The allocation-free IRSS entry point: blends into caller-owned
+/// buffers, tile rows dispatched across `pool` and merged in tile order.
+/// Bit-identical to a serial run at any thread count.
+///
+/// # Panics
+///
+/// Panics if `image` does not match the camera's dimensions or the
+/// transform list does not match the splat list.
+#[allow(clippy::too_many_arguments)] // the reuse surface *is* the point
+pub fn blend_precomputed_into(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    isplats: &[IrssSplat],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    scratch: &mut BlendScratch,
+    image: &mut FrameBuffer,
+    stats: &mut BlendStats,
+) {
+    assert_eq!(splats.len(), isplats.len(), "splat/transform length mismatch");
+    assert_eq!(
+        (image.width(), image.height()),
+        (camera.width, camera.height),
+        "framebuffer/camera size mismatch"
+    );
+    image.fill(config.background);
+    stats.reset();
+    stats.tile_instances.extend((0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32));
+    // The row-workload table is partitioned per tile row alongside the
+    // image rows; take it out of `stats` so the jobs can borrow chunks.
+    let mut row_workload = std::mem::take(&mut stats.row_workload);
     if config.record_row_workload {
-        stats.row_workload = vec![[0u32; 16]; bins.tile_count()];
+        row_workload.resize(bins.tile_count(), [0u32; 16]);
     }
 
-    let tile_px = (bins.tile_size * bins.tile_size) as usize;
-    let mut color = vec![Vec3::ZERO; tile_px];
-    let mut trans = vec![1.0f32; tile_px];
+    struct RowJob<'a> {
+        pixels: &'a mut [Vec3],
+        workload: &'a mut [[u32; 16]],
+        stats: BlendStats,
+        nanos: u64,
+    }
 
-    for (tile, entries) in bins.occupied() {
+    let row_px = bins.tile_size as usize * camera.width as usize;
+    let tiles_x = bins.tiles_x as usize;
+    let mut workload_chunks = row_workload.chunks_mut(tiles_x);
+    let mut jobs: Vec<RowJob> = image
+        .pixels_mut()
+        .chunks_mut(row_px)
+        .map(|pixels| RowJob {
+            pixels,
+            workload: workload_chunks.next().unwrap_or_default(),
+            stats: BlendStats::default(),
+            nanos: 0,
+        })
+        .collect();
+    let workers = pool.threads().min(jobs.len()).max(1);
+    pool.for_each_mut_with(scratch.workers(workers), &mut jobs, |tile_scratch, ty, job| {
+        let t0 = std::time::Instant::now();
+        blend_tile_row(
+            isplats,
+            bins,
+            camera,
+            config,
+            tile_scratch,
+            ty as u32,
+            job.pixels,
+            job.workload,
+            &mut job.stats,
+        );
+        job.nanos = t0.elapsed().as_nanos() as u64;
+    });
+
+    scratch.record_job_nanos(jobs.iter().map(|j| j.nanos));
+    for job in &jobs {
+        stats::accumulate(stats, &job.stats);
+    }
+    drop(jobs);
+    stats.row_workload = row_workload;
+}
+
+/// Blends every tile of tile row `ty` into `pixels` with the IRSS
+/// dataflow — the sequential per-tile loop, shared verbatim between the
+/// serial and parallel paths.
+#[allow(clippy::too_many_arguments)]
+fn blend_tile_row(
+    isplats: &[IrssSplat],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    tile_scratch: &mut TileScratch,
+    ty: u32,
+    pixels: &mut [Vec3],
+    workload: &mut [[u32; 16]],
+    stats: &mut BlendStats,
+) {
+    let width = camera.width as usize;
+    for tx in 0..bins.tiles_x {
+        let tile = (ty * bins.tiles_x + tx) as usize;
+        let entries = bins.entries_of(tile);
+        if entries.is_empty() {
+            continue;
+        }
         let (x0, y0, x1, y1) = bins.tile_pixel_rect(tile, camera.width, camera.height);
         let w = (x1 - x0) as usize;
         let active_px = w * (y1 - y0) as usize;
-        color[..active_px].fill(Vec3::ZERO);
-        trans[..active_px].fill(1.0);
+        let (color, trans) = tile_scratch.tile(active_px);
         let mut alive = active_px;
 
         for (ei, &entry) in entries.iter().enumerate() {
@@ -302,8 +416,7 @@ pub fn blend_precomputed(
                         stats.q_flops += u64::from(cost.evaluated.saturating_sub(1)) * FLOPS_Q_T2;
                         instance_row_max = instance_row_max.max(cost.evaluated);
                         if config.record_row_workload {
-                            let rows = &mut stats.row_workload[tile];
-                            rows[row_idx.min(15)] += cost.inside;
+                            workload[tx as usize][row_idx.min(15)] += cost.inside;
                         }
                     }
                 }
@@ -314,11 +427,11 @@ pub fn blend_precomputed(
         for py in y0..y1 {
             for px in x0..x1 {
                 let idx = (py - y0) as usize * w + (px - x0) as usize;
-                image.set(px, py, color[idx] + config.background * trans[idx]);
+                pixels[(py - y0) as usize * width + px as usize] =
+                    color[idx] + config.background * trans[idx];
             }
         }
     }
-    (image, stats)
 }
 
 #[cfg(test)]

@@ -23,6 +23,19 @@
 //! [`stats`] instruments everything the architecture simulators need:
 //! fragment counts, FLOP counts at the paper's accounting granularity,
 //! per-row workloads (Fig. 9) and per-tile instance lists.
+//!
+//! # Parallelism
+//!
+//! Tiles are independent units of blending work, so both dataflows
+//! dispatch tile rows across the `gbu_par` thread pool and merge the
+//! per-row results in tile order — output is **bit-identical** to a
+//! serial run at every thread count (`tests/parallel_equivalence.rs`
+//! pins this). The public entry points use the global pool (`GBU_THREADS`
+//! env override, defaulting to the machine's parallelism); `*_pooled`
+//! variants take an explicit pool, and the `*_into` variants
+//! ([`pfs::blend_into`], [`irss::blend_precomputed_into`]) additionally
+//! reuse caller-owned buffers ([`BlendScratch`], [`FrameBuffer`],
+//! [`stats::BlendStats`]) so repeated-render loops are allocation-free.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -33,10 +46,12 @@ pub mod irss;
 pub mod metrics;
 pub mod pfs;
 pub mod preprocess;
+mod scratch;
 mod splat;
 pub mod stats;
 
 pub use framebuffer::FrameBuffer;
+pub use scratch::BlendScratch;
 pub use splat::{alpha_from_q, Splat2D, GBU_FEATURE_BYTES, SPLAT_FEATURE_BYTES};
 
 use gbu_math::Vec3;

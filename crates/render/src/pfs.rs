@@ -14,41 +14,135 @@
 
 use crate::binning::TileBins;
 use crate::preprocess::pixel_center;
+use crate::scratch::{BlendScratch, TileScratch};
 use crate::splat::{alpha_from_q, Splat2D};
-use crate::stats::{BlendStats, FLOPS_BLEND, FLOPS_Q_FULL};
+use crate::stats::{self, BlendStats, FLOPS_BLEND, FLOPS_Q_FULL};
 use crate::{FrameBuffer, RenderConfig};
 use gbu_math::Vec3;
+use gbu_par::ThreadPool;
 use gbu_scene::Camera;
 
 /// Transmittance below which a pixel is considered saturated (the
 /// reference's `T < 0.0001` early exit).
 pub const T_SATURATED: f32 = 1e-4;
 
-/// Blends all tiles with the PFS dataflow.
+/// Blends all tiles with the PFS dataflow on the global thread pool
+/// (`GBU_THREADS` / available parallelism).
 pub fn blend(
     splats: &[Splat2D],
     bins: &TileBins,
     camera: &Camera,
     config: &RenderConfig,
 ) -> (FrameBuffer, BlendStats) {
+    blend_pooled(gbu_par::global(), splats, bins, camera, config)
+}
+
+/// [`blend`] on an explicit pool (freshly allocated outputs).
+pub fn blend_pooled(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+) -> (FrameBuffer, BlendStats) {
     let mut image = FrameBuffer::new(camera.width, camera.height, config.background);
-    let mut stats = BlendStats {
-        tile_instances: (0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32).collect(),
-        ..BlendStats::default()
-    };
+    let mut stats = BlendStats::default();
+    let mut scratch = BlendScratch::new();
+    blend_into(pool, splats, bins, camera, config, &mut scratch, &mut image, &mut stats);
+    (image, stats)
+}
 
-    // Tile-local working buffers, reused across tiles.
-    let tile_px = (bins.tile_size * bins.tile_size) as usize;
-    let mut color = vec![Vec3::ZERO; tile_px];
-    let mut trans = vec![1.0f32; tile_px];
+/// The allocation-free PFS entry point: blends into a caller-owned frame
+/// buffer, stats record and scratch, all of which are reset here and
+/// reused across frames. Tiles are independent blending work, so tile
+/// rows are dispatched across the pool and merged in tile order — the
+/// output is bit-identical to a serial run at any thread count (pinned
+/// by `tests/parallel_equivalence.rs`).
+///
+/// # Panics
+///
+/// Panics if `image` does not match the camera's dimensions.
+#[allow(clippy::too_many_arguments)] // the reuse surface *is* the point
+pub fn blend_into(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    scratch: &mut BlendScratch,
+    image: &mut FrameBuffer,
+    stats: &mut BlendStats,
+) {
+    assert_eq!(
+        (image.width(), image.height()),
+        (camera.width, camera.height),
+        "framebuffer/camera size mismatch"
+    );
+    image.fill(config.background);
+    stats.reset();
+    stats.tile_instances.extend((0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32));
 
-    for (tile, entries) in bins.occupied() {
+    struct RowJob<'a> {
+        pixels: &'a mut [Vec3],
+        stats: BlendStats,
+        nanos: u64,
+    }
+
+    let row_px = bins.tile_size as usize * camera.width as usize;
+    let mut jobs: Vec<RowJob> = image
+        .pixels_mut()
+        .chunks_mut(row_px)
+        .map(|pixels| RowJob { pixels, stats: BlendStats::default(), nanos: 0 })
+        .collect();
+    let workers = pool.threads().min(jobs.len()).max(1);
+    pool.for_each_mut_with(scratch.workers(workers), &mut jobs, |tile_scratch, ty, job| {
+        let t0 = std::time::Instant::now();
+        blend_tile_row(
+            splats,
+            bins,
+            camera,
+            config,
+            tile_scratch,
+            ty as u32,
+            job.pixels,
+            &mut job.stats,
+        );
+        job.nanos = t0.elapsed().as_nanos() as u64;
+    });
+
+    scratch.record_job_nanos(jobs.iter().map(|j| j.nanos));
+    for job in &jobs {
+        stats::accumulate(stats, &job.stats);
+    }
+}
+
+/// Blends every tile of tile row `ty` into `pixels` (the image rows this
+/// tile row covers, full width) — the sequential per-tile dataflow,
+/// untouched by the parallel dispatch so serial and parallel runs share
+/// every floating-point operation.
+#[allow(clippy::too_many_arguments)]
+fn blend_tile_row(
+    splats: &[Splat2D],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    tile_scratch: &mut TileScratch,
+    ty: u32,
+    pixels: &mut [Vec3],
+    stats: &mut BlendStats,
+) {
+    let width = camera.width as usize;
+    for tx in 0..bins.tiles_x {
+        let tile = (ty * bins.tiles_x + tx) as usize;
+        let entries = bins.entries_of(tile);
+        if entries.is_empty() {
+            continue;
+        }
         let (x0, y0, x1, y1) = bins.tile_pixel_rect(tile, camera.width, camera.height);
         let w = (x1 - x0) as usize;
         let h = (y1 - y0) as usize;
         let active_px = w * h;
-        color[..active_px].fill(Vec3::ZERO);
-        trans[..active_px].fill(1.0);
+        let (color, trans) = tile_scratch.tile(active_px);
         let mut alive = active_px;
 
         for (ei, &entry) in entries.iter().enumerate() {
@@ -83,15 +177,16 @@ pub fn blend(
             }
         }
 
-        // Composite over the background and write back.
+        // Composite over the background and write back. `pixels` starts
+        // at image row `y0` (the tile row's first row), full width.
         for py in y0..y1 {
             for px in x0..x1 {
                 let idx = (py - y0) as usize * w + (px - x0) as usize;
-                image.set(px, py, color[idx] + config.background * trans[idx]);
+                pixels[(py - y0) as usize * width + px as usize] =
+                    color[idx] + config.background * trans[idx];
             }
         }
     }
-    (image, stats)
 }
 
 #[cfg(test)]

@@ -98,13 +98,28 @@ pub enum CullReason {
     Degenerate,
 }
 
-/// Projects an entire scene, producing splats and Step-❶ statistics.
+/// Projects an entire scene, producing splats and Step-❶ statistics, on
+/// the global thread pool.
 pub fn project_scene(scene: &GaussianScene, camera: &Camera) -> (Vec<Splat2D>, PreprocessStats) {
+    project_scene_pooled(gbu_par::global(), scene, camera)
+}
+
+/// [`project_scene`] on an explicit pool. Each Gaussian projects
+/// independently; the survivors are folded back in index order, so the
+/// splat list (and every statistic) is identical at any thread count.
+pub fn project_scene_pooled(
+    pool: &gbu_par::ThreadPool,
+    scene: &GaussianScene,
+    camera: &Camera,
+) -> (Vec<Splat2D>, PreprocessStats) {
+    let projected = pool.map_indexed(&scene.gaussians, |i, g| {
+        (project_gaussian(g, camera, i as u32), PROJECT_FLOPS + g.sh.eval_flops())
+    });
     let mut splats = Vec::with_capacity(scene.len());
     let mut stats = PreprocessStats { input_gaussians: scene.len() as u64, ..Default::default() };
-    for (i, g) in scene.gaussians.iter().enumerate() {
-        stats.flops += PROJECT_FLOPS + g.sh.eval_flops();
-        match project_gaussian(g, camera, i as u32) {
+    for (result, flops) in projected {
+        stats.flops += flops;
+        match result {
             Ok(splat) => {
                 splats.push(splat);
             }

@@ -1,0 +1,76 @@
+//! Reusable working memory for the blending hot path.
+//!
+//! Both dataflows walk a tile with two tile-local arrays (accumulated
+//! color and transmittance per pixel). The original implementation
+//! allocated them per `blend` call; [`BlendScratch`] owns one
+//! [`TileScratch`] per pool worker plus the per-tile-row wall-clock
+//! samples of the last blend, so repeated-render loops (device
+//! simulation, serving, benchmarks) make no per-tile or per-pixel
+//! allocations once warm — the only per-frame heap touch left in a
+//! `blend_into` call is the tile-row job list, which borrows the frame
+//! buffer and so cannot be cached here.
+
+use gbu_math::Vec3;
+
+/// Per-worker tile-local working buffers.
+#[derive(Debug, Default)]
+pub struct TileScratch {
+    color: Vec<Vec3>,
+    trans: Vec<f32>,
+}
+
+impl TileScratch {
+    /// Hands out the first `active_px` entries of the color/transmittance
+    /// buffers, re-initialised to zero color and full transmittance
+    /// (growing the buffers on first use).
+    pub(crate) fn tile(&mut self, active_px: usize) -> (&mut [Vec3], &mut [f32]) {
+        if self.color.len() < active_px {
+            self.color.resize(active_px, Vec3::ZERO);
+            self.trans.resize(active_px, 1.0);
+        }
+        let color = &mut self.color[..active_px];
+        let trans = &mut self.trans[..active_px];
+        color.fill(Vec3::ZERO);
+        trans.fill(1.0);
+        (color, trans)
+    }
+}
+
+/// Reusable scratch for the `blend_into` entry points: per-worker tile
+/// buffers plus the per-tile-row timing trace of the most recent blend.
+#[derive(Debug, Default)]
+pub struct BlendScratch {
+    workers: Vec<TileScratch>,
+    job_nanos: Vec<u64>,
+}
+
+impl BlendScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns at least `workers` tile scratches (growing the set if
+    /// needed — each is cheap until its first tile sizes it).
+    pub(crate) fn workers(&mut self, workers: usize) -> &mut [TileScratch] {
+        if self.workers.len() < workers {
+            self.workers.resize_with(workers, TileScratch::default);
+        }
+        &mut self.workers
+    }
+
+    /// Stores the per-tile-row wall-clock samples of a blend.
+    pub(crate) fn record_job_nanos(&mut self, nanos: impl Iterator<Item = u64>) {
+        self.job_nanos.clear();
+        self.job_nanos.extend(nanos);
+    }
+
+    /// Wall-clock nanoseconds each tile row of the last blend took,
+    /// indexed by tile row. The `repro render` experiment feeds these to
+    /// its critical-path schedule model, which predicts the parallel
+    /// wall-clock on an unloaded multi-core host (useful when the
+    /// benchmark itself runs on a single-core CI container).
+    pub fn job_nanos(&self) -> &[u64] {
+        &self.job_nanos
+    }
+}

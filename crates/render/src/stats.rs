@@ -99,6 +99,18 @@ pub struct BlendStats {
 }
 
 impl BlendStats {
+    /// Zeroes every counter and empties the per-tile vectors while
+    /// keeping their allocations — the buffer-reuse entry points
+    /// (`pfs::blend_into` / `irss::blend_precomputed_into`) call this so
+    /// repeated-render loops rebuild no `Vec` per frame.
+    pub fn reset(&mut self) {
+        let mut tile_instances = std::mem::take(&mut self.tile_instances);
+        let mut row_workload = std::mem::take(&mut self.row_workload);
+        tile_instances.clear();
+        row_workload.clear();
+        *self = BlendStats { tile_instances, row_workload, ..BlendStats::default() };
+    }
+
     /// Total FLOPs of the blending stage.
     pub fn total_flops(&self) -> u64 {
         self.q_flops + self.blend_flops + self.setup_flops

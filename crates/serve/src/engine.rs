@@ -433,13 +433,34 @@ impl ServeEngine {
         self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
     }
 
+    /// Estimated wait (cycles) a new arrival sees behind the frames
+    /// already queued: their summed optimistic service times spread over
+    /// the pool's devices. Optimistic on purpose — it ignores contention
+    /// and in-flight work, matching `min_service`'s own optimism — so a
+    /// rejection is still a proof of unmeetability.
+    fn queued_wait_estimate(&self) -> u64 {
+        let total: u64 = self
+            .queue
+            .iter()
+            .map(|t| self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service))
+            .sum();
+        total / self.pool.len() as u64
+    }
+
     /// Runs the admission decision for `ticket` at time `at`, queueing it
     /// or rejecting it.
     fn admit(&mut self, ticket: FrameTicket, at: u64) {
         let min_service =
             self.slots[ticket.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+        let queued_wait = if self.cfg.admission.reject_unmeetable && self.cfg.admission.queue_aware
+        {
+            self.queued_wait_estimate()
+        } else {
+            0
+        };
         match self.cfg.admission.decide(
             self.queue.len(),
+            queued_wait,
             ticket.arrival,
             ticket.deadline,
             min_service,

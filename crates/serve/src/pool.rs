@@ -174,26 +174,59 @@ impl DevicePool {
     /// device at the shared contention rate, and collects any frames that
     /// complete. The wall clock is strictly monotone: `wall_dt == 0` is
     /// rejected.
+    ///
+    /// Between two arbitration points the contention rate is constant and
+    /// the devices are independent, so the busy devices advance
+    /// concurrently on the global `gbu_par` pool; their completions are
+    /// merged back in device order, keeping the simulated-cycle results
+    /// identical to a serial sweep at any thread count (the regenerated
+    /// `BENCH_serve.json` pins this).
     pub fn advance(&mut self, wall_dt: u64) -> Vec<PoolCompletion> {
         assert!(wall_dt > 0, "the simulated clock must move forward");
         let rate = self.rate();
         self.clock += wall_dt;
-        let mut done = Vec::new();
-        for (i, slot) in self.active.iter_mut().enumerate() {
-            let Some(a) = slot.as_mut() else { continue };
+        let clock = self.clock;
+
+        struct AdvanceJob<'a> {
+            device: usize,
+            gbu: &'a mut Gbu,
+            slot: &'a mut Option<ActiveFrame>,
+            busy: u64,
+            completion: Option<PoolCompletion>,
+        }
+        let mut jobs: Vec<AdvanceJob> = self
+            .devices
+            .iter_mut()
+            .zip(self.active.iter_mut())
+            .enumerate()
+            .filter(|(_, (_, slot))| slot.is_some())
+            .map(|(i, (gbu, slot))| AdvanceJob { device: i, gbu, slot, busy: 0, completion: None })
+            .collect();
+
+        gbu_par::global().for_each_mut(&mut jobs, |_, job| {
+            let a = job.slot.as_mut().expect("jobs hold busy devices only");
             // Busy credit stops when the frame finishes, even if the
             // caller overshoots the completion event.
-            let remaining = self.devices[i].in_flight_remaining().unwrap_or(0) as f64 - a.residue;
+            let remaining = job.gbu.in_flight_remaining().unwrap_or(0) as f64 - a.residue;
             let needed_wall = (remaining / rate).ceil().max(0.0) as u64;
-            self.busy_device_cycles += wall_dt.min(needed_wall);
+            job.busy = wall_dt.min(needed_wall);
             let progress = wall_dt as f64 * rate + a.residue;
             let whole = progress.floor();
             a.residue = progress - whole;
-            self.devices[i].advance(whole as u64);
-            if let Some(frame) = self.devices[i].try_collect() {
+            job.gbu.advance(whole as u64);
+            if let Some(frame) = job.gbu.try_collect() {
                 let ticket = a.ticket;
-                *slot = None;
-                done.push(PoolCompletion { ticket, device: i, completed_at: self.clock, frame });
+                *job.slot = None;
+                job.completion =
+                    Some(PoolCompletion { ticket, device: job.device, completed_at: clock, frame });
+            }
+        });
+
+        let mut done = Vec::new();
+        for job in jobs {
+            self.busy_device_cycles += job.busy;
+            if let Some(c) = job.completion {
+                done.push(c);
             }
         }
         done

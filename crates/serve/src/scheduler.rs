@@ -161,15 +161,26 @@ pub struct AdmissionControl {
     /// this are rejected (backpressure).
     pub max_queue_depth: usize,
     /// When set, reject at admission any frame whose deadline is already
-    /// unmeetable: `arrival + min_service_estimate > deadline`, where the
-    /// estimate is the session's cheapest viewpoint on an uncontended
-    /// device. Such a frame could only burn device time to miss anyway.
+    /// unmeetable: `arrival + queued_wait + min_service_estimate >
+    /// deadline`, where the estimate is the session's cheapest viewpoint
+    /// on an uncontended device and `queued_wait` is the estimated wait
+    /// behind the work already queued (see
+    /// [`AdmissionControl::queue_aware`]). Such a frame could only burn
+    /// device time to miss anyway.
     pub reject_unmeetable: bool,
+    /// Whether the meetability estimate folds in the wait behind frames
+    /// already queued ahead of the candidate (their summed optimistic
+    /// service time spread over the pool's devices). Off, the check
+    /// pretends the candidate runs next — optimistic at exactly the
+    /// moment (a deep queue) when optimism hurts most. On by default;
+    /// only meaningful together with
+    /// [`AdmissionControl::reject_unmeetable`].
+    pub queue_aware: bool,
 }
 
 impl Default for AdmissionControl {
     fn default() -> Self {
-        Self { max_queue_depth: 64, reject_unmeetable: false }
+        Self { max_queue_depth: 64, reject_unmeetable: false, queue_aware: true }
     }
 }
 
@@ -180,12 +191,15 @@ impl AdmissionControl {
     }
 
     /// Full admission decision for a frame arriving at `arrival` with
-    /// `deadline`, given the current queue `depth` and the session's
-    /// optimistic `min_service_cycles` estimate. `Ok(())` admits; `Err`
-    /// carries the rejection reason.
+    /// `deadline`, given the current queue `depth`, the estimated wait
+    /// `queued_wait_cycles` behind already-queued work (ignored unless
+    /// [`AdmissionControl::queue_aware`]) and the session's optimistic
+    /// `min_service_cycles` estimate. `Ok(())` admits; `Err` carries the
+    /// rejection reason.
     pub fn decide(
         &self,
         depth: usize,
+        queued_wait_cycles: u64,
         arrival: u64,
         deadline: u64,
         min_service_cycles: u64,
@@ -193,7 +207,10 @@ impl AdmissionControl {
         if !self.admits(depth) {
             return Err(RejectReason::QueueFull);
         }
-        if self.reject_unmeetable && arrival.saturating_add(min_service_cycles) > deadline {
+        let wait = if self.queue_aware { queued_wait_cycles } else { 0 };
+        if self.reject_unmeetable
+            && arrival.saturating_add(wait).saturating_add(min_service_cycles) > deadline
+        {
             return Err(RejectReason::Unmeetable);
         }
         Ok(())
@@ -260,8 +277,8 @@ mod tests {
         assert!(ac.admits(0));
         assert!(ac.admits(1));
         assert!(!ac.admits(2));
-        assert_eq!(ac.decide(2, 0, 100, 10), Err(RejectReason::QueueFull));
-        assert_eq!(ac.decide(1, 0, 100, 10), Ok(()));
+        assert_eq!(ac.decide(2, 0, 0, 100, 10), Err(RejectReason::QueueFull));
+        assert_eq!(ac.decide(1, 0, 0, 100, 10), Ok(()));
     }
 
     #[test]
@@ -269,17 +286,32 @@ mod tests {
         let lax = AdmissionControl::default();
         // Deadline 100 with a 500-cycle minimum service: hopeless, but
         // admitted unless the deadline-aware check is enabled.
-        assert_eq!(lax.decide(0, 50, 100, 500), Ok(()));
+        assert_eq!(lax.decide(0, 0, 50, 100, 500), Ok(()));
         let strict = AdmissionControl { reject_unmeetable: true, ..lax };
-        assert_eq!(strict.decide(0, 50, 100, 500), Err(RejectReason::Unmeetable));
+        assert_eq!(strict.decide(0, 0, 50, 100, 500), Err(RejectReason::Unmeetable));
         // A meetable frame still passes.
-        assert_eq!(strict.decide(0, 50, 600, 500), Ok(()));
+        assert_eq!(strict.decide(0, 0, 50, 600, 500), Ok(()));
         // Saturating arithmetic: a huge arrival cannot wrap around and
         // sneak past an effectively-infinite deadline.
-        assert_eq!(strict.decide(0, u64::MAX - 1, u64::MAX, 500), Ok(()));
+        assert_eq!(strict.decide(0, 0, u64::MAX - 1, u64::MAX, 500), Ok(()));
         assert_eq!(
-            strict.decide(0, u64::MAX - 1, u64::MAX - 1, 500),
+            strict.decide(0, 0, u64::MAX - 1, u64::MAX - 1, 500),
             Err(RejectReason::Unmeetable)
         );
+    }
+
+    #[test]
+    fn queue_wait_folds_into_meetability() {
+        let strict = AdmissionControl { reject_unmeetable: true, ..AdmissionControl::default() };
+        // Meetable with an empty queue (arrival 0, service 400 ≤ 1000)…
+        assert_eq!(strict.decide(0, 0, 0, 1000, 400), Ok(()));
+        // …but not behind 700 cycles of queued work.
+        assert_eq!(strict.decide(3, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
+        // A depth-blind configuration ignores the queued wait (the
+        // pre-queue-aware behaviour, kept reachable for comparison).
+        let blind = AdmissionControl { queue_aware: false, ..strict };
+        assert_eq!(blind.decide(3, 700, 0, 1000, 400), Ok(()));
+        // Queue wait saturates rather than wrapping.
+        assert_eq!(strict.decide(1, u64::MAX, 5, u64::MAX - 1, 1), Err(RejectReason::Unmeetable));
     }
 }

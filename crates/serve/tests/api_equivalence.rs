@@ -46,7 +46,11 @@ fn config(devices: usize, policy: Policy, depth: usize, deadline_aware: bool) ->
     ServeConfig {
         devices,
         policy,
-        admission: AdmissionControl { max_queue_depth: depth, reject_unmeetable: deadline_aware },
+        admission: AdmissionControl {
+            max_queue_depth: depth,
+            reject_unmeetable: deadline_aware,
+            ..AdmissionControl::default()
+        },
         drop_unmeetable: deadline_aware,
         ..ServeConfig::default()
     }

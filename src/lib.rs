@@ -5,6 +5,8 @@
 //! library use, depend on the individual crates:
 //!
 //! - [`gbu_math`] — linear algebra, EVD, f16, radix sort
+//! - [`gbu_par`] — the deterministic scoped thread pool behind the
+//!   parallel render hot path
 //! - [`gbu_scene`] — Gaussians, cameras, synthetic datasets
 //! - [`gbu_render`] — the rendering pipeline (PFS + IRSS dataflows)
 //! - [`gbu_gpu`] — the edge-GPU timing/power simulator
@@ -18,6 +20,7 @@ pub use gbu_core as core_api;
 pub use gbu_gpu as gpu;
 pub use gbu_hw as hw;
 pub use gbu_math as math;
+pub use gbu_par as par;
 pub use gbu_render as render;
 pub use gbu_scene as scene;
 pub use gbu_serve as serve;

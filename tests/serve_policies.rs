@@ -54,6 +54,66 @@ fn edf_beats_fcfs_on_heterogeneous_qos() {
     }
 }
 
+/// Queue-depth-aware admission (ROADMAP open item): folding the
+/// estimated wait behind already-queued work into the meetability check
+/// must strictly reduce completed-but-missed frames under overload —
+/// depth-blind admission keeps queueing frames whose deadline the queue
+/// ahead of them has already spent, burning device time to render them
+/// late. Queue-aware admission converts those guaranteed-late
+/// completions into up-front rejections (the client can degrade
+/// gracefully instead of waiting for a stale frame) and shortens the
+/// tail for what is served. Underloaded it must change nothing.
+#[test]
+fn queue_aware_admission_beats_depth_blind_admission() {
+    let sessions =
+        workload::prepare_all(workload::synthetic_mix(SESSIONS, FRAMES), &GbuConfig::paper());
+    let run = |queue_aware: bool, load: f64| {
+        let mut cfg = ServeConfig { devices: 1, policy: Policy::Edf, ..ServeConfig::default() };
+        cfg.admission.reject_unmeetable = true;
+        cfg.admission.queue_aware = queue_aware;
+        run_workload(cfg, &sessions, load)
+    };
+
+    // 2x overload: the ready queue stays deep, so the wait estimate bites.
+    let blind = run(false, 2.0);
+    let aware = run(true, 2.0);
+    for r in [&blind, &aware] {
+        eprintln!(
+            "queue_aware={} missed={} completed={} rejected={} p99={:.3}ms",
+            std::ptr::eq(r, &aware),
+            r.missed,
+            r.completed,
+            r.rejected,
+            r.p99_latency_ms
+        );
+        assert_eq!(r.generated, SESSIONS * FRAMES as usize);
+        assert_eq!(r.completed + r.rejected + r.dropped, r.generated);
+    }
+    assert!(
+        aware.missed < blind.missed,
+        "queue-aware admission must cut completed-but-missed frames: {} vs {}",
+        aware.missed,
+        blind.missed
+    );
+    assert!(
+        aware.p99_latency_ms <= blind.p99_latency_ms,
+        "shorter queues must not stretch the tail: {} vs {}",
+        aware.p99_latency_ms,
+        blind.p99_latency_ms
+    );
+    assert!(
+        aware.rejected > blind.rejected,
+        "the misses have to go somewhere: rejected up front, not served late"
+    );
+
+    // Underloaded, the queue is shallow and the estimate must not reject
+    // anything the depth-blind check would admit.
+    let blind_light = run(false, 0.4);
+    let aware_light = run(true, 0.4);
+    assert_eq!(aware_light.completed, blind_light.completed);
+    assert_eq!(aware_light.rejected, blind_light.rejected);
+}
+
 #[test]
 fn pool_scaling_relieves_overload() {
     let sessions = workload::prepare_all(workload::synthetic_mix(SESSIONS, 6), &GbuConfig::paper());

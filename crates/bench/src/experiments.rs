@@ -1070,13 +1070,10 @@ pub fn render(ctx: &Ctx) {
         scene_jsons.join(",")
     );
     // The committed trajectory is bench/full-profile data; the `test`
-    // profile is the CI smoke configuration and must not clobber it
-    // when reproduced locally (the smoke file is gitignored).
-    let path = match ctx.profile {
-        ScaleProfile::Test => "BENCH_render.smoke.json",
-        _ => "BENCH_render.json",
-    };
-    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    // profile is the CI smoke configuration and lands under the
+    // gitignored bench_out/ so it can never clobber the trajectory.
+    let path = smoke_path(ctx.profile, "BENCH_render");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path}\n");
 }
 
@@ -1094,7 +1091,7 @@ pub fn render(ctx: &Ctx) {
 /// The GBU clock is calibrated once — 16 sessions saturating a 2-device
 /// pool — and held fixed across the sweep, so growing the session count
 /// genuinely raises load instead of being normalised away.
-pub fn serve(_ctx: &Ctx) {
+pub fn serve(ctx: &Ctx) {
     use gbu_hw::GbuConfig;
     use gbu_serve::{calibrated_clock_ghz, run_sessions, workload, Policy, ServeConfig};
 
@@ -1168,6 +1165,199 @@ pub fn serve(_ctx: &Ctx) {
          \"target_utilization\":1.0}},\"runs\":[{}]}}\n",
         runs.join(",")
     );
-    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json ({} runs)\n", rows.len());
+    let path = smoke_path(ctx.profile, "BENCH_serve");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} runs)\n", rows.len());
+}
+
+/// Multi-pool scene-sharding sweep: shard counts {1, 2, 4} × every
+/// [`gbu_render::shard::ShardStrategy`] on the large synthetic scene,
+/// each run fanned over a [`gbu_serve::ShardedPool`] of single-device
+/// lanes, emitting `BENCH_shard.json`.
+///
+/// Reported per coordinate:
+///
+/// - `completion_cycles` — wall cycles until the *last* shard lands (the
+///   frame's critical path through the cluster);
+/// - `critical_path_speedup` — unsharded single-device occupancy over
+///   the sharded completion;
+/// - `imbalance` — measured max-shard-service over mean (1.0 = balanced),
+///   next to the plan's predicted figure;
+/// - `dram_overhead` — summed shard traffic over the unsharded frame's
+///   (boundary Gaussians are fetched by every shard that touches them).
+///
+/// The experiment validates itself: every merged image must be
+/// bit-identical to the unsharded device render and every figure finite,
+/// else it exits non-zero — CI runs it in the `test` profile as the
+/// sharding smoke gate.
+pub fn shard(ctx: &Ctx) {
+    use gbu_core::Gbu;
+    use gbu_gpu::GpuConfig;
+    use gbu_hw::GbuConfig;
+    use gbu_render::pipeline;
+    use gbu_render::shard::ShardStrategy;
+    use gbu_scene::synth::SceneBuilder;
+    use gbu_scene::{Camera, ScaleProfile};
+    use gbu_serve::{FrameId, FrameTicket, PreparedView, SessionId, ShardedPool};
+
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+    let (gaussians, width, height) = match ctx.profile {
+        ScaleProfile::Test => (2_500usize, 320u32, 192u32),
+        _ => (12_000, 896, 512),
+    };
+    println!("== Multi-pool scene sharding: shard count x strategy ==");
+    println!("   large synthetic scene: {gaussians} Gaussians at {width}x{height}");
+
+    let scene = SceneBuilder::new(97)
+        .ellipsoid_cloud(
+            gbu_math::Vec3::ZERO,
+            gbu_math::Vec3::new(0.9, 0.7, 0.9),
+            gaussians * 3 / 4,
+            gbu_math::Vec3::new(0.7, 0.5, 0.3),
+            0.25,
+        )
+        .sphere_shell(gbu_math::Vec3::ZERO, 1.2, gaussians / 4, gbu_math::Vec3::new(0.3, 0.4, 0.6))
+        .build();
+    let camera = Camera::orbit(width, height, 0.9, gbu_math::Vec3::ZERO, 3.4, 0.4, 0.2);
+    let projected = pipeline::project(&scene, &camera);
+    let binned = pipeline::bin(&projected, 16);
+
+    // Unsharded baseline: one frame on one uncontended device.
+    let gbu_cfg = GbuConfig::paper();
+    let mut gbu = Gbu::new(gbu_cfg.clone());
+    gbu.render_image(&projected.splats, &binned.bins, &camera, gbu_math::Vec3::ZERO)
+        .expect("baseline device is idle");
+    let base_cycles = gbu.in_flight_remaining().expect("frame in flight");
+    let base = gbu.wait().expect("frame in flight");
+    println!(
+        "   unsharded device occupancy: {:.2} Mcycles, {:.2} MB feature traffic",
+        base_cycles as f64 / 1e6,
+        base.run.dram_bytes as f64 / 1e6
+    );
+
+    let view = PreparedView {
+        splats: projected.splats.clone(),
+        bins: binned.bins.clone(),
+        camera: camera.clone(),
+    };
+    let ticket = FrameTicket {
+        id: FrameId::from_index(0),
+        session: SessionId::from_index(0),
+        frame: 0,
+        arrival: 0,
+        deadline: u64::MAX,
+    };
+
+    let mut invalid = false;
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    for strategy in ShardStrategy::all() {
+        for &shards in &SHARD_COUNTS {
+            let mut cluster =
+                ShardedPool::new(shards, 1, strategy, &gbu_cfg, &GpuConfig::orin_nx(), 0.5);
+            let planned_imbalance = cluster.submit(&view, ticket);
+            let mut done = Vec::new();
+            while let Some(dt) = cluster.next_completion_dt() {
+                done.extend(cluster.advance(dt));
+            }
+            assert_eq!(done.len(), 1, "one frame in, one frame out");
+            let c = done.remove(0);
+
+            let bit_identical = c.image.pixels() == base.image.pixels();
+            if !bit_identical {
+                eprintln!("INVALID: {}/{shards}: merged image diverged", strategy.label());
+                invalid = true;
+            }
+            let speedup = base_cycles as f64 / c.completed_at.max(1) as f64;
+            let dram_overhead = c.dram_bytes as f64 / base.run.dram_bytes.max(1) as f64;
+            for (label, v) in [
+                ("speedup", speedup),
+                ("imbalance", c.imbalance),
+                ("planned_imbalance", planned_imbalance),
+                ("dram_overhead", dram_overhead),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    eprintln!("INVALID: {}/{shards}: {label} = {v}", strategy.label());
+                    invalid = true;
+                }
+            }
+
+            rows.push(vec![
+                strategy.label().to_string(),
+                shards.to_string(),
+                fmt_f(c.completed_at as f64 / 1e6, 2),
+                fmt_x(speedup),
+                fmt_f(c.imbalance, 3),
+                fmt_f(planned_imbalance, 3),
+                fmt_x(dram_overhead),
+            ]);
+            let shard_cycles: Vec<String> = c.shard_cycles.iter().map(u64::to_string).collect();
+            runs.push(format!(
+                "{{\"strategy\":\"{}\",\"shards\":{shards},\"completion_cycles\":{},\
+                 \"critical_path_speedup\":{speedup:.4},\"imbalance\":{:.4},\
+                 \"planned_imbalance\":{planned_imbalance:.4},\"shard_cycles\":[{}],\
+                 \"dram_bytes\":{},\"dram_overhead\":{dram_overhead:.4},\
+                 \"bit_identical\":{bit_identical}}}",
+                strategy.label(),
+                c.completed_at,
+                c.imbalance,
+                shard_cycles.join(","),
+                c.dram_bytes,
+            ));
+        }
+    }
+
+    println!(
+        "{}",
+        table(
+            &[
+                "strategy",
+                "shards",
+                "completion Mcyc",
+                "speedup",
+                "imbalance",
+                "planned",
+                "DRAM ovh"
+            ],
+            &rows
+        )
+    );
+
+    if invalid {
+        eprintln!("shard sweep produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"shard_sweep\",\"profile\":\"{:?}\",\
+         \"scene\":{{\"gaussians\":{},\"splats\":{},\"width\":{width},\"height\":{height},\
+         \"tile_rows\":{},\"occupied_tiles\":{}}},\
+         \"unsharded\":{{\"occupancy_cycles\":{base_cycles},\"dram_bytes\":{}}},\
+         \"runs\":[{}]}}\n",
+        ctx.profile,
+        scene.len(),
+        projected.splats.len(),
+        binned.bins.tiles_y,
+        binned.stats.occupied_tiles,
+        base.run.dram_bytes,
+        runs.join(",")
+    );
+    let path = smoke_path(ctx.profile, "BENCH_shard");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} runs)\n", rows.len());
+}
+
+/// Output path for a bench trajectory: the committed `<stem>.json` at
+/// the repo root for tracked profiles, or the gitignored
+/// `bench_out/<stem>.smoke.json` for the CI `test` profile (smoke runs
+/// must never clobber the committed trajectory).
+fn smoke_path(profile: gbu_scene::ScaleProfile, stem: &str) -> String {
+    match profile {
+        gbu_scene::ScaleProfile::Test => {
+            std::fs::create_dir_all("bench_out").expect("create bench_out/");
+            format!("bench_out/{stem}.smoke.json")
+        }
+        _ => format!("{stem}.json"),
+    }
 }

@@ -5,9 +5,11 @@
 //! Experiments: fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu
 //! limits_gpu tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7
 //! limitations, plus `serve` — the multi-session serving sweep
-//! (sessions × policy × pool size), which writes `BENCH_serve.json`, and
+//! (sessions × policy × pool size), which writes `BENCH_serve.json`,
 //! `render` — the render hot-path wall-clock sweep (serial vs. parallel
-//! at 1/2/4/8 threads), which writes `BENCH_render.json`.
+//! at 1/2/4/8 threads), which writes `BENCH_render.json`, and `shard` —
+//! the multi-pool scene-sharding sweep (shard count × strategy), which
+//! writes `BENCH_shard.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -63,7 +65,8 @@ fn print_help() {
          fig1 tab1 fig4 fig5 challenges fig6 fig8 fig9 irss_gpu limits_gpu\n  \
          tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7 limitations all\n  \
          serve   (multi-session serving sweep; writes BENCH_serve.json)\n  \
-         render  (render hot-path wall-clock sweep; writes BENCH_render.json)"
+         render  (render hot-path wall-clock sweep; writes BENCH_render.json)\n  \
+         shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)"
     );
 }
 
@@ -92,6 +95,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "limitations" => experiments::limitations(ctx),
         "serve" => experiments::serve(ctx),
         "render" => experiments::render(ctx),
+        "shard" => experiments::shard(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -119,6 +123,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "fig1",
                 "serve",
                 "render",
+                "shard",
             ] {
                 run(ctx, c);
             }

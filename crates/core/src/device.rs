@@ -132,10 +132,46 @@ impl Gbu {
         camera: &Camera,
         background: Vec3,
     ) -> Result<(), DeviceError> {
+        self.start_frame(splats, bins, camera, background, false)
+    }
+
+    /// [`Gbu::render_image`] for one shard of a multi-device frame:
+    /// `bins` has been restricted to the shard's tile rows
+    /// (`gbu_render::shard::ShardPlan::shard_bins`), so the device
+    /// executes — and charges DRAM feature traffic and D&B cycles for —
+    /// only that tile range (`gbu_hw::dnb::run_scoped`). Rows outside the
+    /// shard render as background; the cluster host merges the partial
+    /// frame buffers.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::Busy`] when a frame is already in execution.
+    pub fn render_scoped(
+        &mut self,
+        splats: &[Splat2D],
+        bins: &TileBins,
+        camera: &Camera,
+        background: Vec3,
+    ) -> Result<(), DeviceError> {
+        self.start_frame(splats, bins, camera, background, true)
+    }
+
+    fn start_frame(
+        &mut self,
+        splats: &[Splat2D],
+        bins: &TileBins,
+        camera: &Camera,
+        background: Vec3,
+        scoped: bool,
+    ) -> Result<(), DeviceError> {
         if self.in_flight.is_some() {
             return Err(DeviceError::Busy);
         }
-        let d = dnb::run(splats, bins, &self.engine.config);
+        let d = if scoped {
+            dnb::run_scoped(splats, bins, &self.engine.config)
+        } else {
+            dnb::run(splats, bins, &self.engine.config)
+        };
         let run = self.engine.render(splats, &d, bins, camera, background, self.policy);
         // Chunk-level pipeline (Fig. 13 bottom): D&B overlaps the Tile PE,
         // so the frame occupies max(D&B, Tile PE) cycles.

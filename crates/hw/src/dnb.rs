@@ -39,14 +39,45 @@ pub struct DnbResult {
 /// the global `gbu_par` pool; the next-use scan is inherently sequential
 /// (it walks the trace back to front) and stays serial.
 pub fn run(splats: &[Splat2D], bins: &TileBins, cfg: &GbuConfig) -> DnbResult {
+    run_inner(splats, bins, cfg, false)
+}
+
+/// [`run`] for a tile-range-scoped shard of a frame: `bins` has been
+/// restricted to the shard's tile rows
+/// (`gbu_render::shard::ShardPlan::shard_bins`), so the access trace —
+/// and with it the shard's feature-fetch DRAM traffic — covers only that
+/// tile range by construction. The cycle accounting is scoped too: the
+/// EVD stage charges only the *distinct* Gaussians the shard's tiles
+/// touch, not the whole frame's splat list (each shard device decomposes
+/// only what it renders; a Gaussian spanning two shards is decomposed on
+/// both, matching independent devices). Transforms stay index-stable over
+/// the full splat list so the tile engine can keep indexing by splat id.
+pub fn run_scoped(splats: &[Splat2D], bins: &TileBins, cfg: &GbuConfig) -> DnbResult {
+    run_inner(splats, bins, cfg, true)
+}
+
+fn run_inner(splats: &[Splat2D], bins: &TileBins, cfg: &GbuConfig, scoped: bool) -> DnbResult {
     let transforms = gbu_render::irss::precompute(splats);
     let mut access_trace = Vec::with_capacity(bins.entries.len());
     for tile in 0..bins.tile_count() {
         access_trace.extend_from_slice(bins.entries_of(tile));
     }
     let next_use = cache::next_use_positions(&access_trace);
-    let cycles = splats.len() as u64 * cfg.dnb_evd_cycles
-        + access_trace.len() as u64 * cfg.dnb_intersect_cycles;
+    let decomposed = if scoped {
+        let mut touched = vec![false; splats.len()];
+        let mut distinct = 0u64;
+        for &e in &access_trace {
+            if !touched[e as usize] {
+                touched[e as usize] = true;
+                distinct += 1;
+            }
+        }
+        distinct
+    } else {
+        splats.len() as u64
+    };
+    let cycles =
+        decomposed * cfg.dnb_evd_cycles + access_trace.len() as u64 * cfg.dnb_intersect_cycles;
     DnbResult { transforms, access_trace, next_use, cycles }
 }
 
@@ -121,5 +152,41 @@ mod tests {
             + r.access_trace.len() as u64 * cfg.dnb_intersect_cycles;
         assert_eq!(r.cycles, expect);
         assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn scoped_run_charges_only_the_tile_range() {
+        let (splats, bins) = setup();
+        let cfg = GbuConfig::paper();
+        let full = run(&splats, &bins, &cfg);
+
+        // Restrict the bins to the top half of the tile rows and compare:
+        // the scoped trace covers only the range, and the EVD charge drops
+        // to the distinct Gaussians the range touches.
+        let plan = gbu_render::shard::ShardPlan::new(
+            gbu_render::shard::ShardStrategy::ContiguousRows,
+            &bins,
+            2,
+        );
+        let mut scoped_instances = 0usize;
+        let mut scoped_cycles = 0u64;
+        for s in 0..2 {
+            let sb = plan.shard_bins(&bins, s);
+            let r = run_scoped(&splats, &sb, &cfg);
+            assert_eq!(r.access_trace.len(), sb.entries.len());
+            assert!(r.cycles <= full.cycles, "a shard cannot cost more than the frame");
+            assert_eq!(r.transforms.len(), splats.len(), "transforms stay index-stable");
+            scoped_instances += r.access_trace.len();
+            scoped_cycles += r.cycles;
+        }
+        assert_eq!(scoped_instances, full.access_trace.len(), "instances partition");
+        // Shards re-decompose Gaussians that straddle the boundary, so the
+        // summed EVD charge can exceed the frame's — but never by more
+        // than one extra decomposition per splat per extra shard.
+        assert!(scoped_cycles >= full.access_trace.len() as u64 * cfg.dnb_intersect_cycles);
+        assert!(
+            scoped_cycles <= full.cycles + splats.len() as u64 * cfg.dnb_evd_cycles,
+            "duplicate decompositions are bounded by one per splat per shard"
+        );
     }
 }

@@ -61,6 +61,19 @@ impl TileBins {
         (x0, y0, (x0 + self.tile_size).min(width), (y0 + self.tile_size).min(height))
     }
 
+    /// Per-tile-row (splat, tile) pair counts — the Step-❷ cost signal
+    /// the cost-balanced shard planner ([`crate::shard::ShardPlan`])
+    /// consumes. Index = tile row.
+    pub fn row_pair_counts(&self) -> Vec<u64> {
+        (0..self.tiles_y)
+            .map(|ty| {
+                let first = (ty * self.tiles_x) as usize;
+                let last = first + self.tiles_x as usize;
+                (self.offsets[last] - self.offsets[first]) as u64
+            })
+            .collect()
+    }
+
     /// Iterator over `(tile_id, entries)` for occupied tiles.
     pub fn occupied(&self) -> impl Iterator<Item = (usize, &[u32])> + '_ {
         (0..self.tile_count()).filter_map(move |t| {

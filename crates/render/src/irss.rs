@@ -341,9 +341,9 @@ pub fn blend_precomputed_into(
 
 /// Blends every tile of tile row `ty` into `pixels` with the IRSS
 /// dataflow — the sequential per-tile loop, shared verbatim between the
-/// serial and parallel paths.
+/// serial and parallel paths (and, per shard row, by `crate::shard`).
 #[allow(clippy::too_many_arguments)]
-fn blend_tile_row(
+pub(crate) fn blend_tile_row(
     isplats: &[IrssSplat],
     bins: &TileBins,
     camera: &Camera,

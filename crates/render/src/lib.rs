@@ -20,6 +20,15 @@
 //! paper's claim in Sec. IV-B); the integration tests and property tests
 //! assert image equality within floating-point tolerance.
 //!
+//! [`pipeline`] exposes the three steps as an explicit staged pipeline
+//! with first-class intermediate artifacts ([`ProjectedFrame`],
+//! [`BinnedFrame`]); `render_pfs` / `render_irss` are thin compositions
+//! over it. [`shard`] builds scene sharding on those stages: a
+//! [`ShardPlan`] splits a frame's tile rows over N shards
+//! (contiguous / interleaved / cost-balanced), each shard blends into a
+//! disjoint partial-framebuffer region, and [`shard::merge_shards`]
+//! reassembles the full frame bit-identically to the unsharded render.
+//!
 //! [`stats`] instruments everything the architecture simulators need:
 //! fragment counts, FLOP counts at the paper's accounting granularity,
 //! per-row workloads (Fig. 9) and per-tile instance lists.
@@ -45,13 +54,17 @@ mod framebuffer;
 pub mod irss;
 pub mod metrics;
 pub mod pfs;
+pub mod pipeline;
 pub mod preprocess;
 mod scratch;
+pub mod shard;
 mod splat;
 pub mod stats;
 
 pub use framebuffer::FrameBuffer;
+pub use pipeline::{BinnedFrame, Dataflow, ProjectedFrame};
 pub use scratch::BlendScratch;
+pub use shard::{ShardFrame, ShardPlan, ShardStrategy};
 pub use splat::{alpha_from_q, Splat2D, GBU_FEATURE_BYTES, SPLAT_FEATURE_BYTES};
 
 use gbu_math::Vec3;
@@ -104,16 +117,10 @@ pub struct RenderOutput {
 /// assert!(out.blend.fragments_blended > 0);
 /// ```
 pub fn render_pfs(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
-    let (splats, pre) = preprocess::project_scene(scene, camera);
-    let (bins, bin_stats) = binning::bin_splats(&splats, camera, config.tile_size);
-    let (image, blend) = pfs::blend(&splats, &bins, camera, config);
-    RenderOutput { image, preprocess: pre, binning: bin_stats, blend }
+    pipeline::render(scene, camera, Dataflow::Pfs, config)
 }
 
 /// Renders a scene end-to-end with the paper's IRSS blending dataflow.
 pub fn render_irss(scene: &GaussianScene, camera: &Camera, config: &RenderConfig) -> RenderOutput {
-    let (splats, pre) = preprocess::project_scene(scene, camera);
-    let (bins, bin_stats) = binning::bin_splats(&splats, camera, config.tile_size);
-    let (image, blend) = irss::blend(&splats, &bins, camera, config);
-    RenderOutput { image, preprocess: pre, binning: bin_stats, blend }
+    pipeline::render(scene, camera, Dataflow::Irss, config)
 }

@@ -119,9 +119,11 @@ pub fn blend_into(
 /// Blends every tile of tile row `ty` into `pixels` (the image rows this
 /// tile row covers, full width) — the sequential per-tile dataflow,
 /// untouched by the parallel dispatch so serial and parallel runs share
-/// every floating-point operation.
+/// every floating-point operation. The scene-sharding path
+/// (`crate::shard`) drives the same function per shard row, which is why
+/// sharded output is bit-identical by construction.
 #[allow(clippy::too_many_arguments)]
-fn blend_tile_row(
+pub(crate) fn blend_tile_row(
     splats: &[Splat2D],
     bins: &TileBins,
     camera: &Camera,

@@ -1,0 +1,470 @@
+//! Scene sharding over tile rows: split one frame's Step-❸ work across
+//! N shards, blend each shard into a disjoint partial-framebuffer
+//! region, and merge the partials back into the full frame.
+//!
+//! Tile rows are the natural shard boundary: the blending dataflows
+//! already treat them as independent jobs (`pfs::blend_into` dispatches
+//! them across the thread pool), so a shard is just a *set of tile rows*
+//! and sharded output is bit-identical to the unsharded render by
+//! construction — every per-row operation is the same sequential code,
+//! and u64 statistic counters sum order-independently
+//! (`tests/shard_equivalence.rs` pins this for shard counts {1, 2, 4} ×
+//! every strategy × thread counts {1, 4}).
+//!
+//! Three [`ShardStrategy`] variants split the rows:
+//!
+//! - **contiguous rows** — shard `s` gets the `s`-th block of adjacent
+//!   rows (best feature-cache locality per shard; worst balance on
+//!   center-heavy scenes);
+//! - **interleaved rows** — row `r` goes to shard `r mod n`
+//!   (round-robin balance without measuring anything);
+//! - **cost-balanced** — greedy longest-processing-time assignment fed
+//!   by the per-tile-row (splat, tile) pair counts Step ❷ already
+//!   produced ([`crate::binning::TileBins::row_pair_counts`]).
+//!
+//! [`ShardPlan::shard_bins`] restricts a [`crate::binning::TileBins`] to
+//! one shard's rows (same grid, other rows emptied) — the form a device
+//! in a multi-pool cluster consumes: the D&B access trace, and hence the
+//! DRAM feature traffic, then covers only that shard's tile range.
+
+use crate::binning::TileBins;
+use crate::irss::{self, IrssSplat};
+use crate::scratch::TileScratch;
+use crate::stats::{self, BlendStats};
+use crate::{pfs, FrameBuffer, RenderConfig, Splat2D};
+use gbu_math::Vec3;
+use gbu_par::ThreadPool;
+use gbu_scene::Camera;
+
+/// How a frame's tile rows are split over shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShardStrategy {
+    /// Blocks of adjacent tile rows.
+    ContiguousRows,
+    /// Row `r` → shard `r mod n`.
+    InterleavedRows,
+    /// Greedy LPT over per-tile-row pair counts from binning.
+    CostBalanced,
+}
+
+impl ShardStrategy {
+    /// All strategies, in sweep order.
+    pub fn all() -> [ShardStrategy; 3] {
+        [ShardStrategy::ContiguousRows, ShardStrategy::InterleavedRows, ShardStrategy::CostBalanced]
+    }
+
+    /// Stable name for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShardStrategy::ContiguousRows => "contiguous_rows",
+            ShardStrategy::InterleavedRows => "interleaved_rows",
+            ShardStrategy::CostBalanced => "cost_balanced",
+        }
+    }
+}
+
+/// One shard's slice of the frame.
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    /// Tile rows this shard renders, ascending.
+    pub rows: Vec<u32>,
+    /// Planned Step-❷ cost: summed (splat, tile) pair count of the rows.
+    pub planned_cost: u64,
+}
+
+/// A frame's tile rows split over N shards — disjoint and covering.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// The strategy that built the plan.
+    pub strategy: ShardStrategy,
+    /// Tile edge in pixels (copied from the bins).
+    pub tile_size: u32,
+    /// Tiles per row of the planned grid.
+    pub tiles_x: u32,
+    /// Total tile rows of the frame.
+    pub tiles_y: u32,
+    /// Per-shard row assignments; every row in `0..tiles_y` appears in
+    /// exactly one shard.
+    pub shards: Vec<ShardAssignment>,
+}
+
+impl ShardPlan {
+    /// Splits `bins`' tile rows over `shards` shards with `strategy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn new(strategy: ShardStrategy, bins: &TileBins, shards: usize) -> Self {
+        assert!(shards > 0, "a plan needs at least one shard");
+        let costs = bins.row_pair_counts();
+        let tiles_y = bins.tiles_y;
+        let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        match strategy {
+            ShardStrategy::ContiguousRows => {
+                // Balanced blocks: the first `rem` shards get one extra row.
+                let base = tiles_y as usize / shards;
+                let rem = tiles_y as usize % shards;
+                let mut next = 0u32;
+                for (s, rows) in rows_of.iter_mut().enumerate() {
+                    let len = base + usize::from(s < rem);
+                    rows.extend(next..next + len as u32);
+                    next += len as u32;
+                }
+            }
+            ShardStrategy::InterleavedRows => {
+                for r in 0..tiles_y {
+                    rows_of[r as usize % shards].push(r);
+                }
+            }
+            ShardStrategy::CostBalanced => {
+                // Longest-processing-time: heaviest rows first, each to the
+                // currently lightest shard (ties by shard index — fully
+                // deterministic).
+                let mut order: Vec<u32> = (0..tiles_y).collect();
+                order.sort_by_key(|&r| (std::cmp::Reverse(costs[r as usize]), r));
+                let mut load = vec![0u64; shards];
+                for r in order {
+                    let s = (0..shards).min_by_key(|&s| (load[s], s)).expect("shards > 0");
+                    load[s] += costs[r as usize];
+                    rows_of[s].push(r);
+                }
+            }
+        }
+        let shards = rows_of
+            .into_iter()
+            .map(|mut rows| {
+                rows.sort_unstable();
+                let planned_cost = rows.iter().map(|&r| costs[r as usize]).sum();
+                ShardAssignment { rows, planned_cost }
+            })
+            .collect();
+        Self { strategy, tile_size: bins.tile_size, tiles_x: bins.tiles_x, tiles_y, shards }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Planned load imbalance: heaviest shard cost over mean shard cost
+    /// (1.0 = perfectly balanced; 1.0 for an empty frame).
+    pub fn planned_imbalance(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.planned_cost).sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let max = self.shards.iter().map(|s| s.planned_cost).max().expect("non-empty plan");
+        max as f64 / (total as f64 / self.shards.len() as f64)
+    }
+
+    /// Restricts `bins` to shard `shard`'s tile rows: same grid and tile
+    /// ids, but tiles outside the shard hold no instances. The D&B access
+    /// trace built from the restriction — and hence the shard's DRAM
+    /// feature traffic — covers only the shard's tile range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` does not match the plan's grid.
+    pub fn shard_bins(&self, bins: &TileBins, shard: usize) -> TileBins {
+        assert_eq!(
+            (bins.tiles_x, bins.tiles_y, bins.tile_size),
+            (self.tiles_x, self.tiles_y, self.tile_size),
+            "plan/bins grid mismatch"
+        );
+        let mut selected = vec![false; self.tiles_y as usize];
+        for &r in &self.shards[shard].rows {
+            selected[r as usize] = true;
+        }
+        let tile_count = bins.tile_count();
+        let mut offsets = vec![0usize; tile_count + 1];
+        let mut entries = Vec::with_capacity(self.shards[shard].planned_cost as usize);
+        for t in 0..tile_count {
+            let ty = t as u32 / bins.tiles_x;
+            if selected[ty as usize] {
+                entries.extend_from_slice(bins.entries_of(t));
+            }
+            offsets[t + 1] = entries.len();
+        }
+        TileBins {
+            tile_size: bins.tile_size,
+            tiles_x: bins.tiles_x,
+            tiles_y: bins.tiles_y,
+            offsets,
+            entries,
+        }
+    }
+}
+
+/// One shard's rendered output: the pixel bands of its tile rows plus
+/// the blending statistics of exactly those rows.
+#[derive(Debug, Clone)]
+pub struct ShardFrame {
+    rows: Vec<u32>,
+    /// Concatenated full-width pixel bands, one per row in `rows` order.
+    pixels: Vec<Vec3>,
+    /// Blend statistics of this shard's tiles (scalar counters only; the
+    /// per-tile tables are rebuilt at merge time).
+    pub stats: BlendStats,
+}
+
+impl ShardFrame {
+    /// The tile rows this shard rendered, ascending.
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+}
+
+/// Pixel-row height of tile row `ty` (the last row may be clipped).
+fn band_height(ty: u32, tile_size: u32, height: u32) -> usize {
+    (((ty + 1) * tile_size).min(height) - ty * tile_size) as usize
+}
+
+/// Blends shard `shard` of `plan` with the PFS dataflow, the shard's
+/// rows dispatched across `pool`.
+pub fn blend_shard_pfs(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    plan: &ShardPlan,
+    shard: usize,
+) -> ShardFrame {
+    blend_shard_with(pool, camera, config, plan, shard, |scratch, ty, band, stats| {
+        pfs::blend_tile_row(splats, bins, camera, config, scratch, ty, band, stats);
+    })
+}
+
+/// Blends shard `shard` of `plan` with the IRSS dataflow (transforms
+/// precomputed once per frame, shared across shards).
+pub fn blend_shard_irss(
+    pool: &ThreadPool,
+    isplats: &[IrssSplat],
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    plan: &ShardPlan,
+    shard: usize,
+) -> ShardFrame {
+    blend_shard_with(pool, camera, config, plan, shard, |scratch, ty, band, stats| {
+        irss::blend_tile_row(isplats, bins, camera, config, scratch, ty, band, &mut [], stats);
+    })
+}
+
+/// The shared shard-blend scaffold: allocates the shard's pixel bands,
+/// dispatches its rows across the pool and accumulates row stats in row
+/// order — the identical structure `blend_into` uses for the full frame.
+fn blend_shard_with<F>(
+    pool: &ThreadPool,
+    camera: &Camera,
+    config: &RenderConfig,
+    plan: &ShardPlan,
+    shard: usize,
+    row_fn: F,
+) -> ShardFrame
+where
+    F: Fn(&mut TileScratch, u32, &mut [Vec3], &mut BlendStats) + Sync,
+{
+    assert!(!config.record_row_workload, "row-workload recording is not supported under sharding");
+    let rows = plan.shards[shard].rows.clone();
+    let width = camera.width as usize;
+    let total_px: usize =
+        rows.iter().map(|&ty| band_height(ty, plan.tile_size, camera.height) * width).sum();
+    let mut pixels = vec![config.background; total_px];
+
+    struct RowJob<'a> {
+        ty: u32,
+        band: &'a mut [Vec3],
+        stats: BlendStats,
+    }
+    let mut jobs: Vec<RowJob> = Vec::with_capacity(rows.len());
+    let mut rest: &mut [Vec3] = &mut pixels;
+    for &ty in &rows {
+        let h = band_height(ty, plan.tile_size, camera.height);
+        let (band, tail) = rest.split_at_mut(h * width);
+        jobs.push(RowJob { ty, band, stats: BlendStats::default() });
+        rest = tail;
+    }
+
+    let workers = pool.threads().min(jobs.len()).max(1);
+    let mut scratch: Vec<TileScratch> = (0..workers).map(|_| TileScratch::default()).collect();
+    pool.for_each_mut_with(&mut scratch, &mut jobs, |tile_scratch, _, job| {
+        row_fn(tile_scratch, job.ty, job.band, &mut job.stats);
+    });
+
+    let mut shard_stats = BlendStats::default();
+    for job in &jobs {
+        stats::accumulate(&mut shard_stats, &job.stats);
+    }
+    drop(jobs);
+    ShardFrame { rows, pixels, stats: shard_stats }
+}
+
+/// Reassembles the full frame from per-shard partials and aggregates
+/// their statistics — bit-identical to the unsharded blend for any shard
+/// count and strategy.
+///
+/// The merged [`BlendStats`] sums every scalar counter across shards (in
+/// shard order; u64 sums are order-independent) and rebuilds the
+/// per-tile instance table from `bins`, exactly as the unsharded blend
+/// records it.
+///
+/// # Panics
+///
+/// Panics unless the shards' rows cover every tile row exactly once.
+pub fn merge_shards(
+    bins: &TileBins,
+    camera: &Camera,
+    config: &RenderConfig,
+    shards: &[ShardFrame],
+) -> (FrameBuffer, BlendStats) {
+    let width = camera.width as usize;
+    let mut image = FrameBuffer::new(camera.width, camera.height, config.background);
+    let mut stats = BlendStats::default();
+    let mut covered = vec![false; bins.tiles_y as usize];
+    for sf in shards {
+        let mut cursor = 0usize;
+        for &ty in &sf.rows {
+            assert!(!covered[ty as usize], "tile row {ty} rendered by two shards");
+            covered[ty as usize] = true;
+            let h = band_height(ty, bins.tile_size, camera.height);
+            let y0 = (ty * bins.tile_size) as usize;
+            let dst = &mut image.pixels_mut()[y0 * width..y0 * width + h * width];
+            dst.copy_from_slice(&sf.pixels[cursor..cursor + h * width]);
+            cursor += h * width;
+        }
+        stats::accumulate(&mut stats, &sf.stats);
+    }
+    assert!(covered.iter().all(|&c| c), "shards must cover every tile row");
+    stats.tile_instances.extend((0..bins.tile_count()).map(|t| bins.entries_of(t).len() as u32));
+    (image, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{self, Dataflow};
+    use gbu_scene::{Gaussian3D, GaussianScene};
+
+    fn scene_and_camera() -> (GaussianScene, Camera) {
+        // Center-heavy cloud: contiguous row blocks are visibly imbalanced.
+        let scene: GaussianScene = (0..50)
+            .map(|i| {
+                let a = i as f32 * 0.37;
+                Gaussian3D::isotropic(
+                    Vec3::new(a.cos() * 0.5, (a * 1.3).sin() * 0.25, a.sin() * 0.5),
+                    0.05 + 0.01 * (i % 4) as f32,
+                    Vec3::new(0.3 + 0.01 * i as f32, 0.7, 0.4),
+                    0.4 + 0.01 * i as f32,
+                )
+            })
+            .collect();
+        (scene, Camera::orbit(128, 96, 1.0, Vec3::ZERO, 3.0, 0.3, 0.15))
+    }
+
+    #[test]
+    fn plans_are_disjoint_and_covering() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        for strategy in ShardStrategy::all() {
+            for shards in [1usize, 2, 3, 4, 7] {
+                let plan = ShardPlan::new(strategy, &binned.bins, shards);
+                assert_eq!(plan.shard_count(), shards);
+                let mut seen = vec![0u32; binned.bins.tiles_y as usize];
+                for a in &plan.shards {
+                    assert!(a.rows.windows(2).all(|w| w[0] < w[1]), "rows ascending");
+                    for &r in &a.rows {
+                        seen[r as usize] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "{strategy:?}/{shards}: cover exactly once");
+                assert!(plan.planned_imbalance() >= 1.0 - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_balanced_is_no_worse_than_contiguous() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        for shards in [2usize, 3] {
+            let cont = ShardPlan::new(ShardStrategy::ContiguousRows, &binned.bins, shards);
+            let bal = ShardPlan::new(ShardStrategy::CostBalanced, &binned.bins, shards);
+            assert!(
+                bal.planned_imbalance() <= cont.planned_imbalance() + 1e-12,
+                "LPT ({}) must not lose to contiguous ({}) at {shards} shards",
+                bal.planned_imbalance(),
+                cont.planned_imbalance()
+            );
+        }
+    }
+
+    #[test]
+    fn shard_bins_partition_the_entries() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        let plan = ShardPlan::new(ShardStrategy::InterleavedRows, &binned.bins, 3);
+        let mut total = 0usize;
+        for s in 0..3 {
+            let sb = plan.shard_bins(&binned.bins, s);
+            assert_eq!(sb.tile_count(), binned.bins.tile_count());
+            // Within the shard's rows the per-tile entries are identical.
+            for t in 0..sb.tile_count() {
+                let ty = t as u32 / sb.tiles_x;
+                if plan.shards[s].rows.contains(&ty) {
+                    assert_eq!(sb.entries_of(t), binned.bins.entries_of(t));
+                } else {
+                    assert!(sb.entries_of(t).is_empty());
+                }
+            }
+            total += sb.entries.len();
+        }
+        assert_eq!(total, binned.bins.entries.len(), "entries partition exactly");
+    }
+
+    #[test]
+    fn merged_shards_match_unsharded_blend() {
+        let (scene, camera) = scene_and_camera();
+        let cfg = RenderConfig::default();
+        let pool = ThreadPool::new(2);
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, cfg.tile_size);
+        let reference = pipeline::blend_pooled(&pool, &projected, &binned, Dataflow::Pfs, &cfg);
+        let plan = ShardPlan::new(ShardStrategy::CostBalanced, &binned.bins, 3);
+        let parts: Vec<ShardFrame> = (0..3)
+            .map(|s| {
+                blend_shard_pfs(&pool, &projected.splats, &binned.bins, &camera, &cfg, &plan, s)
+            })
+            .collect();
+        let (merged, stats) = merge_shards(&binned.bins, &camera, &cfg, &parts);
+        assert_eq!(merged.pixels(), reference.0.pixels(), "bit-identical image");
+        assert_eq!(stats, reference.1, "bit-identical statistics");
+    }
+
+    #[test]
+    fn row_pair_counts_sum_to_instances() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        let counts = binned.bins.row_pair_counts();
+        assert_eq!(counts.len(), binned.bins.tiles_y as usize);
+        assert_eq!(counts.iter().sum::<u64>(), binned.bins.entries.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every tile row")]
+    fn merge_rejects_missing_rows() {
+        let (scene, camera) = scene_and_camera();
+        let cfg = RenderConfig::default();
+        let pool = ThreadPool::new(1);
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, cfg.tile_size);
+        let plan = ShardPlan::new(ShardStrategy::ContiguousRows, &binned.bins, 2);
+        let only_first =
+            vec![blend_shard_pfs(&pool, &projected.splats, &binned.bins, &camera, &cfg, &plan, 0)];
+        let _ = merge_shards(&binned.bins, &camera, &cfg, &only_first);
+    }
+}

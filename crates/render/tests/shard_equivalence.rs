@@ -1,0 +1,182 @@
+//! The sharding path's central guarantee, in property form: splitting a
+//! frame's tile rows over N shards, blending each shard into its partial
+//! framebuffer region and merging produces output **bit-identical** to
+//! the unsharded blend — for every shard count in {1, 2, 4}, every
+//! [`ShardStrategy`], both dataflows, at thread counts {1, 4} — and the
+//! per-shard [`BlendStats`] sum (conserve) to the unsharded totals.
+
+use gbu_math::Vec3;
+use gbu_par::ThreadPool;
+use gbu_render::shard::{
+    blend_shard_irss, blend_shard_pfs, merge_shards, ShardFrame, ShardPlan, ShardStrategy,
+};
+use gbu_render::stats::{self, BlendStats};
+use gbu_render::{irss, pfs, pipeline, Dataflow, FrameBuffer, RenderConfig};
+use gbu_scene::{Camera, Gaussian3D, GaussianScene};
+use proptest::prelude::*;
+
+/// Shard counts the acceptance criteria pin.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Thread counts the acceptance criteria pin.
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+fn scene_strategy() -> impl Strategy<Value = GaussianScene> {
+    proptest::collection::vec(
+        (
+            -0.8f32..0.8,
+            -0.6f32..0.6,
+            -0.8f32..0.8,
+            0.02f32..0.3,
+            0.0f32..1.0,
+            0.0f32..1.0,
+            0.0f32..1.0,
+            0.05f32..0.99,
+        ),
+        1..40,
+    )
+    .prop_map(|gs| {
+        gs.into_iter()
+            .map(|(x, y, z, sigma, r, g, b, o)| {
+                Gaussian3D::isotropic(Vec3::new(x, y, z), sigma, Vec3::new(r, g, b), o)
+            })
+            .collect()
+    })
+}
+
+/// Sums only the scalar counters of per-shard stats (the conservation
+/// quantity; the per-tile tables are rebuilt at merge time).
+fn summed(parts: &[ShardFrame]) -> BlendStats {
+    let mut total = BlendStats::default();
+    for p in parts {
+        stats::accumulate(&mut total, &p.stats);
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merged shard output equals the unsharded blend bit-for-bit, and
+    /// per-shard statistics sum to the unsharded totals, across shard
+    /// counts × strategies × thread counts for both dataflows.
+    #[test]
+    fn sharded_blend_is_bit_identical_and_conserving(scene in scene_strategy()) {
+        // 160×96 → a 10×6 tile grid: enough rows for 4 shards of every
+        // strategy to get distinct assignments.
+        let cam = Camera::orbit(160, 96, 1.0, Vec3::ZERO, 3.0, 0.4, 0.2);
+        let cfg = RenderConfig::default();
+        let serial = ThreadPool::new(1);
+        let projected = pipeline::project_pooled(&serial, &scene, &cam);
+        let binned = pipeline::bin(&projected, cfg.tile_size);
+        let isplats = irss::precompute_pooled(&serial, &projected.splats);
+
+        let (pfs_ref, pfs_stats_ref) =
+            pfs::blend_pooled(&serial, &projected.splats, &binned.bins, &cam, &cfg);
+        let (irss_ref, irss_stats_ref) =
+            pipeline::blend_pooled(&serial, &projected, &binned, Dataflow::Irss, &cfg);
+
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            for strategy in ShardStrategy::all() {
+                for shards in SHARD_COUNTS {
+                    let plan = ShardPlan::new(strategy, &binned.bins, shards);
+                    prop_assert_eq!(plan.shard_count(), shards);
+
+                    let parts_pfs: Vec<ShardFrame> = (0..shards)
+                        .map(|s| blend_shard_pfs(
+                            &pool, &projected.splats, &binned.bins, &cam, &cfg, &plan, s,
+                        ))
+                        .collect();
+                    let (img, stats) = merge_shards(&binned.bins, &cam, &cfg, &parts_pfs);
+                    prop_assert_eq!(
+                        img.pixels(), pfs_ref.pixels(),
+                        "PFS image differs: {:?} x{} @{}t", strategy, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &stats, &pfs_stats_ref,
+                        "PFS stats differ: {:?} x{} @{}t", strategy, shards, threads
+                    );
+                    // Conservation: per-shard scalar counters sum to the
+                    // unsharded totals.
+                    let total = summed(&parts_pfs);
+                    prop_assert_eq!(total.instances, pfs_stats_ref.instances);
+                    prop_assert_eq!(total.fragments_evaluated, pfs_stats_ref.fragments_evaluated);
+                    prop_assert_eq!(total.fragments_blended, pfs_stats_ref.fragments_blended);
+                    prop_assert_eq!(total.q_flops, pfs_stats_ref.q_flops);
+                    prop_assert_eq!(total.blend_flops, pfs_stats_ref.blend_flops);
+                    prop_assert_eq!(
+                        total.instances_skipped_saturated,
+                        pfs_stats_ref.instances_skipped_saturated
+                    );
+
+                    let parts_irss: Vec<ShardFrame> = (0..shards)
+                        .map(|s| blend_shard_irss(
+                            &pool, &isplats, &binned.bins, &cam, &cfg, &plan, s,
+                        ))
+                        .collect();
+                    let (img, stats) = merge_shards(&binned.bins, &cam, &cfg, &parts_irss);
+                    prop_assert_eq!(
+                        img.pixels(), irss_ref.pixels(),
+                        "IRSS image differs: {:?} x{} @{}t", strategy, shards, threads
+                    );
+                    prop_assert_eq!(
+                        &stats, &irss_stats_ref,
+                        "IRSS stats differ: {:?} x{} @{}t", strategy, shards, threads
+                    );
+                    let total = summed(&parts_irss);
+                    prop_assert_eq!(total.setup_flops, irss_stats_ref.setup_flops);
+                    prop_assert_eq!(total.rows_considered, irss_stats_ref.rows_considered);
+                    prop_assert_eq!(total.rows_skipped, irss_stats_ref.rows_skipped);
+                    prop_assert_eq!(total.binary_searches, irss_stats_ref.binary_searches);
+                    prop_assert_eq!(
+                        total.instance_row_max_sum,
+                        irss_stats_ref.instance_row_max_sum
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An empty scene shards cleanly: every shard renders pure background
+/// and the merge covers the frame.
+#[test]
+fn empty_scene_shards_to_background() {
+    let cam = Camera::orbit(64, 48, 1.0, Vec3::ZERO, 3.0, 0.0, 0.0);
+    let cfg = RenderConfig { background: Vec3::new(0.2, 0.1, 0.3), ..RenderConfig::default() };
+    let pool = ThreadPool::new(2);
+    let scene = GaussianScene::new();
+    let projected = pipeline::project_pooled(&pool, &scene, &cam);
+    let binned = pipeline::bin(&projected, cfg.tile_size);
+    let plan = ShardPlan::new(ShardStrategy::CostBalanced, &binned.bins, 2);
+    assert_eq!(plan.planned_imbalance(), 1.0);
+    let parts: Vec<ShardFrame> = (0..2)
+        .map(|s| blend_shard_pfs(&pool, &projected.splats, &binned.bins, &cam, &cfg, &plan, s))
+        .collect();
+    let (img, stats) = merge_shards(&binned.bins, &cam, &cfg, &parts);
+    let reference = FrameBuffer::new(64, 48, cfg.background);
+    assert_eq!(img.pixels(), reference.pixels());
+    assert_eq!(stats.fragments_evaluated, 0);
+}
+
+/// More shards than tile rows: the surplus shards are empty but the
+/// partition still covers the frame bit-identically.
+#[test]
+fn more_shards_than_rows_still_merge_exactly() {
+    let cam = Camera::orbit(64, 32, 1.0, Vec3::ZERO, 3.0, 0.0, 0.0); // 2 tile rows
+    let cfg = RenderConfig::default();
+    let pool = ThreadPool::new(1);
+    let scene: GaussianScene =
+        std::iter::once(Gaussian3D::isotropic(Vec3::ZERO, 0.25, Vec3::ONE, 0.9)).collect();
+    let projected = pipeline::project_pooled(&pool, &scene, &cam);
+    let binned = pipeline::bin(&projected, cfg.tile_size);
+    let (reference, _) = pfs::blend_pooled(&pool, &projected.splats, &binned.bins, &cam, &cfg);
+    for strategy in ShardStrategy::all() {
+        let plan = ShardPlan::new(strategy, &binned.bins, 4);
+        let parts: Vec<ShardFrame> = (0..4)
+            .map(|s| blend_shard_pfs(&pool, &projected.splats, &binned.bins, &cam, &cfg, &plan, s))
+            .collect();
+        let (img, _) = merge_shards(&binned.bins, &cam, &cfg, &parts);
+        assert_eq!(img.pixels(), reference.pixels(), "{strategy:?}");
+    }
+}

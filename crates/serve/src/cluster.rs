@@ -1,0 +1,405 @@
+//! Multi-pool scene sharding: fan one frame's tile-row shards out to
+//! several [`DevicePool`]s on a shared simulated clock and merge the
+//! partial frame buffers when the last shard lands.
+//!
+//! One heavy scene can exceed what a single device pool sustains at
+//! AR/VR deadlines. A [`ShardedPool`] treats a frame as N tile-range
+//! shards (planned by `gbu_render::shard::ShardPlan`): shard `s` is
+//! submitted to pool `s` through the tile-range-scoped device entry
+//! point, so each shard charges only its range's D&B work and DRAM
+//! feature traffic against *its own* pool's bandwidth budget — the
+//! multi-GPU deployment where every shard lane is a separate edge SoC.
+//! All pools advance in lockstep on one wall clock; the frame completes
+//! only when every shard has landed, at which point the partial frame
+//! buffers are reassembled into an image bit-identical to the unsharded
+//! device render, and the per-shard service times are reported as an
+//! imbalance figure (critical path over mean).
+
+use crate::pool::{DevicePool, PoolCompletion};
+use crate::scheduler::FrameTicket;
+use crate::session::PreparedView;
+use gbu_gpu::GpuConfig;
+use gbu_hw::GbuConfig;
+use gbu_render::shard::{ShardPlan, ShardStrategy};
+use gbu_render::FrameBuffer;
+
+/// A frame completed by the cluster: all shards landed and merged.
+#[derive(Debug)]
+pub struct ShardedCompletion {
+    /// The request this frame fulfilled.
+    pub ticket: FrameTicket,
+    /// Wall cycle at which the *last* shard landed.
+    pub completed_at: u64,
+    /// The merged image — bit-identical to an unsharded device render.
+    pub image: FrameBuffer,
+    /// Wall-cycle service time of each shard (submit → land), indexed by
+    /// shard. The maximum is the frame's critical path.
+    pub shard_cycles: Vec<u64>,
+    /// Summed off-chip feature traffic across shards. Each shard fetched
+    /// only its tile range, so this tracks (and, where Gaussians straddle
+    /// shard boundaries, slightly exceeds) the unsharded frame's traffic.
+    pub dram_bytes: u64,
+    /// Measured imbalance: max shard service time over mean (1.0 =
+    /// perfectly balanced shards).
+    pub imbalance: f64,
+}
+
+#[derive(Debug)]
+struct PendingFrame {
+    ticket: FrameTicket,
+    plan: ShardPlan,
+    width: u32,
+    height: u32,
+    submitted_at: u64,
+    /// One slot per shard, filled as pools report completions.
+    parts: Vec<Option<PoolCompletion>>,
+}
+
+/// N single-frame shard lanes, each its own [`DevicePool`], advanced in
+/// lockstep on one simulated wall clock.
+#[derive(Debug)]
+pub struct ShardedPool {
+    pools: Vec<DevicePool>,
+    strategy: ShardStrategy,
+    pending: Vec<PendingFrame>,
+}
+
+impl ShardedPool {
+    /// Creates a cluster of `shards` pools with `devices_per_pool` GBUs
+    /// each. Every pool owns its own DRAM budget (`dram_share` of one
+    /// host GPU's LPDDR bandwidth) — shard lanes model separate edge
+    /// SoCs, not co-tenants of one bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0` (and transitively when
+    /// `devices_per_pool == 0`).
+    pub fn new(
+        shards: usize,
+        devices_per_pool: usize,
+        strategy: ShardStrategy,
+        gbu: &GbuConfig,
+        gpu: &GpuConfig,
+        dram_share: f64,
+    ) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard lane");
+        Self {
+            pools: (0..shards)
+                .map(|_| DevicePool::new(devices_per_pool, gbu, gpu, dram_share))
+                .collect(),
+            strategy,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of shard lanes.
+    pub fn shard_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// The shard strategy frames are split with.
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// Current wall cycle (all lanes advance in lockstep).
+    pub fn clock(&self) -> u64 {
+        self.pools[0].clock()
+    }
+
+    /// Number of frames with at least one shard still in flight.
+    pub fn pending_frames(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when every shard lane has an idle device for a new frame.
+    pub fn can_accept(&self) -> bool {
+        self.pools.iter().all(|p| p.idle_device().is_some())
+    }
+
+    /// Mean device utilization across all lanes so far.
+    pub fn utilization(&self) -> f64 {
+        self.pools.iter().map(DevicePool::utilization).sum::<f64>() / self.pools.len() as f64
+    }
+
+    /// Splits `view` into tile-row shards and fans them out, one shard
+    /// per lane, all stamped with `ticket`. The frame will complete only
+    /// when every shard lands.
+    ///
+    /// Returns the plan's predicted imbalance (max planned shard cost
+    /// over mean), which the serving layer can report before the frame
+    /// even runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when some lane has no idle device (check
+    /// [`ShardedPool::can_accept`] first) or when a frame with the same
+    /// ticket id is already pending.
+    pub fn submit(&mut self, view: &PreparedView, ticket: FrameTicket) -> f64 {
+        assert!(
+            self.pending.iter().all(|p| p.ticket.id != ticket.id),
+            "ticket {:?} already has shards in flight",
+            ticket.id
+        );
+        let plan = ShardPlan::new(self.strategy, &view.bins, self.pools.len());
+        let submitted_at = self.clock();
+        for (s, pool) in self.pools.iter_mut().enumerate() {
+            let device = pool.idle_device().expect("submit requires an idle device per lane");
+            let shard_bins = plan.shard_bins(&view.bins, s);
+            pool.submit_scoped(device, &view.splats, &shard_bins, &view.camera, ticket);
+        }
+        let predicted = plan.planned_imbalance();
+        self.pending.push(PendingFrame {
+            ticket,
+            plan,
+            width: view.camera.width,
+            height: view.camera.height,
+            submitted_at,
+            parts: (0..self.pools.len()).map(|_| None).collect(),
+        });
+        predicted
+    }
+
+    /// Wall cycles until the next shard lands anywhere in the cluster,
+    /// or `None` when everything is idle.
+    pub fn next_completion_dt(&self) -> Option<u64> {
+        self.pools.iter().filter_map(DevicePool::next_completion_dt).min()
+    }
+
+    /// Advances every lane by `wall_dt` cycles in lockstep, collecting
+    /// the frames whose *last* shard landed during the interval. Frames
+    /// with shards still in flight stay pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wall_dt == 0` (the shared clock must move forward).
+    pub fn advance(&mut self, wall_dt: u64) -> Vec<ShardedCompletion> {
+        for (s, pool) in self.pools.iter_mut().enumerate() {
+            for completion in pool.advance(wall_dt) {
+                let pending = self
+                    .pending
+                    .iter_mut()
+                    .find(|p| p.ticket.id == completion.ticket.id)
+                    .expect("every shard completion belongs to a pending frame");
+                debug_assert!(pending.parts[s].is_none(), "one completion per shard lane");
+                pending.parts[s] = Some(completion);
+            }
+        }
+
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].parts.iter().all(Option::is_some) {
+                done.push(Self::seal(self.pending.swap_remove(i)));
+            } else {
+                i += 1;
+            }
+        }
+        // swap_remove disorders the pending list; completions are sorted
+        // back into landing order for deterministic event streams.
+        done.sort_by_key(|c| (c.completed_at, c.ticket.id));
+        done
+    }
+
+    /// Merges a fully-landed frame's shard partials into one completion.
+    fn seal(pending: PendingFrame) -> ShardedCompletion {
+        let PendingFrame { ticket, plan, width, height, submitted_at, parts } = pending;
+        let parts: Vec<PoolCompletion> =
+            parts.into_iter().map(|p| p.expect("all shards landed")).collect();
+        let completed_at = parts.iter().map(|p| p.completed_at).max().expect("at least one shard");
+        let shard_cycles: Vec<u64> = parts.iter().map(|p| p.completed_at - submitted_at).collect();
+        let dram_bytes = parts.iter().map(|p| p.frame.run.dram_bytes).sum();
+        let mean = shard_cycles.iter().sum::<u64>() as f64 / shard_cycles.len() as f64;
+        let max = *shard_cycles.iter().max().expect("at least one shard");
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+
+        // Reassemble the frame: every shard's device image is full-size
+        // with background outside its rows; copy each shard's row bands.
+        let mut image = parts[0].frame.image.clone();
+        let w = width as usize;
+        for (s, part) in parts.iter().enumerate() {
+            if s == 0 {
+                continue;
+            }
+            let src = &part.frame.image;
+            for &ty in &plan.shards[s].rows {
+                let y0 = ty * plan.tile_size;
+                let y1 = ((ty + 1) * plan.tile_size).min(height);
+                let lo = y0 as usize * w;
+                let hi = y1 as usize * w;
+                image.pixels_mut()[lo..hi].copy_from_slice(&src.pixels()[lo..hi]);
+            }
+        }
+        ShardedCompletion { ticket, completed_at, image, shard_cycles, dram_bytes, imbalance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{Session, SessionContent, SessionSpec};
+    use crate::QosTarget;
+    use gbu_core::Gbu;
+    use gbu_math::Vec3;
+
+    fn prepared() -> Session {
+        Session::prepare(
+            SessionSpec {
+                name: "cluster".into(),
+                content: SessionContent::Synthetic { seed: 11, gaussians: 160 },
+                qos: QosTarget::VR_72,
+                frames: 2,
+                phase: 0.0,
+            },
+            &GbuConfig::paper(),
+        )
+    }
+
+    fn ticket(n: u32) -> FrameTicket {
+        FrameTicket {
+            id: crate::FrameId::from_index(u64::from(n)),
+            session: crate::SessionId::from_index(0),
+            frame: n,
+            arrival: 0,
+            deadline: u64::MAX,
+        }
+    }
+
+    fn drain(pool: &mut ShardedPool) -> Vec<ShardedCompletion> {
+        let mut done = Vec::new();
+        while let Some(dt) = pool.next_completion_dt() {
+            done.extend(pool.advance(dt));
+        }
+        done
+    }
+
+    fn unsharded_baseline(session: &Session) -> (FrameBuffer, u64) {
+        let view = session.view(0);
+        let mut gbu = Gbu::new(GbuConfig::paper());
+        gbu.render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO).unwrap();
+        let occupancy = gbu.in_flight_remaining().expect("frame in flight");
+        (gbu.wait().expect("frame in flight").image, occupancy)
+    }
+
+    #[test]
+    fn sharded_frame_is_bit_identical_to_single_device() {
+        let session = prepared();
+        let (reference, _) = unsharded_baseline(&session);
+        for strategy in ShardStrategy::all() {
+            for shards in [1usize, 2, 4] {
+                let mut cluster = ShardedPool::new(
+                    shards,
+                    1,
+                    strategy,
+                    &GbuConfig::paper(),
+                    &GpuConfig::orin_nx(),
+                    0.5,
+                );
+                assert!(cluster.can_accept());
+                cluster.submit(session.view(0), ticket(0));
+                let mut done = drain(&mut cluster);
+                assert_eq!(done.len(), 1, "{strategy:?}/{shards}");
+                let c = done.remove(0);
+                assert_eq!(
+                    c.image.pixels(),
+                    reference.pixels(),
+                    "{strategy:?}/{shards}: merged image must be bit-identical"
+                );
+                assert_eq!(c.shard_cycles.len(), shards);
+                assert!(c.imbalance >= 1.0 - 1e-12);
+                assert!(c.dram_bytes > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_completes_only_when_all_shards_land() {
+        let session = prepared();
+        let mut cluster = ShardedPool::new(
+            4,
+            1,
+            ShardStrategy::ContiguousRows,
+            &GbuConfig::paper(),
+            &GpuConfig::orin_nx(),
+            0.5,
+        );
+        cluster.submit(session.view(0), ticket(0));
+        assert_eq!(cluster.pending_frames(), 1);
+        // Advance to the first shard landing: unless every shard happens
+        // to land on the same cycle, the frame must still be pending.
+        let first = cluster.next_completion_dt().expect("shards in flight");
+        let done = cluster.advance(first);
+        if !done.is_empty() {
+            // Degenerate (all shards equal): still a valid completion.
+            assert_eq!(done[0].shard_cycles.len(), 4);
+            return;
+        }
+        assert_eq!(cluster.pending_frames(), 1, "frame gates on the last shard");
+        let done = drain(&mut cluster);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].completed_at, cluster.clock());
+        assert_eq!(cluster.pending_frames(), 0);
+    }
+
+    #[test]
+    fn sharding_shortens_the_critical_path() {
+        let session = prepared();
+        let (_, unsharded_cycles) = unsharded_baseline(&session);
+        let mut cluster = ShardedPool::new(
+            4,
+            1,
+            ShardStrategy::CostBalanced,
+            &GbuConfig::paper(),
+            &GpuConfig::orin_nx(),
+            0.5,
+        );
+        cluster.submit(session.view(0), ticket(0));
+        let done = drain(&mut cluster);
+        assert!(
+            done[0].completed_at < unsharded_cycles,
+            "4 shard lanes must beat one device: {} vs {unsharded_cycles}",
+            done[0].completed_at
+        );
+    }
+
+    #[test]
+    fn lanes_pipeline_independent_frames() {
+        let session = prepared();
+        let mut cluster = ShardedPool::new(
+            2,
+            2,
+            ShardStrategy::InterleavedRows,
+            &GbuConfig::paper(),
+            &GpuConfig::orin_nx(),
+            0.5,
+        );
+        // Two frames in flight at once: each lane has two devices.
+        cluster.submit(session.view(0), ticket(0));
+        assert!(cluster.can_accept(), "second device per lane is idle");
+        cluster.submit(session.view(1), ticket(1));
+        assert!(!cluster.can_accept());
+        let done = drain(&mut cluster);
+        assert_eq!(done.len(), 2);
+        let mut ids: Vec<u64> = done.iter().map(|c| c.ticket.id.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        let u = cluster.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "idle device per lane")]
+    fn oversubmission_panics() {
+        let session = prepared();
+        let mut cluster = ShardedPool::new(
+            2,
+            1,
+            ShardStrategy::ContiguousRows,
+            &GbuConfig::paper(),
+            &GpuConfig::orin_nx(),
+            0.5,
+        );
+        cluster.submit(session.view(0), ticket(0));
+        cluster.submit(session.view(1), ticket(1));
+    }
+}

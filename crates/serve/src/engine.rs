@@ -48,6 +48,14 @@ pub struct ServeConfig {
     /// Fraction of LPDDR bandwidth available to the GBU pool (the GPU's
     /// preprocessing streams take the rest; `gbu_core::system` uses 0.5).
     pub dram_share: f64,
+    /// Per-frame metrics retention: `None` keeps every record so
+    /// [`ServeEngine::report`] covers the whole run (memory grows
+    /// linearly with frames served); `Some(w)` bounds each terminal
+    /// category to its most recent `w` records — the report is then
+    /// exact over that window, with whole-run conservation still visible
+    /// through [`crate::metrics::LifetimeCounts`]. Long-lived engines
+    /// should set a window.
+    pub metrics_window: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +68,7 @@ impl Default for ServeConfig {
             gbu: GbuConfig::paper(),
             gpu: GpuConfig::orin_nx(),
             dram_share: 0.5,
+            metrics_window: None,
         }
     }
 }
@@ -100,11 +109,14 @@ struct Slot {
 /// entry points [`run_workload`] / [`run_sessions`] are thin wrappers
 /// over the same machinery.
 ///
-/// Retention: the engine keeps per-frame status and metrics history for
+/// Retention: by default the engine keeps per-frame metrics history for
 /// its whole lifetime so [`ServeEngine::report`] can cover everything it
-/// ever served — memory grows linearly with frames served. Long-lived
-/// deployments should run one engine per epoch and roll reports up;
-/// windowed retention is a ROADMAP item.
+/// ever served — memory grows linearly with frames served.
+/// [`ServeConfig::metrics_window`] bounds that history to the most
+/// recent records per terminal category, keeping `report()` exact
+/// within the window while `LifetimeCounts` preserves whole-run
+/// conservation. (The frame-future table behind [`ServeEngine::poll`] —
+/// one small enum per issued `FrameId` — is kept in full either way.)
 #[derive(Debug)]
 pub struct ServeEngine {
     cfg: ServeConfig,
@@ -132,6 +144,10 @@ impl ServeEngine {
     pub fn new(cfg: ServeConfig) -> Self {
         let pool = DevicePool::new(cfg.devices, &cfg.gbu, &cfg.gpu, cfg.dram_share);
         let scheduler = cfg.policy.build();
+        let metrics = match cfg.metrics_window {
+            Some(window) => ServeMetrics::windowed(window),
+            None => ServeMetrics::default(),
+        };
         Self {
             cfg,
             pool,
@@ -142,7 +158,7 @@ impl ServeEngine {
             statuses: Vec::new(),
             pending: Vec::new(),
             horizon: 0,
-            metrics: ServeMetrics::default(),
+            metrics,
         }
     }
 
@@ -262,6 +278,14 @@ impl ServeEngine {
         let deadline = at.saturating_add(slot.period);
         let id = self.alloc_frame();
         let ticket = FrameTicket { id, session, frame: view, arrival: at, deadline };
+        // In-flight-aware admission reads the devices' remaining work,
+        // which is exact only at the pool clock; bring it to the
+        // submission time first. Like the detach path, this is exact:
+        // every event at or before the horizon has already been
+        // processed, so the advance crosses none.
+        if self.cfg.admission.reject_unmeetable && self.cfg.admission.in_flight_aware {
+            self.advance_pool_to(at);
+        }
         self.admit(ticket, at);
         id
     }
@@ -433,18 +457,33 @@ impl ServeEngine {
         self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
     }
 
-    /// Estimated wait (cycles) a new arrival sees behind the frames
-    /// already queued: their summed optimistic service times spread over
-    /// the pool's devices. Optimistic on purpose — it ignores contention
-    /// and in-flight work, matching `min_service`'s own optimism — so a
-    /// rejection is still a proof of unmeetability.
-    fn queued_wait_estimate(&self) -> u64 {
-        let total: u64 = self
-            .queue
-            .iter()
-            .map(|t| self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service))
-            .sum();
-        total / self.pool.len() as u64
+    /// Estimated wait (cycles) a new arrival sees before a device can
+    /// start it: a greedy earliest-free schedule where each device
+    /// starts at its remaining in-flight work (when
+    /// [`AdmissionControl::in_flight_aware`]; zero when idle or the
+    /// term is off) and every queued frame's optimistic service time is
+    /// placed on the earliest-free device (when
+    /// [`AdmissionControl::queue_aware`]); the estimate is the earliest
+    /// availability left. An idle device with an empty queue yields
+    /// zero, keeping the bound optimistic — it also ignores contention,
+    /// matching `min_service`'s own optimism — so a rejection is still
+    /// a proof of unmeetability.
+    fn wait_estimate(&self) -> u64 {
+        let ac = &self.cfg.admission;
+        let mut free: Vec<u64> = if ac.in_flight_aware {
+            self.pool.in_flight_backlog_per_device()
+        } else {
+            vec![0; self.pool.len()]
+        };
+        if ac.queue_aware {
+            for t in &self.queue {
+                let service =
+                    self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+                let d = (0..free.len()).min_by_key(|&d| free[d]).expect("pools are non-empty");
+                free[d] = free[d].saturating_add(service);
+            }
+        }
+        free.into_iter().min().expect("pools are non-empty")
     }
 
     /// Runs the admission decision for `ticket` at time `at`, queueing it
@@ -452,9 +491,9 @@ impl ServeEngine {
     fn admit(&mut self, ticket: FrameTicket, at: u64) {
         let min_service =
             self.slots[ticket.session.index()].as_ref().map_or(0, |slot| slot.min_service);
-        let queued_wait = if self.cfg.admission.reject_unmeetable && self.cfg.admission.queue_aware
-        {
-            self.queued_wait_estimate()
+        let ac = &self.cfg.admission;
+        let queued_wait = if ac.reject_unmeetable && (ac.queue_aware || ac.in_flight_aware) {
+            self.wait_estimate()
         } else {
             0
         };
@@ -838,6 +877,32 @@ mod tests {
     }
 
     #[test]
+    fn windowed_engine_bounds_history_and_preserves_lifetime() {
+        let sessions = tiny_workload(3, 8);
+        let clock = calibrated_clock_ghz(&sessions, 1, 0.5);
+        let run = |window: Option<usize>| {
+            let mut cfg = ServeConfig { metrics_window: window, ..ServeConfig::default() };
+            cfg.gbu.clock_ghz = clock;
+            run_sessions(cfg, &sessions)
+        };
+        let full = run(None);
+        let windowed = run(Some(5));
+        // Same simulation: whole-run conservation is identical...
+        assert_eq!(windowed.lifetime.generated, full.generated);
+        assert_eq!(windowed.lifetime.completed, full.completed);
+        assert_eq!(windowed.lifetime.missed, full.missed);
+        assert_eq!(
+            windowed.lifetime.generated,
+            windowed.lifetime.completed + windowed.lifetime.rejected + windowed.lifetime.dropped
+        );
+        // ...while the windowed report covers only the most recent
+        // records per category.
+        assert_eq!(windowed.completed, 5);
+        assert!(windowed.generated <= 15);
+        assert!(windowed.p95_latency_ms > 0.0, "percentiles stay exact within the window");
+    }
+
+    #[test]
     fn deadline_drop_pass_sheds_unmeetable_queue_entries() {
         let sessions = tiny_workload(4, 6);
         let base = ServeConfig { devices: 1, ..ServeConfig::default() };
@@ -853,6 +918,32 @@ mod tests {
         );
         // Dropping hopeless frames can only reduce completed-but-missed.
         assert!(dropping.missed <= plain.missed);
+    }
+
+    #[test]
+    fn idle_device_admits_despite_other_device_backlog() {
+        // Calibrate so one frame roughly fills one device's period: any
+        // estimate that spreads the busy device's backlog over the pool
+        // would call a frame on the idle device unmeetable.
+        let sessions = tiny_workload(1, 1);
+        let mut cfg = ServeConfig { devices: 2, ..ServeConfig::default() };
+        cfg.admission.reject_unmeetable = true;
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 1.0);
+        let mut engine = ServeEngine::new(cfg);
+        let sid = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+        let f0 = engine.handle().submit_frame(sid, 0);
+        engine.step_until(1); // dispatch f0 onto device 0
+        assert_eq!(engine.poll(f0), FrameStatus::Rendering);
+        // Device 1 is idle and the queue is empty: the wait estimate is
+        // an earliest-free bound, so this frame must be admitted.
+        let f1 = engine.handle().submit_frame(sid, 1);
+        assert!(
+            !matches!(engine.poll(f1), FrameStatus::Rejected(_)),
+            "an idle device means zero wait: {:?}",
+            engine.poll(f1)
+        );
+        engine.drain();
+        assert!(matches!(engine.poll(f1), FrameStatus::Completed { .. }));
     }
 
     #[test]

@@ -26,6 +26,12 @@
 //!   on **one** simulated clock with shared-DRAM bandwidth contention
 //!   (the paper's Limitation 2, generalised to a pool), plus per-device
 //!   cancellation over the device's `cancel_in_flight` hook;
+//! - [`cluster`]: a [`ShardedPool`] fans one frame's tile-row shards
+//!   (planned by `gbu_render::shard`) out to multiple [`DevicePool`]s on
+//!   a shared simulated clock, completes the frame only when all shards
+//!   land, merges the partial frame buffers bit-identically to an
+//!   unsharded render, and reports per-shard imbalance — the multi-GPU
+//!   path for scenes one pool cannot sustain at deadline;
 //! - [`scheduler`]: a pluggable [`Scheduler`] trait with FCFS,
 //!   round-robin and earliest-deadline-first policies plus
 //!   [`AdmissionControl`] — bounded-queue backpressure and optional
@@ -92,6 +98,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod engine;
 pub mod event;
 pub mod metrics;
@@ -100,12 +107,14 @@ pub mod scheduler;
 pub mod session;
 pub mod workload;
 
+pub use cluster::{ShardedCompletion, ShardedPool};
 pub use engine::{
     calibrated_clock_ghz, run_sessions, run_workload, ServeConfig, ServeEngine, ServeHandle,
 };
 pub use event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
 pub use metrics::{
-    DropBreakdown, FrameRecord, RejectBreakdown, RunInfo, ServeMetrics, ServeReport, SessionReport,
+    DropBreakdown, FrameRecord, LifetimeCounts, RejectBreakdown, RunInfo, ServeMetrics,
+    ServeReport, SessionReport,
 };
 pub use pool::{DevicePool, PoolCompletion};
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};

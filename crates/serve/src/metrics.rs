@@ -35,19 +35,91 @@ impl FrameRecord {
     }
 }
 
+/// Lifetime terminal-event totals, maintained even when the per-frame
+/// records behind them have been evicted by a retention window. In full
+/// retention they equal the windowed counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifetimeCounts {
+    /// Frames that reached any terminal state.
+    pub generated: usize,
+    /// Frames completed.
+    pub completed: usize,
+    /// Frames rejected at admission.
+    pub rejected: usize,
+    /// Admitted frames cancelled before completion.
+    pub dropped: usize,
+    /// Completed frames that blew their deadline.
+    pub missed: usize,
+}
+
 /// Collects events during a serving run.
+///
+/// Retention: by default every per-frame record is kept so
+/// [`ServeMetrics::report`] covers the whole run. [`ServeMetrics::windowed`]
+/// bounds each record category to the most recent `window` entries (a
+/// simple eviction ring) — the report is then exact over that window,
+/// while [`LifetimeCounts`] keeps whole-run conservation visible. This is
+/// what lets a long-lived [`crate::ServeEngine`] run unbounded without
+/// growing memory linearly with frames served.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     completed: Vec<FrameRecord>,
     rejected: Vec<(FrameTicket, RejectReason)>,
     dropped: Vec<(FrameTicket, DropReason)>,
     starts: Vec<(FrameTicket, u64)>,
+    /// Per-category record cap; `None` keeps everything.
+    window: Option<usize>,
+    lifetime: LifetimeCounts,
+}
+
+/// Bounds `v`'s growth under a retention window: the buffer is allowed
+/// to reach twice the window before the stale front half is cut away in
+/// one `drain`, making eviction amortized O(1) per record (a
+/// per-record `remove(0)` would shift the whole window every push).
+/// Readers see exactly the window through [`tail`].
+fn evict<T>(v: &mut Vec<T>, window: Option<usize>) {
+    if let Some(w) = window {
+        if v.len() >= w.saturating_mul(2) {
+            v.drain(..v.len() - w);
+        }
+    }
+}
+
+/// The most recent `window` entries of `v` (all of them without a
+/// window) — the slice every reader of a retention-bounded record list
+/// goes through.
+fn tail<T>(v: &[T], window: Option<usize>) -> &[T] {
+    match window {
+        Some(w) if v.len() > w => &v[v.len() - w..],
+        _ => v,
+    }
 }
 
 impl ServeMetrics {
+    /// Metrics bounded to the most recent `window` records per terminal
+    /// category. The report stays exact within the window;
+    /// [`LifetimeCounts`] covers the rest of the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0` — a report over nothing is a
+    /// configuration error, not a retention policy.
+    pub fn windowed(window: usize) -> Self {
+        assert!(window > 0, "a retention window must hold at least one record");
+        Self { window: Some(window), ..Self::default() }
+    }
+
+    /// Whole-run terminal-event totals (maintained across evictions).
+    pub fn lifetime(&self) -> LifetimeCounts {
+        self.lifetime
+    }
+
     /// Records a frame refused at admission.
     pub fn reject(&mut self, ticket: FrameTicket, reason: RejectReason) {
+        self.lifetime.generated += 1;
+        self.lifetime.rejected += 1;
         self.rejected.push((ticket, reason));
+        evict(&mut self.rejected, self.window);
     }
 
     /// Records a dispatch.
@@ -63,7 +135,10 @@ impl ServeMetrics {
         if let Some(idx) = self.starts.iter().position(|(t, _)| *t == ticket) {
             self.starts.swap_remove(idx);
         }
+        self.lifetime.generated += 1;
+        self.lifetime.dropped += 1;
         self.dropped.push((ticket, reason));
+        evict(&mut self.dropped, self.window);
     }
 
     /// Records a completion.
@@ -77,22 +152,27 @@ impl ServeMetrics {
             .position(|(t, _)| *t == ticket)
             .expect("completion without dispatch");
         let (_, started) = self.starts.swap_remove(idx);
-        self.completed.push(FrameRecord { ticket, started, completed });
+        let record = FrameRecord { ticket, started, completed };
+        self.lifetime.generated += 1;
+        self.lifetime.completed += 1;
+        self.lifetime.missed += usize::from(record.missed());
+        self.completed.push(record);
+        evict(&mut self.completed, self.window);
     }
 
     /// Completed-frame records.
     pub fn completed(&self) -> &[FrameRecord] {
-        &self.completed
+        tail(&self.completed, self.window)
     }
 
     /// Rejected tickets with their reasons.
     pub fn rejected(&self) -> &[(FrameTicket, RejectReason)] {
-        &self.rejected
+        tail(&self.rejected, self.window)
     }
 
     /// Dropped tickets with their reasons.
     pub fn dropped(&self) -> &[(FrameTicket, DropReason)] {
-        &self.dropped
+        tail(&self.dropped, self.window)
     }
 
     /// Builds the aggregate report for a finished run described by `run`.
@@ -103,16 +183,18 @@ impl ServeMetrics {
         session_hz: &[f64],
     ) -> ServeReport {
         let RunInfo { policy, devices, wall_cycles, utilization, clock_ghz } = *run;
+        // Everything below reads the windowed slices, so the report is
+        // exact over the retention window (the whole run by default).
+        let (completed, rejected, dropped) = (self.completed(), self.rejected(), self.dropped());
         let cycles_per_ms = clock_ghz * 1e6;
-        let mut latencies: Vec<u64> = self.completed.iter().map(FrameRecord::latency).collect();
+        let mut latencies: Vec<u64> = completed.iter().map(FrameRecord::latency).collect();
         latencies.sort_unstable();
         let wall_seconds = wall_cycles as f64 / (clock_ghz * 1e9);
-        let missed = self.completed.iter().filter(|r| r.missed()).count();
-        let generated = self.completed.len() + self.rejected.len() + self.dropped.len();
+        let missed = completed.iter().filter(|r| r.missed()).count();
+        let generated = completed.len() + rejected.len() + dropped.len();
 
-        let count_reject =
-            |r: RejectReason| self.rejected.iter().filter(|(_, why)| *why == r).count();
-        let count_drop = |r: DropReason| self.dropped.iter().filter(|(_, why)| *why == r).count();
+        let count_reject = |r: RejectReason| rejected.iter().filter(|(_, why)| *why == r).count();
+        let count_drop = |r: DropReason| dropped.iter().filter(|(_, why)| *why == r).count();
         let reject_reasons = RejectBreakdown {
             queue_full: count_reject(RejectReason::QueueFull),
             unmeetable: count_reject(RejectReason::Unmeetable),
@@ -129,9 +211,9 @@ impl ServeMetrics {
             .enumerate()
             .map(|(s, name)| {
                 let mine: Vec<&FrameRecord> =
-                    self.completed.iter().filter(|r| r.ticket.session.index() == s).collect();
-                let rejected = self.rejected.iter().filter(|(t, _)| t.session.index() == s).count();
-                let dropped = self.dropped.iter().filter(|(t, _)| t.session.index() == s).count();
+                    completed.iter().filter(|r| r.ticket.session.index() == s).collect();
+                let rejected = rejected.iter().filter(|(t, _)| t.session.index() == s).count();
+                let dropped = dropped.iter().filter(|(t, _)| t.session.index() == s).count();
                 let missed = mine.iter().filter(|r| r.missed()).count();
                 let mut lat: Vec<u64> = mine.iter().map(|r| r.latency()).collect();
                 lat.sort_unstable();
@@ -157,15 +239,16 @@ impl ServeMetrics {
         ServeReport {
             policy: policy.to_string(),
             devices,
+            lifetime: self.lifetime,
             generated,
-            completed: self.completed.len(),
-            rejected: self.rejected.len(),
-            dropped: self.dropped.len(),
+            completed: completed.len(),
+            rejected: rejected.len(),
+            dropped: dropped.len(),
             missed,
             reject_reasons,
             drop_reasons,
             throughput_fps: if wall_seconds > 0.0 {
-                self.completed.len() as f64 / wall_seconds
+                completed.len() as f64 / wall_seconds
             } else {
                 0.0
             },
@@ -180,8 +263,8 @@ impl ServeMetrics {
                 let excused = drop_reasons.session_detached + reject_reasons.unknown_session;
                 let accountable = generated - excused;
                 let failed = missed
-                    + (self.rejected.len() - reject_reasons.unknown_session)
-                    + (self.dropped.len() - drop_reasons.session_detached);
+                    + (rejected.len() - reject_reasons.unknown_session)
+                    + (dropped.len() - drop_reasons.session_detached);
                 if accountable > 0 {
                     failed as f64 / accountable as f64
                 } else {
@@ -265,7 +348,11 @@ pub struct ServeReport {
     pub policy: String,
     /// Pool size.
     pub devices: usize,
-    /// Frames generated by all sessions (completed + rejected + dropped).
+    /// Whole-run terminal totals, unaffected by any retention window
+    /// (equal to the windowed counts under full retention).
+    pub lifetime: LifetimeCounts,
+    /// Frames generated by all sessions (completed + rejected + dropped)
+    /// **within the retention window** — the whole run by default.
     pub generated: usize,
     /// Frames completed.
     pub completed: usize,
@@ -373,8 +460,16 @@ impl ServeReport {
             "{{\"deadline\":{},\"session_detached\":{},\"gated\":{}}}",
             self.drop_reasons.deadline, self.drop_reasons.session_detached, self.drop_reasons.gated,
         );
+        let lifetime = format!(
+            "{{\"generated\":{},\"completed\":{},\"rejected\":{},\"dropped\":{},\"missed\":{}}}",
+            self.lifetime.generated,
+            self.lifetime.completed,
+            self.lifetime.rejected,
+            self.lifetime.dropped,
+            self.lifetime.missed,
+        );
         format!(
-            "{{\"policy\":{},\"devices\":{},\"generated\":{},\"completed\":{},\
+            "{{\"policy\":{},\"devices\":{},\"lifetime\":{lifetime},\"generated\":{},\"completed\":{},\
              \"rejected\":{},\"dropped\":{},\"missed\":{},\"reject_reasons\":{},\
              \"drop_reasons\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
@@ -538,5 +633,69 @@ mod tests {
     fn completion_requires_start() {
         let mut m = ServeMetrics::default();
         m.complete(ticket(0, 0, 0, 1), 5);
+    }
+
+    #[test]
+    fn window_bounds_records_and_keeps_lifetime_exact() {
+        let mut m = ServeMetrics::windowed(3);
+        for i in 0..10u32 {
+            let t = ticket(0, i, u64::from(i) * 10, u64::from(i) * 10 + 5);
+            m.start(t, u64::from(i) * 10);
+            // Every other frame misses (completes 8 cycles after a
+            // 5-cycle deadline offset).
+            m.complete(t, u64::from(i) * 10 + if i % 2 == 0 { 4 } else { 8 });
+        }
+        for i in 0..5u32 {
+            m.reject(ticket(1, i, 0, 1), RejectReason::QueueFull);
+            m.drop_frame(ticket(2, i, 0, 1), DropReason::Deadline);
+        }
+        // The rings are bounded...
+        assert_eq!(m.completed().len(), 3);
+        assert_eq!(m.rejected().len(), 3);
+        assert_eq!(m.dropped().len(), 3);
+        // ...and hold the most recent records.
+        assert_eq!(m.completed()[0].ticket.frame, 7);
+        assert_eq!(m.completed()[2].ticket.frame, 9);
+        // Lifetime totals survive the evictions.
+        let life = m.lifetime();
+        assert_eq!(life.generated, 20);
+        assert_eq!(life.completed, 10);
+        assert_eq!(life.rejected, 5);
+        assert_eq!(life.dropped, 5);
+        assert_eq!(life.missed, 5);
+        // The report is exact within the window: of frames 7..10, the
+        // odd ones (7 and 9) missed.
+        let r = m.report(
+            &RunInfo {
+                policy: "fcfs",
+                devices: 1,
+                wall_cycles: 100,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string(), "b".to_string(), "c".to_string()],
+            &[60.0, 60.0, 60.0],
+        );
+        assert_eq!(r.generated, 9);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.missed, 2);
+        assert_eq!(r.lifetime, life);
+        assert!(r.to_json().contains("\"lifetime\":{\"generated\":20"));
+    }
+
+    #[test]
+    fn full_retention_lifetime_equals_windowed_counts() {
+        let r = sample_report();
+        assert_eq!(r.lifetime.generated, r.generated);
+        assert_eq!(r.lifetime.completed, r.completed);
+        assert_eq!(r.lifetime.rejected, r.rejected);
+        assert_eq!(r.lifetime.dropped, r.dropped);
+        assert_eq!(r.lifetime.missed, r.missed);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one record")]
+    fn zero_window_is_rejected() {
+        let _ = ServeMetrics::windowed(0);
     }
 }

@@ -18,6 +18,9 @@ use gbu_core::Gbu;
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
 use gbu_math::Vec3;
+use gbu_render::binning::TileBins;
+use gbu_render::Splat2D;
+use gbu_scene::Camera;
 
 /// A frame completed by the pool, tagged with its ticket and wall-clock
 /// completion time.
@@ -115,14 +118,64 @@ impl DevicePool {
     /// Panics if the device still has a frame in flight — the engine only
     /// dispatches to [`DevicePool::idle_device`] slots.
     pub fn submit(&mut self, device: usize, view: &PreparedView, ticket: FrameTicket) {
-        let gbu = &mut self.devices[device];
-        gbu.render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO)
+        self.devices[device]
+            .render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO)
             .expect("engine dispatches only to idle devices");
+        self.track(device, ticket);
+    }
+
+    /// Submits one *shard* of a frame to device `device` (must be idle):
+    /// `bins` is a tile-range restriction of the frame's bins, executed
+    /// through the device's scoped entry point
+    /// ([`gbu_core::Gbu::render_scoped`]) so the shard charges only its
+    /// tile range's D&B work and DRAM feature traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device still has a frame in flight.
+    pub fn submit_scoped(
+        &mut self,
+        device: usize,
+        splats: &[Splat2D],
+        bins: &TileBins,
+        camera: &Camera,
+        ticket: FrameTicket,
+    ) {
+        self.devices[device]
+            .render_scoped(splats, bins, camera, Vec3::ZERO)
+            .expect("cluster dispatches only to idle devices");
+        self.track(device, ticket);
+    }
+
+    /// Registers the just-submitted frame on `device` as active, with its
+    /// feature traffic streamed over its whole duration.
+    fn track(&mut self, device: usize, ticket: FrameTicket) {
+        let gbu = &self.devices[device];
         let duration = gbu.in_flight_remaining().expect("frame was just submitted");
         let bytes = gbu.in_flight_dram_bytes().expect("frame was just submitted");
-        // The frame streams its feature traffic over its whole duration.
         let demand = bytes as f64 / duration.max(1) as f64;
         self.active[device] = Some(ActiveFrame { ticket, demand, residue: 0.0 });
+    }
+
+    /// Device-cycles of work still executing on each device (zero for
+    /// idle ones) — the per-device backlog the in-flight-aware admission
+    /// estimate seeds its earliest-free schedule with. Optimistic
+    /// (device cycles, not contention-stretched wall cycles), so a
+    /// rejection remains a proof of unmeetability.
+    pub fn in_flight_backlog_per_device(&self) -> Vec<u64> {
+        self.devices
+            .iter()
+            .zip(&self.active)
+            .map(
+                |(gbu, slot)| {
+                    if slot.is_some() {
+                        gbu.in_flight_remaining().unwrap_or(0)
+                    } else {
+                        0
+                    }
+                },
+            )
+            .collect()
     }
 
     /// The ticket currently rendering on `device`, if any.

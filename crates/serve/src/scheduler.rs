@@ -176,11 +176,24 @@ pub struct AdmissionControl {
     /// only meaningful together with
     /// [`AdmissionControl::reject_unmeetable`].
     pub queue_aware: bool,
+    /// Whether the meetability estimate also folds in the work *already
+    /// executing* on the pool's devices (`Gbu::in_flight_remaining`,
+    /// summed and spread over the devices). The queue-aware term alone
+    /// sees an empty queue the instant after a dispatch, even though
+    /// every device may be mid-frame — exactly when a moderate overload
+    /// admits frames that can only miss. On by default; only meaningful
+    /// together with [`AdmissionControl::reject_unmeetable`].
+    pub in_flight_aware: bool,
 }
 
 impl Default for AdmissionControl {
     fn default() -> Self {
-        Self { max_queue_depth: 64, reject_unmeetable: false, queue_aware: true }
+        Self {
+            max_queue_depth: 64,
+            reject_unmeetable: false,
+            queue_aware: true,
+            in_flight_aware: true,
+        }
     }
 }
 
@@ -192,8 +205,11 @@ impl AdmissionControl {
 
     /// Full admission decision for a frame arriving at `arrival` with
     /// `deadline`, given the current queue `depth`, the estimated wait
-    /// `queued_wait_cycles` behind already-queued work (ignored unless
-    /// [`AdmissionControl::queue_aware`]) and the session's optimistic
+    /// `queued_wait_cycles` behind work already queued *and* already
+    /// executing (the engine folds in only the terms enabled by
+    /// [`AdmissionControl::queue_aware`] /
+    /// [`AdmissionControl::in_flight_aware`]; with both off the wait is
+    /// ignored entirely) and the session's optimistic
     /// `min_service_cycles` estimate. `Ok(())` admits; `Err` carries the
     /// rejection reason.
     pub fn decide(
@@ -207,7 +223,7 @@ impl AdmissionControl {
         if !self.admits(depth) {
             return Err(RejectReason::QueueFull);
         }
-        let wait = if self.queue_aware { queued_wait_cycles } else { 0 };
+        let wait = if self.queue_aware || self.in_flight_aware { queued_wait_cycles } else { 0 };
         if self.reject_unmeetable
             && arrival.saturating_add(wait).saturating_add(min_service_cycles) > deadline
         {
@@ -307,10 +323,13 @@ mod tests {
         assert_eq!(strict.decide(0, 0, 0, 1000, 400), Ok(()));
         // …but not behind 700 cycles of queued work.
         assert_eq!(strict.decide(3, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
-        // A depth-blind configuration ignores the queued wait (the
+        // A fully wait-blind configuration ignores the estimate (the
         // pre-queue-aware behaviour, kept reachable for comparison).
-        let blind = AdmissionControl { queue_aware: false, ..strict };
+        let blind = AdmissionControl { queue_aware: false, in_flight_aware: false, ..strict };
         assert_eq!(blind.decide(3, 700, 0, 1000, 400), Ok(()));
+        // Either awareness flag alone re-enables the wait term.
+        let inflight_only = AdmissionControl { queue_aware: false, ..strict };
+        assert_eq!(inflight_only.decide(3, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
         // Queue wait saturates rather than wrapping.
         assert_eq!(strict.decide(1, u64::MAX, 5, u64::MAX - 1, 1), Err(RejectReason::Unmeetable));
     }

@@ -15,7 +15,7 @@ use gbu_core::apps::FrameScenario;
 use gbu_hw::GbuConfig;
 use gbu_math::Vec3;
 use gbu_render::binning::TileBins;
-use gbu_render::{binning, preprocess, Splat2D};
+use gbu_render::{pipeline, Splat2D};
 use gbu_scene::synth::SceneBuilder;
 use gbu_scene::{Camera, DatasetScene, GaussianScene, ScaleProfile};
 
@@ -125,9 +125,11 @@ fn orbit_views(scene: &GaussianScene, width: u32, height: u32, seed: u64) -> Vec
             let yaw = (seed % 7) as f32 * 0.9 + v as f32 * 0.35;
             let pitch = 0.15 + 0.1 * (v as f32 - 1.0);
             let camera = Camera::orbit(width, height, 0.9, center, radius, yaw, pitch);
-            let (splats, _) = preprocess::project_scene(scene, &camera);
-            let (bins, _) = binning::bin_splats(&splats, &camera, 16);
-            PreparedView { splats, bins, camera }
+            // Steps ❶/❷ through the staged pipeline — the exact artifacts
+            // the host GPU hands to `GBU_render_image` each frame.
+            let projected = pipeline::project(scene, &camera);
+            let binned = pipeline::bin(&projected, 16);
+            PreparedView { splats: projected.splats, bins: binned.bins, camera }
         })
         .collect()
 }

@@ -114,6 +114,63 @@ fn queue_aware_admission_beats_depth_blind_admission() {
     assert_eq!(aware_light.rejected, blind_light.rejected);
 }
 
+/// In-flight-aware admission (ROADMAP "smarter admission, part 3"): the
+/// queue-aware wait estimate sees an *empty* queue the instant after a
+/// dispatch, even though the device is mid-frame — at moderate overload
+/// that blind spot admits frames whose deadline the executing frame has
+/// already spent. Folding `Gbu::in_flight_remaining` into the bound
+/// converts those guaranteed-late completions into up-front rejections;
+/// underloaded it must change nothing.
+#[test]
+fn in_flight_aware_admission_tightens_the_bound() {
+    let sessions =
+        workload::prepare_all(workload::synthetic_mix(SESSIONS, FRAMES), &GbuConfig::paper());
+    let run = |in_flight_aware: bool, load: f64| {
+        let mut cfg = ServeConfig { devices: 1, policy: Policy::Edf, ..ServeConfig::default() };
+        cfg.admission.reject_unmeetable = true;
+        cfg.admission.queue_aware = true;
+        cfg.admission.in_flight_aware = in_flight_aware;
+        run_workload(cfg, &sessions, load)
+    };
+
+    // Moderate overload: the queue drains fast (so the queue-aware term
+    // is often zero) but the single device is almost always busy — the
+    // regime where only the in-flight term can tighten the bound.
+    let blind = run(false, 1.4);
+    let aware = run(true, 1.4);
+    for r in [&blind, &aware] {
+        eprintln!(
+            "in_flight_aware={} missed={} completed={} rejected={} p99={:.3}ms",
+            std::ptr::eq(r, &aware),
+            r.missed,
+            r.completed,
+            r.rejected,
+            r.p99_latency_ms
+        );
+        assert_eq!(r.generated, SESSIONS * FRAMES as usize);
+        assert_eq!(r.completed + r.rejected + r.dropped, r.generated);
+    }
+    assert!(
+        aware.missed < blind.missed,
+        "in-flight-aware admission must cut completed-but-missed frames: {} vs {}",
+        aware.missed,
+        blind.missed
+    );
+    assert!(
+        aware.rejected > blind.rejected,
+        "the tightened bound rejects what the blind spot admitted: {} vs {}",
+        aware.rejected,
+        blind.rejected
+    );
+
+    // Underloaded, devices idle at admission time: the in-flight term is
+    // zero and the decision must be unchanged.
+    let blind_light = run(false, 0.4);
+    let aware_light = run(true, 0.4);
+    assert_eq!(aware_light.completed, blind_light.completed);
+    assert_eq!(aware_light.rejected, blind_light.rejected);
+}
+
 #[test]
 fn pool_scaling_relieves_overload() {
     let sessions = workload::prepare_all(workload::synthetic_mix(SESSIONS, 6), &GbuConfig::paper());

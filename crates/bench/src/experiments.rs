@@ -1348,6 +1348,218 @@ pub fn shard(ctx: &Ctx) {
     println!("wrote {path} ({} runs)\n", rows.len());
 }
 
+/// Cluster-serving sweep: one overloaded sharded session on a 4-lane
+/// cluster engine, swept over `ExecMode` shard width × shard strategy ×
+/// admission, emitting `BENCH_cluster.json`.
+///
+/// The scene is calibrated so an *unsharded* frame costs ~1.7 frame
+/// periods on one lane — hopeless at 1 shard, comfortable at 4 — so the
+/// deadline-miss rate must fall strictly as the shard width grows (the
+/// run fails itself otherwise). Reported per coordinate:
+///
+/// - `deadline_miss_rate` / `p99_latency_ms` — the serving outcome;
+/// - `mean_imbalance` — measured per-frame shard imbalance from the
+///   report's sharding block ([`gbu_serve::ShardingReport`]), comparing
+///   `measured` feedback replanning against pair-count LPT;
+/// - the full `ServeReport` JSON (per-frame imbalance list included).
+///
+/// With `admission: lane_aware`, deadline-aware admission uses the
+/// per-lane backlog estimate: rejections must only replace misses
+/// (completed-on-time never decreases materially), pinned by the
+/// self-validation.
+pub fn cluster(ctx: &Ctx) {
+    use gbu_hw::GbuConfig;
+    use gbu_render::shard::ShardStrategy;
+    use gbu_scene::ScaleProfile;
+    use gbu_serve::{
+        calibrated_clock_ghz, BackendKind, ExecMode, Policy, QosTarget, ServeConfig, ServeEngine,
+        Session, SessionContent, SessionSpec,
+    };
+
+    const LANES: usize = 4;
+    const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+    const FRAMES: u32 = 18;
+    /// Offered load of the *light* session's unsharded frame vs one
+    /// lane's capacity; the heavy session costs ~1.7x more, so at 2
+    /// shards the light client meets its deadline while the heavy one
+    /// still misses — the miss rate falls strictly along the sweep
+    /// instead of cliffing from all-miss to none.
+    const OVERLOAD: f64 = 1.25;
+
+    let (light_g, heavy_g, width, height) = match ctx.profile {
+        ScaleProfile::Test => (500usize, 1_200usize, 256u32, 192u32),
+        _ => (2_000, 4_800, 320, 240),
+    };
+    println!("== Cluster serving sweep: shard width x strategy x admission ==");
+    println!(
+        "   {LANES}-lane cluster, two sharded sessions ({light_g} + {heavy_g} Gaussians) \
+         at {width}x{height},"
+    );
+    println!("   light unsharded frame ~{OVERLOAD}x its 72 Hz period on one lane");
+
+    let spec = |name: &str, gaussians: usize, phase: f64, shards: usize, strategy| SessionSpec {
+        name: name.into(),
+        content: SessionContent::SyntheticHd { seed: 41, gaussians, width, height },
+        qos: QosTarget::VR_72,
+        frames: FRAMES,
+        phase,
+        exec: ExecMode::Sharded { shards, strategy },
+    };
+    // Prepare once (Steps 1/2 + probe) and retag the exec mode per run —
+    // preparation is mode-independent.
+    let light = Session::prepare(
+        spec("hmd-light", light_g, 0.0, 1, ShardStrategy::CostBalanced),
+        &GbuConfig::paper(),
+    );
+    let heavy = Session::prepare(
+        spec("hmd-heavy", heavy_g, 0.5, 1, ShardStrategy::CostBalanced),
+        &GbuConfig::paper(),
+    );
+    let clock_ghz = calibrated_clock_ghz(std::slice::from_ref(&light), 1, OVERLOAD);
+    println!(
+        "   calibrated GBU clock: {clock_ghz:.4} GHz; heavy/light frame-cost ratio {:.2}\n",
+        heavy.mean_frame_cycles() / light.mean_frame_cycles()
+    );
+
+    let strategies = [ShardStrategy::CostBalanced, ShardStrategy::Measured];
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut invalid = false;
+    // miss-rate trajectory of (cost_balanced, admission off) over shards.
+    let mut gate_misses: Vec<f64> = Vec::new();
+    let mut imbalance_at_4 = [f64::NAN; 2];
+    let mut off_on_time = 0usize;
+    for (si, &strategy) in strategies.iter().enumerate() {
+        for &shards in &SHARD_SWEEP {
+            for lane_aware in [false, true] {
+                let mut cfg = ServeConfig {
+                    backend: BackendKind::Cluster { lanes: LANES, devices_per_lane: 1 },
+                    policy: Policy::Edf,
+                    ..ServeConfig::default()
+                };
+                cfg.admission.reject_unmeetable = lane_aware;
+                cfg.gbu.clock_ghz = clock_ghz;
+                let mut engine = ServeEngine::new(cfg);
+                for (base, name, g, phase) in
+                    [(&light, "hmd-light", light_g, 0.0), (&heavy, "hmd-heavy", heavy_g, 0.5)]
+                {
+                    let mut session = base.clone();
+                    session.spec = spec(name, g, phase, shards, strategy);
+                    engine.attach_session(session);
+                }
+                engine.drain();
+                engine.finish();
+                let r = engine.report();
+
+                let mean_imbalance = r.sharding.as_ref().map_or(f64::NAN, |s| s.mean_imbalance);
+                let admission = if lane_aware { "lane_aware" } else { "off" };
+                let on_time = r.completed - r.missed;
+                if !lane_aware {
+                    for (label, v) in
+                        [("miss_rate", r.deadline_miss_rate), ("imbalance", mean_imbalance)]
+                    {
+                        if !v.is_finite() || v < 0.0 {
+                            eprintln!(
+                                "INVALID: {}/{shards}/{admission}: {label} = {v}",
+                                strategy.label()
+                            );
+                            invalid = true;
+                        }
+                    }
+                    // The miss-rate gate rides the measurement-driven
+                    // strategy: pair-count LPT's higher imbalance can
+                    // leave the 4-shard cluster overloaded (that contrast
+                    // is the point of the sweep, and visible in the JSON).
+                    if strategy == ShardStrategy::Measured {
+                        gate_misses.push(r.deadline_miss_rate);
+                    }
+                    if shards == 4 {
+                        imbalance_at_4[si] = mean_imbalance;
+                    }
+                    off_on_time = on_time;
+                } else if on_time < off_on_time {
+                    // Lane-aware admission only converts guaranteed
+                    // misses into up-front rejections: every rejection
+                    // is provably unmeetable, so the on-time completion
+                    // count must not fall vs the paired admission-off
+                    // run.
+                    eprintln!(
+                        "INVALID: {}/{shards}: lane-aware admission lost on-time frames \
+                         ({on_time} vs {off_on_time})",
+                        strategy.label()
+                    );
+                    invalid = true;
+                }
+                rows.push(vec![
+                    strategy.label().to_string(),
+                    shards.to_string(),
+                    admission.to_string(),
+                    r.completed.to_string(),
+                    r.rejected.to_string(),
+                    fmt_pct(r.deadline_miss_rate),
+                    fmt_f(r.p99_latency_ms, 2),
+                    fmt_f(mean_imbalance, 3),
+                    fmt_pct(r.device_utilization),
+                ]);
+                runs.push(format!(
+                    "{{\"strategy\":\"{}\",\"shards\":{shards},\"admission\":\"{admission}\",\
+                     \"report\":{}}}",
+                    strategy.label(),
+                    r.to_json()
+                ));
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["strategy", "shards", "admission", "done", "rej", "miss", "p99 ms", "imbal", "util"],
+            &rows
+        )
+    );
+
+    // Self-validation 1: sharding must strictly cut the miss rate.
+    for w in gate_misses.windows(2) {
+        if w[1] >= w[0] {
+            eprintln!(
+                "INVALID: miss rate must fall strictly with shard width, got {:?}",
+                gate_misses
+            );
+            invalid = true;
+        }
+    }
+    // Self-validation 2: measured feedback must not lose to pair-count
+    // LPT on measured imbalance (it replans from real service cycles).
+    let [bal, measured] = imbalance_at_4;
+    println!(
+        "4-shard imbalance: cost_balanced {:.3} vs measured {:.3} ({:+.1}%)",
+        bal,
+        measured,
+        (measured / bal - 1.0) * 100.0
+    );
+    if measured > bal * 1.02 {
+        eprintln!("INVALID: measured replanning regressed imbalance: {measured} vs {bal}");
+        invalid = true;
+    }
+    if invalid {
+        eprintln!("cluster sweep produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"cluster_sweep\",\"profile\":\"{:?}\",\"lanes\":{LANES},\
+         \"frames\":{FRAMES},\"overload\":{OVERLOAD},\"clock_ghz\":{clock_ghz:.6},\
+         \"scene\":{{\"light_gaussians\":{light_g},\"heavy_gaussians\":{heavy_g},\
+         \"width\":{width},\"height\":{height}}},\
+         \"runs\":[{}]}}\n",
+        ctx.profile,
+        runs.join(",")
+    );
+    let path = smoke_path(ctx.profile, "BENCH_cluster");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} runs)\n", rows.len());
+}
+
 /// Output path for a bench trajectory: the committed `<stem>.json` at
 /// the repo root for tracked profiles, or the gitignored
 /// `bench_out/<stem>.smoke.json` for the CI `test` profile (smoke runs

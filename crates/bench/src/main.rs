@@ -9,7 +9,9 @@
 //! `render` — the render hot-path wall-clock sweep (serial vs. parallel
 //! at 1/2/4/8 threads), which writes `BENCH_render.json`, and `shard` —
 //! the multi-pool scene-sharding sweep (shard count × strategy), which
-//! writes `BENCH_shard.json`.
+//! writes `BENCH_shard.json`, and `cluster` — the cluster-mode serving
+//! sweep (ExecMode shard width × strategy × lane-aware admission), which
+//! writes `BENCH_cluster.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -66,7 +68,8 @@ fn print_help() {
          tab2 tab3 fig14 fig15 tab4 tab5 fig16 fig17 tab6 tab7 limitations all\n  \
          serve   (multi-session serving sweep; writes BENCH_serve.json)\n  \
          render  (render hot-path wall-clock sweep; writes BENCH_render.json)\n  \
-         shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)"
+         shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)\n  \
+         cluster (cluster-mode serving sweep; writes BENCH_cluster.json)"
     );
 }
 
@@ -96,6 +99,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "serve" => experiments::serve(ctx),
         "render" => experiments::render(ctx),
         "shard" => experiments::shard(ctx),
+        "cluster" => experiments::cluster(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -124,6 +128,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "serve",
                 "render",
                 "shard",
+                "cluster",
             ] {
                 run(ctx, c);
             }

@@ -56,6 +56,9 @@ pub struct CompletedFrame {
 struct InFlight {
     result: CompletedFrame,
     completion_cycle: u64,
+    /// Full device occupancy of the frame (`max(D&B, Tile PE)` cycles),
+    /// fixed at submission.
+    occupancy: u64,
 }
 
 /// The GBU device.
@@ -179,6 +182,7 @@ impl Gbu {
         self.in_flight = Some(InFlight {
             result: CompletedFrame { image: run.image.clone(), run },
             completion_cycle: self.clock + duration,
+            occupancy: duration,
         });
         Ok(())
     }
@@ -202,6 +206,16 @@ impl Gbu {
     /// device's share of DRAM bandwidth while it renders. `None` when idle.
     pub fn in_flight_dram_bytes(&self) -> Option<u64> {
         self.in_flight.as_ref().map(|f| f.result.run.dram_bytes)
+    }
+
+    /// Full device occupancy (`max(D&B, Tile PE)` cycles) of the
+    /// in-flight frame, independent of how far it has progressed —
+    /// `None` when idle. Execution backends use this to record what a
+    /// frame (or one shard of it) actually costs in device cycles, e.g.
+    /// as the measured-service feedback behind
+    /// `gbu_render::shard::ShardStrategy::Measured`.
+    pub fn in_flight_occupancy(&self) -> Option<u64> {
+        self.in_flight.as_ref().map(|f| f.occupancy)
     }
 
     /// Aborts the in-flight frame, if any, discarding its result and
@@ -314,10 +328,12 @@ mod tests {
         gbu.render_image(&splats, &bins, &cam, Vec3::ZERO).unwrap();
         let total = gbu.in_flight_remaining().expect("frame in flight");
         assert!(total > 0);
+        assert_eq!(gbu.in_flight_occupancy(), Some(total));
         let bytes = gbu.in_flight_dram_bytes().expect("frame in flight");
         assert!(bytes > 0);
         gbu.advance(total / 2);
         assert_eq!(gbu.in_flight_remaining(), Some(total - total / 2));
+        assert_eq!(gbu.in_flight_occupancy(), Some(total), "occupancy is fixed at submit");
         gbu.advance(total); // overshoot saturates at zero
         assert_eq!(gbu.in_flight_remaining(), Some(0));
         assert!(gbu.try_collect().is_some());

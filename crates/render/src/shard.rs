@@ -45,10 +45,23 @@ pub enum ShardStrategy {
     InterleavedRows,
     /// Greedy LPT over per-tile-row pair counts from binning.
     CostBalanced,
+    /// Greedy LPT over per-row costs *corrected by measurement*: the
+    /// previous frame's measured per-shard service cycles
+    /// ([`ShardFeedback`]) rescale each row's pair count by how much its
+    /// shard under- or over-ran the pair-count prediction — pair counts
+    /// alone ignore saturation early-outs, which is exactly what the
+    /// measurement recovers. Without feedback (the first frame) this is
+    /// identical to [`ShardStrategy::CostBalanced`].
+    Measured,
 }
 
 impl ShardStrategy {
-    /// All strategies, in sweep order.
+    /// The feedback-free strategies, in sweep order. ([`Measured`]
+    /// depends on per-frame history, so single-frame sweeps exclude it —
+    /// without feedback it degenerates to [`CostBalanced`] anyway.)
+    ///
+    /// [`Measured`]: ShardStrategy::Measured
+    /// [`CostBalanced`]: ShardStrategy::CostBalanced
     pub fn all() -> [ShardStrategy; 3] {
         [ShardStrategy::ContiguousRows, ShardStrategy::InterleavedRows, ShardStrategy::CostBalanced]
     }
@@ -59,7 +72,73 @@ impl ShardStrategy {
             ShardStrategy::ContiguousRows => "contiguous_rows",
             ShardStrategy::InterleavedRows => "interleaved_rows",
             ShardStrategy::CostBalanced => "cost_balanced",
+            ShardStrategy::Measured => "measured",
         }
+    }
+}
+
+/// Measured outcome of a previously executed [`ShardPlan`]: which rows
+/// each shard rendered and the service cycles the shard actually took —
+/// the feedback [`ShardStrategy::Measured`] folds into the next frame's
+/// plan.
+#[derive(Debug, Clone, Default)]
+pub struct ShardFeedback {
+    /// Per-shard row assignments of the executed plan.
+    pub rows: Vec<Vec<u32>>,
+    /// Measured service cycles of each shard (same indexing as `rows`).
+    pub measured_cycles: Vec<u64>,
+}
+
+impl ShardFeedback {
+    /// Per-row cost estimates under this measurement: each row keeps its
+    /// pair count, rescaled by its shard's measured-over-planned ratio
+    /// *relative to the whole frame's* (a dimensionless factor around
+    /// 1), so rows whose shard ran hotter than pair counts predicted
+    /// (little saturation, deep alpha stacks) get proportionally
+    /// heavier. Normalising by the frame-wide cycles-per-pair baseline
+    /// keeps the corrected costs in pair-count units, so rows absent
+    /// from the feedback (a regridded frame) combine consistently at
+    /// their raw pair count (an implied correction factor of 1).
+    ///
+    /// Costs are returned in fixed-point (cost × 1024, as `u64`,
+    /// computed through `u128` so large frames cannot overflow) — the
+    /// LPT pass stays integer and fully deterministic.
+    fn corrected_row_costs(&self, pair_counts: &[u64]) -> Vec<u64> {
+        const SCALE: u128 = 1024;
+        let mut costs: Vec<u64> = pair_counts.iter().map(|&c| c.saturating_mul(1024)).collect();
+        // Frame-wide baseline: total measured cycles per planned pair.
+        let mut total_measured: u128 = 0;
+        let mut total_planned: u128 = 0;
+        for (rows, &measured) in self.rows.iter().zip(&self.measured_cycles) {
+            let planned: u64 = rows.iter().filter_map(|&r| pair_counts.get(r as usize)).sum();
+            if planned > 0 {
+                total_measured += u128::from(measured);
+                total_planned += u128::from(planned);
+            }
+        }
+        if total_measured == 0 || total_planned == 0 {
+            return costs;
+        }
+        for (rows, &measured) in self.rows.iter().zip(&self.measured_cycles) {
+            let planned: u64 = rows.iter().filter_map(|&r| pair_counts.get(r as usize)).sum();
+            if planned == 0 {
+                continue;
+            }
+            // factor = (measured / planned) / (total_measured /
+            // total_planned): how much hotter this shard ran than the
+            // frame as a whole, per planned pair.
+            for &r in rows {
+                if let Some(c) = costs.get_mut(r as usize) {
+                    let corrected = u128::from(pair_counts[r as usize])
+                        * SCALE
+                        * u128::from(measured)
+                        * total_planned
+                        / (u128::from(planned) * total_measured);
+                    *c = u64::try_from(corrected).unwrap_or(u64::MAX);
+                }
+            }
+        }
+        costs
     }
 }
 
@@ -90,15 +169,50 @@ pub struct ShardPlan {
 
 impl ShardPlan {
     /// Splits `bins`' tile rows over `shards` shards with `strategy`.
+    /// [`ShardStrategy::Measured`] has no history here and degenerates to
+    /// [`ShardStrategy::CostBalanced`]; use [`ShardPlan::with_feedback`]
+    /// to fold a previous frame's measurement in.
     ///
     /// # Panics
     ///
     /// Panics when `shards == 0`.
     pub fn new(strategy: ShardStrategy, bins: &TileBins, shards: usize) -> Self {
+        Self::with_feedback(strategy, bins, shards, None)
+    }
+
+    /// [`ShardPlan::new`] with optional measurement feedback: under
+    /// [`ShardStrategy::Measured`] the LPT pass runs over per-row costs
+    /// corrected by the previous frame's measured per-shard service
+    /// cycles (`ShardFeedback`'s corrected per-row costs); every other
+    /// strategy ignores `feedback`, as does `Measured` when it is `None`
+    /// (the first frame has nothing to learn from).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn with_feedback(
+        strategy: ShardStrategy,
+        bins: &TileBins,
+        shards: usize,
+        feedback: Option<&ShardFeedback>,
+    ) -> Self {
         assert!(shards > 0, "a plan needs at least one shard");
         let costs = bins.row_pair_counts();
         let tiles_y = bins.tiles_y;
         let mut rows_of: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        // Longest-processing-time over `weights`: heaviest rows first,
+        // each to the currently lightest shard (ties by shard index —
+        // fully deterministic).
+        let lpt = |rows_of: &mut Vec<Vec<u32>>, weights: &[u64]| {
+            let mut order: Vec<u32> = (0..tiles_y).collect();
+            order.sort_by_key(|&r| (std::cmp::Reverse(weights[r as usize]), r));
+            let mut load = vec![0u64; shards];
+            for r in order {
+                let s = (0..shards).min_by_key(|&s| (load[s], s)).expect("shards > 0");
+                load[s] += weights[r as usize];
+                rows_of[s].push(r);
+            }
+        };
         match strategy {
             ShardStrategy::ContiguousRows => {
                 // Balanced blocks: the first `rem` shards get one extra row.
@@ -116,19 +230,11 @@ impl ShardPlan {
                     rows_of[r as usize % shards].push(r);
                 }
             }
-            ShardStrategy::CostBalanced => {
-                // Longest-processing-time: heaviest rows first, each to the
-                // currently lightest shard (ties by shard index — fully
-                // deterministic).
-                let mut order: Vec<u32> = (0..tiles_y).collect();
-                order.sort_by_key(|&r| (std::cmp::Reverse(costs[r as usize]), r));
-                let mut load = vec![0u64; shards];
-                for r in order {
-                    let s = (0..shards).min_by_key(|&s| (load[s], s)).expect("shards > 0");
-                    load[s] += costs[r as usize];
-                    rows_of[s].push(r);
-                }
-            }
+            ShardStrategy::CostBalanced => lpt(&mut rows_of, &costs),
+            ShardStrategy::Measured => match feedback {
+                Some(fb) => lpt(&mut rows_of, &fb.corrected_row_costs(&costs)),
+                None => lpt(&mut rows_of, &costs),
+            },
         }
         let shards = rows_of
             .into_iter()
@@ -442,6 +548,116 @@ mod tests {
         let (merged, stats) = merge_shards(&binned.bins, &camera, &cfg, &parts);
         assert_eq!(merged.pixels(), reference.0.pixels(), "bit-identical image");
         assert_eq!(stats, reference.1, "bit-identical statistics");
+    }
+
+    #[test]
+    fn measured_without_feedback_matches_cost_balanced() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        for shards in [2usize, 3, 4] {
+            let bal = ShardPlan::new(ShardStrategy::CostBalanced, &binned.bins, shards);
+            let measured = ShardPlan::new(ShardStrategy::Measured, &binned.bins, shards);
+            for (a, b) in bal.shards.iter().zip(&measured.shards) {
+                assert_eq!(a.rows, b.rows, "first-frame Measured must be pair-count LPT");
+            }
+        }
+    }
+
+    #[test]
+    fn measured_feedback_rebalances_hot_shards() {
+        // A taller frame (10 tile rows) than the shared fixture: the LPT
+        // pass needs several rows per shard for rebalancing to have any
+        // freedom.
+        let (scene, _) = scene_and_camera();
+        let camera = Camera::orbit(128, 160, 1.0, Vec3::ZERO, 3.0, 0.3, 0.15);
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        let shards = 3usize;
+        let first = ShardPlan::new(ShardStrategy::Measured, &binned.bins, shards);
+
+        // Synthetic measurement: the shard holding the *most* rows ran 4x
+        // hotter than its pair counts predicted (saturation early-outs
+        // elsewhere), the others exactly as planned. Heating a multi-row
+        // shard leaves the LPT pass real freedom to redistribute — heating
+        // the shard LPT isolated the single heaviest row on would not.
+        let hot =
+            (0..shards).max_by_key(|&s| (first.shards[s].rows.len(), s)).expect("non-empty plan");
+        assert!(first.shards[hot].rows.len() >= 2, "hot shard must be divisible");
+        let feedback = ShardFeedback {
+            rows: first.shards.iter().map(|s| s.rows.clone()).collect(),
+            measured_cycles: first
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, a)| a.planned_cost * if s == hot { 4 } else { 1 })
+                .collect(),
+        };
+        let corrected = feedback.corrected_row_costs(&binned.bins.row_pair_counts());
+        let replan = ShardPlan::with_feedback(
+            ShardStrategy::Measured,
+            &binned.bins,
+            shards,
+            Some(&feedback),
+        );
+
+        let imbalance = |plan: &ShardPlan| {
+            let loads: Vec<u64> = plan
+                .shards
+                .iter()
+                .map(|a| a.rows.iter().map(|&r| corrected[r as usize]).sum::<u64>())
+                .collect();
+            let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+            *loads.iter().max().expect("non-empty") as f64 / mean.max(1.0)
+        };
+        assert!(
+            imbalance(&replan) < imbalance(&first),
+            "measured replan {:.3} must beat the stale plan {:.3} on corrected costs",
+            imbalance(&replan),
+            imbalance(&first)
+        );
+        // The replanned shards still partition the rows.
+        let mut seen = vec![0u32; binned.bins.tiles_y as usize];
+        for a in &replan.shards {
+            for &r in &a.rows {
+                seen[r as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn corrected_costs_stay_in_pair_units() {
+        let (scene, camera) = scene_and_camera();
+        let projected = pipeline::project(&scene, &camera);
+        let binned = pipeline::bin(&projected, 16);
+        let pairs = binned.bins.row_pair_counts();
+        let plan = ShardPlan::new(ShardStrategy::CostBalanced, &binned.bins, 2);
+
+        // Measurement exactly proportional to the pair-count plan: the
+        // correction is a no-op, so every row — covered or not — must
+        // come back at its raw fixed-point pair count. (This is what
+        // keeps feedback covering only a subset of rows, e.g. after a
+        // regrid, comparable with the uncovered rest.)
+        let proportional = ShardFeedback {
+            // Only shard 0 reports: shard 1's rows are "uncovered".
+            rows: vec![plan.shards[0].rows.clone()],
+            measured_cycles: vec![plan.shards[0].planned_cost * 1000],
+        };
+        let corrected = proportional.corrected_row_costs(&pairs);
+        for (r, &pair) in pairs.iter().enumerate() {
+            assert_eq!(
+                corrected[r],
+                pair * 1024,
+                "row {r}: a proportional measurement must not move any cost"
+            );
+        }
+    }
+
+    #[test]
+    fn measured_label_is_stable() {
+        assert_eq!(ShardStrategy::Measured.label(), "measured");
+        assert!(!ShardStrategy::all().contains(&ShardStrategy::Measured));
     }
 
     #[test]

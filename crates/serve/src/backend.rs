@@ -1,0 +1,313 @@
+//! The execution-backend abstraction: one trait the [`crate::ServeEngine`]
+//! drives, two implementations — a single [`DevicePool`] and the
+//! multi-lane [`crate::cluster::ClusterBackend`].
+//!
+//! The paper's GBU is a plug-in behind a stable host interface: the GPU
+//! does not care whether one blending unit or a sharded cluster of them
+//! services a frame. [`ExecBackend`] is that interface on the serving
+//! side. The engine schedules, admits and reports against the trait
+//! alone; what actually renders a frame — one device in one pool, or N
+//! tile-row shards fanned over N pool lanes — is fixed per engine by
+//! [`BackendKind`] and per *session* by [`ExecMode`], so sharded and
+//! unsharded sessions coexist on one simulated clock.
+//!
+//! Backends report progress as [`ExecCompletion`]s: sharded frames yield
+//! one [`ExecCompletion::Shard`] per landed shard (which the engine
+//! surfaces as [`crate::ServeEvent::ShardCompleted`]) before the final
+//! [`ExecCompletion::Frame`]; unsharded frames yield only the latter —
+//! which keeps the unsharded event stream byte-identical to the
+//! pre-trait engine (pinned by `tests/api_equivalence.rs`).
+
+use crate::event::SessionId;
+use crate::pool::DevicePool;
+use crate::scheduler::FrameTicket;
+use crate::session::PreparedView;
+use gbu_render::shard::ShardStrategy;
+use gbu_render::FrameBuffer;
+
+/// How one session's frames execute on the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum ExecMode {
+    /// The whole frame renders on one device (the classic path).
+    #[default]
+    Unsharded,
+    /// The frame is split into `shards` tile-row shards
+    /// (`gbu_render::shard::ShardPlan`) fanned over that many cluster
+    /// lanes; the frame completes when its last shard lands. Requires a
+    /// [`BackendKind::Cluster`] backend with at least `shards` lanes.
+    Sharded {
+        /// Number of tile-row shards (= lanes the frame occupies).
+        shards: usize,
+        /// How the tile rows are split.
+        strategy: ShardStrategy,
+    },
+}
+
+impl ExecMode {
+    /// Number of lanes a frame in this mode occupies at once.
+    pub fn lanes_needed(self) -> usize {
+        match self {
+            ExecMode::Unsharded => 1,
+            ExecMode::Sharded { shards, .. } => shards,
+        }
+    }
+
+    /// Optimistic service-time lower bound for this mode, derived from
+    /// the unsharded bound: blending cycles partition exactly over
+    /// shards and D&B work can only duplicate across them, so the
+    /// critical-path shard costs at least `unsharded / shards` cycles.
+    /// Staying a provable lower bound keeps deadline-aware rejection a
+    /// proof of unmeetability.
+    pub fn min_service(self, unsharded_min_service: u64) -> u64 {
+        match self {
+            ExecMode::Unsharded => unsharded_min_service,
+            ExecMode::Sharded { shards, .. } => {
+                (unsharded_min_service / shards.max(1) as u64).max(1)
+            }
+        }
+    }
+}
+
+/// Which [`ExecBackend`] a [`crate::ServeEngine`] is built over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// One [`DevicePool`] of [`crate::ServeConfig::devices`] GBUs —
+    /// the pre-cluster engine, byte-identical behaviour.
+    Single,
+    /// A [`crate::cluster::ClusterBackend`]: `lanes` independent
+    /// [`DevicePool`]s of `devices_per_lane` GBUs each on one lockstep
+    /// clock, accepting both [`ExecMode::Unsharded`] frames (placed on
+    /// the least-busy lane) and [`ExecMode::Sharded`] frames (fanned
+    /// over the least-busy `shards` lanes).
+    Cluster {
+        /// Number of shard lanes.
+        lanes: usize,
+        /// GBU devices per lane.
+        devices_per_lane: usize,
+    },
+}
+
+/// A frame fully executed by a backend.
+#[derive(Debug)]
+pub struct FrameDone {
+    /// The request this frame fulfilled.
+    pub ticket: FrameTicket,
+    /// Wall cycle at which it completed (sharded: when the *last* shard
+    /// landed).
+    pub completed_at: u64,
+    /// The rendered image. For sharded frames the merged partials —
+    /// bit-identical to the unsharded render (pinned upstream).
+    pub image: FrameBuffer,
+    /// Wall-cycle service time of each shard (submit → land), indexed by
+    /// shard; empty for unsharded frames.
+    pub shard_cycles: Vec<u64>,
+}
+
+impl FrameDone {
+    /// Measured shard imbalance: max shard service over mean (`None`
+    /// for unsharded frames, `1.0` floor otherwise).
+    pub fn imbalance(&self) -> Option<f64> {
+        shard_imbalance(&self.shard_cycles)
+    }
+}
+
+/// Measured imbalance of a set of per-shard service cycles: max over
+/// mean (1.0 = perfectly balanced; 1.0 for an all-zero measurement,
+/// `None` for an empty one). The single definition behind
+/// [`FrameDone::imbalance`], the metrics' per-frame shard records and
+/// the hand-driven `ShardedPool`'s completion figure.
+pub fn shard_imbalance(shard_cycles: &[u64]) -> Option<f64> {
+    let max = *shard_cycles.iter().max()?;
+    let mean = shard_cycles.iter().sum::<u64>() as f64 / shard_cycles.len() as f64;
+    Some(if mean > 0.0 { max as f64 / mean } else { 1.0 })
+}
+
+/// One unit of backend progress returned by [`ExecBackend::advance`].
+#[derive(Debug)]
+pub enum ExecCompletion {
+    /// One shard of a sharded frame landed; the frame itself is still
+    /// pending until its last shard does. Never emitted for unsharded
+    /// frames.
+    Shard {
+        /// The frame the shard belongs to.
+        ticket: FrameTicket,
+        /// Shard index within the frame's plan.
+        shard: usize,
+        /// Lane the shard executed on.
+        lane: usize,
+        /// Wall cycle the shard landed at.
+        at: u64,
+        /// Wall cycles from frame submission to this shard landing.
+        service_cycles: u64,
+    },
+    /// A frame finished (sharded: all shards landed and merged).
+    Frame(FrameDone),
+}
+
+/// The execution layer the serving engine drives.
+///
+/// One simulated wall clock, strictly monotone, advanced only by
+/// [`ExecBackend::advance`]; rates change only at submit/completion
+/// boundaries, so advancing event-to-event
+/// ([`ExecBackend::next_completion_dt`]) is exact.
+pub trait ExecBackend: std::fmt::Debug {
+    /// Current wall cycle.
+    fn clock(&self) -> u64;
+
+    /// Number of lanes (1 for a single pool).
+    fn lane_count(&self) -> usize;
+
+    /// Total GBU devices across all lanes.
+    fn device_count(&self) -> usize;
+
+    /// Number of frames currently executing (a sharded frame counts once
+    /// however many shards are still in flight).
+    fn in_flight_frames(&self) -> usize;
+
+    /// Mean device utilization so far across all lanes.
+    fn utilization(&self) -> f64;
+
+    /// Capacity probe: can a frame in `mode` be dispatched right now?
+    /// (`Unsharded`: some lane has an idle device; `Sharded { shards }`:
+    /// at least `shards` lanes each have one.)
+    fn can_accept(&self, mode: ExecMode) -> bool;
+
+    /// Dispatches `view` on behalf of `ticket` in `mode`. Returns the
+    /// global device index the frame started on (sharded: the device
+    /// running shard 0) for the `Started` event.
+    ///
+    /// # Panics
+    ///
+    /// May panic when called without a passing [`ExecBackend::can_accept`]
+    /// probe, or with a mode the backend does not support.
+    fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize;
+
+    /// Cancels every in-flight frame belonging to `session` (all shards
+    /// of sharded frames), freeing their devices immediately. Returns the
+    /// cancelled tickets, one entry per frame.
+    fn cancel_session(&mut self, session: SessionId) -> Vec<FrameTicket>;
+
+    /// Wall cycles until the next completion (shard or frame) anywhere,
+    /// or `None` when idle.
+    fn next_completion_dt(&self) -> Option<u64>;
+
+    /// Advances the wall clock by `wall_dt` cycles and returns what
+    /// landed, shard completions strictly before the frame completions
+    /// they belong to.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `wall_dt == 0` (the clock must move forward).
+    fn advance(&mut self, wall_dt: u64) -> Vec<ExecCompletion>;
+
+    /// Per-lane, per-device optimistic backlog: device-cycles of work
+    /// still executing on each device (zero when idle), grouped by lane —
+    /// what lane-aware admission seeds its earliest-free schedule with.
+    fn lane_backlogs(&self) -> Vec<Vec<u64>>;
+}
+
+impl ExecBackend for DevicePool {
+    fn clock(&self) -> u64 {
+        DevicePool::clock(self)
+    }
+
+    fn lane_count(&self) -> usize {
+        1
+    }
+
+    fn device_count(&self) -> usize {
+        self.len()
+    }
+
+    fn in_flight_frames(&self) -> usize {
+        self.busy_count()
+    }
+
+    fn utilization(&self) -> f64 {
+        DevicePool::utilization(self)
+    }
+
+    fn can_accept(&self, mode: ExecMode) -> bool {
+        match mode {
+            ExecMode::Unsharded => self.idle_device().is_some(),
+            ExecMode::Sharded { .. } => false,
+        }
+    }
+
+    fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize {
+        assert_eq!(mode, ExecMode::Unsharded, "a single pool cannot execute sharded frames");
+        let device = self.idle_device().expect("submit requires an idle device");
+        DevicePool::submit(self, device, view, ticket);
+        device
+    }
+
+    fn cancel_session(&mut self, session: SessionId) -> Vec<FrameTicket> {
+        let mut cancelled = Vec::new();
+        for device in 0..self.len() {
+            if self.active_ticket(device).is_some_and(|t| t.session == session) {
+                let ticket = self.cancel(device).expect("active ticket was just observed");
+                cancelled.push(ticket);
+            }
+        }
+        cancelled
+    }
+
+    fn next_completion_dt(&self) -> Option<u64> {
+        DevicePool::next_completion_dt(self)
+    }
+
+    fn advance(&mut self, wall_dt: u64) -> Vec<ExecCompletion> {
+        DevicePool::advance(self, wall_dt)
+            .into_iter()
+            .map(|c| {
+                ExecCompletion::Frame(FrameDone {
+                    ticket: c.ticket,
+                    completed_at: c.completed_at,
+                    image: c.frame.image,
+                    shard_cycles: Vec::new(),
+                })
+            })
+            .collect()
+    }
+
+    fn lane_backlogs(&self) -> Vec<Vec<u64>> {
+        vec![self.in_flight_backlog_per_device()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FrameId;
+
+    #[test]
+    fn exec_mode_accessors() {
+        assert_eq!(ExecMode::default(), ExecMode::Unsharded);
+        assert_eq!(ExecMode::Unsharded.lanes_needed(), 1);
+        let sharded = ExecMode::Sharded { shards: 4, strategy: ShardStrategy::CostBalanced };
+        assert_eq!(sharded.lanes_needed(), 4);
+        assert_eq!(ExecMode::Unsharded.min_service(1000), 1000);
+        assert_eq!(sharded.min_service(1000), 250);
+        assert_eq!(sharded.min_service(2), 1, "bound never collapses to zero");
+    }
+
+    #[test]
+    fn frame_done_imbalance() {
+        let done = |shard_cycles: Vec<u64>| FrameDone {
+            ticket: FrameTicket {
+                id: FrameId::from_index(0),
+                session: SessionId::from_index(0),
+                frame: 0,
+                arrival: 0,
+                deadline: u64::MAX,
+            },
+            completed_at: 0,
+            image: FrameBuffer::new(1, 1, gbu_math::Vec3::ZERO),
+            shard_cycles,
+        };
+        assert_eq!(done(vec![]).imbalance(), None);
+        assert_eq!(done(vec![100, 100]).imbalance(), Some(1.0));
+        let i = done(vec![300, 100]).imbalance().expect("sharded");
+        assert!((i - 1.5).abs() < 1e-12);
+    }
+}

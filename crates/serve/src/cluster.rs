@@ -15,12 +15,14 @@
 //! device render, and the per-shard service times are reported as an
 //! imbalance figure (critical path over mean).
 
+use crate::backend::{ExecBackend, ExecCompletion, ExecMode, FrameDone};
+use crate::event::SessionId;
 use crate::pool::{DevicePool, PoolCompletion};
 use crate::scheduler::FrameTicket;
 use crate::session::PreparedView;
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
-use gbu_render::shard::{ShardPlan, ShardStrategy};
+use gbu_render::shard::{ShardFeedback, ShardPlan, ShardStrategy};
 use gbu_render::FrameBuffer;
 
 /// A frame completed by the cluster: all shards landed and merged.
@@ -209,28 +211,336 @@ impl ShardedPool {
         let completed_at = parts.iter().map(|p| p.completed_at).max().expect("at least one shard");
         let shard_cycles: Vec<u64> = parts.iter().map(|p| p.completed_at - submitted_at).collect();
         let dram_bytes = parts.iter().map(|p| p.frame.run.dram_bytes).sum();
-        let mean = shard_cycles.iter().sum::<u64>() as f64 / shard_cycles.len() as f64;
-        let max = *shard_cycles.iter().max().expect("at least one shard");
-        let imbalance = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+        let imbalance = crate::backend::shard_imbalance(&shard_cycles).expect("at least one shard");
+        let image = merge_part_images(&plan, width, height, &parts);
+        ShardedCompletion { ticket, completed_at, image, shard_cycles, dram_bytes, imbalance }
+    }
+}
 
-        // Reassemble the frame: every shard's device image is full-size
-        // with background outside its rows; copy each shard's row bands.
-        let mut image = parts[0].frame.image.clone();
-        let w = width as usize;
-        for (s, part) in parts.iter().enumerate() {
-            if s == 0 {
-                continue;
+/// Reassembles a frame from its shard partials: every shard's device
+/// image is full-size with background outside its rows; copy each
+/// shard's row bands over shard 0's image. Bit-identical to the
+/// unsharded device render (the per-row kernels are the same code).
+fn merge_part_images(
+    plan: &ShardPlan,
+    width: u32,
+    height: u32,
+    parts: &[PoolCompletion],
+) -> FrameBuffer {
+    let mut image = parts[0].frame.image.clone();
+    let w = width as usize;
+    for (s, part) in parts.iter().enumerate() {
+        if s == 0 {
+            continue;
+        }
+        let src = &part.frame.image;
+        for &ty in &plan.shards[s].rows {
+            let y0 = ty * plan.tile_size;
+            let y1 = ((ty + 1) * plan.tile_size).min(height);
+            let lo = y0 as usize * w;
+            let hi = y1 as usize * w;
+            image.pixels_mut()[lo..hi].copy_from_slice(&src.pixels()[lo..hi]);
+        }
+    }
+    image
+}
+
+/// One sharded frame mid-flight on the cluster backend.
+#[derive(Debug)]
+struct PendingMixed {
+    ticket: FrameTicket,
+    plan: ShardPlan,
+    width: u32,
+    height: u32,
+    submitted_at: u64,
+    /// Lane each shard executes on (`lane_of_shard[s]`); a frame's
+    /// shards occupy distinct lanes.
+    lane_of_shard: Vec<usize>,
+    /// Device occupancy (`max(D&B, Tile PE)` cycles) of each shard,
+    /// read at submission — the contention-free measured service that
+    /// feeds [`ShardStrategy::Measured`] replanning.
+    occupancy_of_shard: Vec<u64>,
+    /// One slot per shard, filled as lanes report completions.
+    parts: Vec<Option<PoolCompletion>>,
+}
+
+/// The cluster-mode [`ExecBackend`]: N independent [`DevicePool`] lanes
+/// on one lockstep wall clock, executing [`ExecMode::Unsharded`] frames
+/// on a single lane and [`ExecMode::Sharded`] frames fanned over the
+/// least-busy `shards` lanes — mixed freely on one clock.
+///
+/// Sharded frames report one [`ExecCompletion::Shard`] per landed shard
+/// before the merged [`ExecCompletion::Frame`]; per-session
+/// [`ShardFeedback`] (shard rows + measured occupancies) is retained so
+/// [`ShardStrategy::Measured`] can rebalance each next frame's plan.
+#[derive(Debug)]
+pub struct ClusterBackend {
+    lanes: Vec<DevicePool>,
+    devices_per_lane: usize,
+    pending: Vec<PendingMixed>,
+    /// Last executed plan + measured shard occupancies, by session index.
+    feedback: Vec<Option<ShardFeedback>>,
+}
+
+impl ClusterBackend {
+    /// Creates a cluster of `lanes` pools with `devices_per_lane` GBUs
+    /// each; every lane owns its own DRAM budget (`dram_share` of one
+    /// host GPU's LPDDR bandwidth) — lanes model separate edge SoCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lanes == 0` (and transitively when
+    /// `devices_per_lane == 0`).
+    pub fn new(
+        lanes: usize,
+        devices_per_lane: usize,
+        gbu: &GbuConfig,
+        gpu: &GpuConfig,
+        dram_share: f64,
+    ) -> Self {
+        assert!(lanes > 0, "a cluster needs at least one lane");
+        Self {
+            lanes: (0..lanes)
+                .map(|_| DevicePool::new(devices_per_lane, gbu, gpu, dram_share))
+                .collect(),
+            devices_per_lane,
+            pending: Vec::new(),
+            feedback: Vec::new(),
+        }
+    }
+
+    /// The measured feedback retained for `session`, if any frame of its
+    /// has completed sharded yet.
+    pub fn session_feedback(&self, session: SessionId) -> Option<&ShardFeedback> {
+        self.feedback.get(session.index()).and_then(Option::as_ref)
+    }
+
+    /// Lanes with an idle device, ordered by (busy devices, lane index):
+    /// the deterministic placement order for new frames.
+    fn placement_order(&self) -> Vec<usize> {
+        let mut open: Vec<usize> =
+            (0..self.lanes.len()).filter(|&l| self.lanes[l].idle_device().is_some()).collect();
+        open.sort_by_key(|&l| (self.lanes[l].busy_count(), l));
+        open
+    }
+}
+
+impl ExecBackend for ClusterBackend {
+    fn clock(&self) -> u64 {
+        self.lanes[0].clock()
+    }
+
+    fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    fn device_count(&self) -> usize {
+        self.lanes.len() * self.devices_per_lane
+    }
+
+    fn in_flight_frames(&self) -> usize {
+        let shard_busy: usize =
+            self.pending.iter().map(|p| p.parts.iter().filter(|part| part.is_none()).count()).sum();
+        let busy: usize = self.lanes.iter().map(DevicePool::busy_count).sum();
+        busy - shard_busy + self.pending.len()
+    }
+
+    fn utilization(&self) -> f64 {
+        self.lanes.iter().map(DevicePool::utilization).sum::<f64>() / self.lanes.len() as f64
+    }
+
+    fn can_accept(&self, mode: ExecMode) -> bool {
+        let open = self.lanes.iter().filter(|l| l.idle_device().is_some()).count();
+        mode.lanes_needed() <= open && mode.lanes_needed() >= 1
+    }
+
+    fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize {
+        match mode {
+            ExecMode::Unsharded => {
+                let lane = *self
+                    .placement_order()
+                    .first()
+                    .expect("submit requires a lane with an idle device");
+                let device =
+                    self.lanes[lane].idle_device().expect("placement order holds open lanes");
+                self.lanes[lane].submit(device, view, ticket);
+                lane * self.devices_per_lane + device
             }
-            let src = &part.frame.image;
-            for &ty in &plan.shards[s].rows {
-                let y0 = ty * plan.tile_size;
-                let y1 = ((ty + 1) * plan.tile_size).min(height);
-                let lo = y0 as usize * w;
-                let hi = y1 as usize * w;
-                image.pixels_mut()[lo..hi].copy_from_slice(&src.pixels()[lo..hi]);
+            ExecMode::Sharded { shards, strategy } => {
+                assert!(
+                    self.pending.iter().all(|p| p.ticket.id != ticket.id),
+                    "ticket {:?} already has shards in flight",
+                    ticket.id
+                );
+                let order = self.placement_order();
+                assert!(
+                    shards >= 1 && shards <= order.len(),
+                    "a {shards}-shard frame needs that many open lanes ({} open)",
+                    order.len()
+                );
+                let lane_of_shard: Vec<usize> = order[..shards].to_vec();
+                let feedback = match strategy {
+                    ShardStrategy::Measured => self
+                        .feedback
+                        .get(ticket.session.index())
+                        .and_then(Option::as_ref)
+                        // A shard-count change invalidates the old plan's
+                        // per-shard measurement mapping only partially
+                        // (per-row costs still transfer); keep it.
+                        .cloned(),
+                    _ => None,
+                };
+                let plan =
+                    ShardPlan::with_feedback(strategy, &view.bins, shards, feedback.as_ref());
+                let submitted_at = self.clock();
+                let mut occupancy_of_shard = Vec::with_capacity(shards);
+                let mut first_device = 0;
+                for (s, &lane) in lane_of_shard.iter().enumerate() {
+                    let device =
+                        self.lanes[lane].idle_device().expect("placement order holds open lanes");
+                    let shard_bins = plan.shard_bins(&view.bins, s);
+                    self.lanes[lane].submit_scoped(
+                        device,
+                        &view.splats,
+                        &shard_bins,
+                        &view.camera,
+                        ticket,
+                    );
+                    occupancy_of_shard.push(
+                        self.lanes[lane]
+                            .in_flight_occupancy(device)
+                            .expect("shard was just submitted"),
+                    );
+                    if s == 0 {
+                        first_device = lane * self.devices_per_lane + device;
+                    }
+                }
+                self.pending.push(PendingMixed {
+                    ticket,
+                    plan,
+                    width: view.camera.width,
+                    height: view.camera.height,
+                    submitted_at,
+                    lane_of_shard,
+                    occupancy_of_shard,
+                    parts: (0..shards).map(|_| None).collect(),
+                });
+                first_device
             }
         }
-        ShardedCompletion { ticket, completed_at, image, shard_cycles, dram_bytes, imbalance }
+    }
+
+    fn cancel_session(&mut self, session: SessionId) -> Vec<FrameTicket> {
+        let mut cancelled = Vec::new();
+        // Sharded frames first: cancel every unlanded shard on its lane,
+        // discard landed partials, retire the pending entry.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].ticket.session != session {
+                i += 1;
+                continue;
+            }
+            let p = self.pending.remove(i);
+            for (s, &lane) in p.lane_of_shard.iter().enumerate() {
+                if p.parts[s].is_some() {
+                    continue; // this shard already landed
+                }
+                let device = (0..self.lanes[lane].len())
+                    .find(|&d| {
+                        self.lanes[lane].active_ticket(d).is_some_and(|t| t.id == p.ticket.id)
+                    })
+                    .expect("unlanded shard is active on its lane");
+                self.lanes[lane].cancel(device).expect("active ticket was just observed");
+            }
+            cancelled.push(p.ticket);
+        }
+        // Then plain unsharded frames of the session.
+        for lane in &mut self.lanes {
+            for device in 0..lane.len() {
+                if lane.active_ticket(device).is_some_and(|t| t.session == session) {
+                    cancelled.push(lane.cancel(device).expect("active ticket was just observed"));
+                }
+            }
+        }
+        cancelled
+    }
+
+    fn next_completion_dt(&self) -> Option<u64> {
+        self.lanes.iter().filter_map(DevicePool::next_completion_dt).min()
+    }
+
+    fn advance(&mut self, wall_dt: u64) -> Vec<ExecCompletion> {
+        let mut shard_events = Vec::new();
+        let mut unsharded_done = Vec::new();
+        for (lane_idx, lane) in self.lanes.iter_mut().enumerate() {
+            for completion in lane.advance(wall_dt) {
+                let pending = self.pending.iter_mut().find(|p| p.ticket.id == completion.ticket.id);
+                match pending {
+                    Some(p) => {
+                        let shard = p
+                            .lane_of_shard
+                            .iter()
+                            .position(|&l| l == lane_idx)
+                            .expect("completion lane is one of the frame's shard lanes");
+                        debug_assert!(p.parts[shard].is_none(), "one completion per shard");
+                        shard_events.push(ExecCompletion::Shard {
+                            ticket: p.ticket,
+                            shard,
+                            lane: lane_idx,
+                            at: completion.completed_at,
+                            service_cycles: completion.completed_at - p.submitted_at,
+                        });
+                        p.parts[shard] = Some(completion);
+                    }
+                    None => unsharded_done.push(FrameDone {
+                        ticket: completion.ticket,
+                        completed_at: completion.completed_at,
+                        image: completion.frame.image,
+                        shard_cycles: Vec::new(),
+                    }),
+                }
+            }
+        }
+
+        // Seal sharded frames whose last shard just landed (in
+        // submission order — all same-advance completions share one
+        // timestamp, so any deterministic order is exact).
+        let mut sharded_done = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].parts.iter().any(Option::is_none) {
+                i += 1;
+                continue;
+            }
+            let p = self.pending.remove(i);
+            let parts: Vec<PoolCompletion> =
+                p.parts.into_iter().map(|part| part.expect("all shards landed")).collect();
+            let completed_at =
+                parts.iter().map(|c| c.completed_at).max().expect("at least one shard");
+            let shard_cycles: Vec<u64> =
+                parts.iter().map(|c| c.completed_at - p.submitted_at).collect();
+            let image = merge_part_images(&p.plan, p.width, p.height, &parts);
+            // Retain the measurement for the session's next Measured plan.
+            let idx = p.ticket.session.index();
+            if self.feedback.len() <= idx {
+                self.feedback.resize_with(idx + 1, || None);
+            }
+            self.feedback[idx] = Some(ShardFeedback {
+                rows: p.plan.shards.iter().map(|s| s.rows.clone()).collect(),
+                measured_cycles: p.occupancy_of_shard,
+            });
+            sharded_done.push(FrameDone { ticket: p.ticket, completed_at, image, shard_cycles });
+        }
+
+        shard_events
+            .into_iter()
+            .chain(unsharded_done.into_iter().map(ExecCompletion::Frame))
+            .chain(sharded_done.into_iter().map(ExecCompletion::Frame))
+            .collect()
+    }
+
+    fn lane_backlogs(&self) -> Vec<Vec<u64>> {
+        self.lanes.iter().map(DevicePool::in_flight_backlog_per_device).collect()
     }
 }
 
@@ -250,6 +560,7 @@ mod tests {
                 qos: QosTarget::VR_72,
                 frames: 2,
                 phase: 0.0,
+                exec: ExecMode::Unsharded,
             },
             &GbuConfig::paper(),
         )
@@ -401,5 +712,175 @@ mod tests {
         );
         cluster.submit(session.view(0), ticket(0));
         cluster.submit(session.view(1), ticket(1));
+    }
+
+    // ------------------------------------------------------------------
+    // ClusterBackend (the ExecBackend implementation)
+    // ------------------------------------------------------------------
+
+    fn cluster_backend(lanes: usize, devices_per_lane: usize) -> ClusterBackend {
+        ClusterBackend::new(
+            lanes,
+            devices_per_lane,
+            &GbuConfig::paper(),
+            &GpuConfig::orin_nx(),
+            0.5,
+        )
+    }
+
+    fn drain_backend(backend: &mut ClusterBackend) -> Vec<ExecCompletion> {
+        let mut out = Vec::new();
+        while let Some(dt) = ExecBackend::next_completion_dt(backend) {
+            out.extend(backend.advance(dt));
+        }
+        out
+    }
+
+    #[test]
+    fn backend_mixes_sharded_and_unsharded_frames() {
+        let session = prepared();
+        let (reference, _) = unsharded_baseline(&session);
+        let mut backend = cluster_backend(3, 1);
+        assert_eq!(backend.lane_count(), 3);
+        assert_eq!(backend.device_count(), 3);
+
+        let sharded = ExecMode::Sharded { shards: 2, strategy: ShardStrategy::CostBalanced };
+        assert!(backend.can_accept(sharded));
+        backend.submit(session.view(0), ticket(0), sharded);
+        assert!(backend.can_accept(ExecMode::Unsharded), "one lane still open");
+        assert!(!backend.can_accept(sharded), "only one open lane left");
+        backend.submit(session.view(0), ticket(1), ExecMode::Unsharded);
+        assert!(!backend.can_accept(ExecMode::Unsharded));
+        assert_eq!(backend.in_flight_frames(), 2);
+
+        let completions = drain_backend(&mut backend);
+        let shard_events: Vec<_> =
+            completions.iter().filter(|c| matches!(c, ExecCompletion::Shard { .. })).collect();
+        assert_eq!(shard_events.len(), 2, "one event per shard of the sharded frame");
+        let frames: Vec<&FrameDone> = completions
+            .iter()
+            .filter_map(|c| match c {
+                ExecCompletion::Frame(done) => Some(done),
+                ExecCompletion::Shard { .. } => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 2);
+        for done in frames {
+            assert_eq!(
+                done.image.pixels(),
+                reference.pixels(),
+                "both modes must produce the identical image"
+            );
+            match done.ticket.id.index() {
+                0 => {
+                    assert_eq!(done.shard_cycles.len(), 2);
+                    assert!(done.imbalance().expect("sharded") >= 1.0 - 1e-12);
+                }
+                _ => assert!(done.shard_cycles.is_empty()),
+            }
+        }
+        assert_eq!(backend.in_flight_frames(), 0);
+    }
+
+    #[test]
+    fn shard_events_precede_their_frame_completion() {
+        let session = prepared();
+        let mut backend = cluster_backend(4, 1);
+        backend.submit(
+            session.view(0),
+            ticket(0),
+            ExecMode::Sharded { shards: 4, strategy: ShardStrategy::ContiguousRows },
+        );
+        let completions = drain_backend(&mut backend);
+        let frame_pos = completions
+            .iter()
+            .position(|c| matches!(c, ExecCompletion::Frame(_)))
+            .expect("frame completed");
+        let shard_positions: Vec<usize> = completions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| matches!(c, ExecCompletion::Shard { .. }).then_some(i))
+            .collect();
+        assert_eq!(shard_positions.len(), 4);
+        assert!(shard_positions.iter().all(|&p| p < frame_pos), "shards land before the frame");
+    }
+
+    #[test]
+    fn backend_cancel_session_reclaims_all_shards() {
+        let session = prepared();
+        let mut backend = cluster_backend(2, 1);
+        backend.submit(
+            session.view(0),
+            ticket(0),
+            ExecMode::Sharded { shards: 2, strategy: ShardStrategy::InterleavedRows },
+        );
+        assert_eq!(backend.in_flight_frames(), 1);
+        let cancelled = backend.cancel_session(crate::SessionId::from_index(0));
+        assert_eq!(cancelled.len(), 1, "one frame, however many shards");
+        assert_eq!(backend.in_flight_frames(), 0);
+        assert!(ExecBackend::next_completion_dt(&backend).is_none());
+        assert!(backend
+            .can_accept(ExecMode::Sharded { shards: 2, strategy: ShardStrategy::InterleavedRows }));
+        // Other sessions' frames survive a cancel.
+        backend.submit(session.view(0), ticket(1), ExecMode::Unsharded);
+        assert!(backend.cancel_session(crate::SessionId::from_index(9)).is_empty());
+        assert_eq!(backend.in_flight_frames(), 1);
+    }
+
+    #[test]
+    fn measured_feedback_is_retained_per_session() {
+        let session = prepared();
+        let mut backend = cluster_backend(2, 1);
+        let mode = ExecMode::Sharded { shards: 2, strategy: ShardStrategy::Measured };
+        let sid = crate::SessionId::from_index(0);
+        assert!(backend.session_feedback(sid).is_none(), "no history before the first frame");
+        backend.submit(session.view(0), ticket(0), mode);
+        drain_backend(&mut backend);
+        let fb = backend.session_feedback(sid).expect("feedback after first completion");
+        assert_eq!(fb.rows.len(), 2);
+        assert_eq!(fb.measured_cycles.len(), 2);
+        assert!(fb.measured_cycles.iter().all(|&c| c > 0));
+        // A second frame replans with the measurement and still merges
+        // bit-identically.
+        let (reference, _) = unsharded_baseline(&session);
+        backend.submit(session.view(0), ticket(1), mode);
+        let completions = drain_backend(&mut backend);
+        let done = completions
+            .iter()
+            .find_map(|c| match c {
+                ExecCompletion::Frame(done) => Some(done),
+                ExecCompletion::Shard { .. } => None,
+            })
+            .expect("frame completed");
+        assert_eq!(done.image.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn single_lane_backend_matches_device_pool() {
+        // A 1-lane cluster driving unsharded frames is the single pool in
+        // disguise: identical completion times and device placement.
+        let session = prepared();
+        let mut pool = DevicePool::new(2, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        let mut backend = cluster_backend(1, 2);
+        ExecBackend::submit(&mut pool, session.view(0), ticket(0), ExecMode::Unsharded);
+        ExecBackend::submit(&mut pool, session.view(1), ticket(1), ExecMode::Unsharded);
+        backend.submit(session.view(0), ticket(0), ExecMode::Unsharded);
+        backend.submit(session.view(1), ticket(1), ExecMode::Unsharded);
+        loop {
+            let a = ExecBackend::next_completion_dt(&pool);
+            let b = ExecBackend::next_completion_dt(&backend);
+            assert_eq!(a, b, "lockstep completion schedule");
+            let Some(dt) = a else { break };
+            let pa = ExecBackend::advance(&mut pool, dt);
+            let pb = backend.advance(dt);
+            assert_eq!(pa.len(), pb.len());
+            for (x, y) in pa.iter().zip(&pb) {
+                let (ExecCompletion::Frame(x), ExecCompletion::Frame(y)) = (x, y) else {
+                    panic!("unsharded backends emit only frame completions");
+                };
+                assert_eq!(x.ticket, y.ticket);
+                assert_eq!(x.completed_at, y.completed_at);
+            }
+        }
     }
 }

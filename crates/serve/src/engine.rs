@@ -8,16 +8,29 @@
 //! session's QoS timer generates one request per period (plus its phase
 //! offset), and the host can push extra requests at any time through
 //! [`ServeHandle::submit_frame`]. Arrivals pass [`AdmissionControl`] into
-//! the shared ready queue; whenever a device in the [`DevicePool`] is
-//! idle the configured [`crate::Scheduler`] picks the next frame; the
-//! pool advances event-to-event (next arrival or next completion,
-//! whichever is sooner) on one simulated clock.
+//! the shared ready queue; whenever the [`ExecBackend`] has capacity for
+//! a queued frame's [`ExecMode`] the configured [`crate::Scheduler`]
+//! picks the next frame; the backend advances event-to-event (next
+//! arrival or next completion, whichever is sooner) on one simulated
+//! clock.
 //!
-//! [`ServeEngine::step_until`] only ever advances the pool to event
+//! Execution is a plug-in behind the [`ExecBackend`] trait, exactly as
+//! the paper's GBU is a plug-in behind the host GPU's interface: the
+//! same engine drives one [`DevicePool`] ([`BackendKind::Single`]) or a
+//! sharded cluster of them ([`BackendKind::Cluster`]), with sharded and
+//! unsharded sessions mixed freely per [`ExecMode`]. Sharded frames
+//! report [`ServeEvent::ShardCompleted`] per landed shard before their
+//! [`ServeEvent::Completed`]; deadline-aware admission reasons about
+//! per-lane backlogs (a k-shard frame waits for its critical-path lane).
+//!
+//! [`ServeEngine::step_until`] only ever advances the backend to event
 //! timestamps, never to the step boundary itself, so driving the engine
 //! in arbitrary cycle slices replays the *identical* event sequence as
-//! one-shot draining — the API-equivalence property test pins this.
+//! one-shot draining — the API-equivalence property test pins this, for
+//! both backends.
 
+use crate::backend::{BackendKind, ExecBackend, ExecCompletion, ExecMode};
+use crate::cluster::ClusterBackend;
 use crate::event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
 use crate::metrics::{RunInfo, ServeMetrics, ServeReport};
 use crate::pool::DevicePool;
@@ -25,12 +38,33 @@ use crate::scheduler::{AdmissionControl, FrameTicket, Policy, Scheduler};
 use crate::session::{Session, SessionSpec};
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
+use gbu_render::FrameBuffer;
 
 /// Configuration of one serving engine.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Number of GBU devices in the pool.
+    /// Number of GBU devices in the pool (the [`BackendKind::Single`]
+    /// backend; a [`BackendKind::Cluster`] sizes itself from its own
+    /// variant fields and ignores this).
     pub devices: usize,
+    /// Which execution backend the engine drives: one [`DevicePool`]
+    /// ([`BackendKind::Single`], the default — byte-identical to the
+    /// pre-trait engine) or a multi-lane cluster
+    /// ([`BackendKind::Cluster`]) that executes sharded and unsharded
+    /// sessions side by side.
+    pub backend: BackendKind,
+    /// Per-session ready-queue quota: a session already holding this
+    /// many queued frames has further arrivals rejected with
+    /// [`RejectReason::QuotaExceeded`], so one flooding client cannot
+    /// starve its peers out of the shared queue. `None` (default)
+    /// disables the quota.
+    pub session_queue_quota: Option<usize>,
+    /// When set, the engine retains every completed frame's rendered
+    /// image (sharded frames: the merged image, bit-identical to the
+    /// unsharded render) until the host collects it with
+    /// [`ServeEngine::take_image`]. Off by default — a server that never
+    /// collects images must not grow memory with frames served.
+    pub retain_images: bool,
     /// Scheduling policy.
     pub policy: Policy,
     /// Admission gate (queue bound + optional deadline-aware rejection).
@@ -58,10 +92,25 @@ pub struct ServeConfig {
     pub metrics_window: Option<usize>,
 }
 
+impl ServeConfig {
+    /// Total GBU devices the configured backend will own:
+    /// [`ServeConfig::devices`] for [`BackendKind::Single`],
+    /// `lanes × devices_per_lane` for [`BackendKind::Cluster`].
+    pub fn total_devices(&self) -> usize {
+        match self.backend {
+            BackendKind::Single => self.devices,
+            BackendKind::Cluster { lanes, devices_per_lane } => lanes * devices_per_lane,
+        }
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             devices: 1,
+            backend: BackendKind::Single,
+            session_queue_quota: None,
+            retain_images: false,
             policy: Policy::Edf,
             admission: AdmissionControl::default(),
             drop_unmeetable: false,
@@ -93,7 +142,13 @@ struct Slot {
     session: Session,
     /// Frame period in cycles at the engine's clock.
     period: u64,
-    /// Optimistic service-time lower bound (cheapest viewpoint).
+    /// How this session's frames execute (copied from the spec and
+    /// validated against the backend at attach).
+    mode: ExecMode,
+    /// Optimistic service-time lower bound (cheapest viewpoint) in this
+    /// session's execution mode: the whole-frame bound for unsharded
+    /// sessions, the critical-path shard bound (`unsharded / shards`,
+    /// still provably optimistic) for sharded ones.
     min_service: u64,
     /// QoS timer: (arrival cycle, frame index) of the next generated
     /// request; `None` for push-only sessions (`spec.frames == 0`) or
@@ -120,7 +175,7 @@ struct Slot {
 #[derive(Debug)]
 pub struct ServeEngine {
     cfg: ServeConfig,
-    pool: DevicePool,
+    backend: Box<dyn ExecBackend>,
     scheduler: Box<dyn Scheduler>,
     /// Attached sessions; `None` marks a detached (retired) id.
     slots: Vec<Option<Slot>>,
@@ -133,8 +188,11 @@ pub struct ServeEngine {
     /// Events generated outside `step_until` (submission, detach),
     /// delivered by the next `step_until` call.
     pending: Vec<ServeEvent>,
+    /// Completed frames' rendered images awaiting collection
+    /// ([`ServeConfig::retain_images`] only; empty otherwise).
+    images: Vec<(FrameId, FrameBuffer)>,
     /// Highest cycle the host has stepped to; pushed submissions are
-    /// stamped with this time (the pool clock lags at the last event).
+    /// stamped with this time (the backend clock lags at the last event).
     horizon: u64,
     metrics: ServeMetrics,
 }
@@ -142,7 +200,18 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// Creates an empty engine; attach sessions to give it work.
     pub fn new(cfg: ServeConfig) -> Self {
-        let pool = DevicePool::new(cfg.devices, &cfg.gbu, &cfg.gpu, cfg.dram_share);
+        let backend: Box<dyn ExecBackend> = match cfg.backend {
+            BackendKind::Single => {
+                Box::new(DevicePool::new(cfg.devices, &cfg.gbu, &cfg.gpu, cfg.dram_share))
+            }
+            BackendKind::Cluster { lanes, devices_per_lane } => Box::new(ClusterBackend::new(
+                lanes,
+                devices_per_lane,
+                &cfg.gbu,
+                &cfg.gpu,
+                cfg.dram_share,
+            )),
+        };
         let scheduler = cfg.policy.build();
         let metrics = match cfg.metrics_window {
             Some(window) => ServeMetrics::windowed(window),
@@ -150,13 +219,14 @@ impl ServeEngine {
         };
         Self {
             cfg,
-            pool,
+            backend,
             scheduler,
             slots: Vec::new(),
             roster: Vec::new(),
             queue: Vec::new(),
             statuses: Vec::new(),
             pending: Vec::new(),
+            images: Vec::new(),
             horizon: 0,
             metrics,
         }
@@ -167,10 +237,10 @@ impl ServeEngine {
         &self.cfg
     }
 
-    /// Current simulated time: the later of the last event the pool
+    /// Current simulated time: the later of the last event the backend
     /// advanced to and the highest `step_until` horizon.
     pub fn now(&self) -> u64 {
-        self.horizon.max(self.pool.clock())
+        self.horizon.max(self.backend.clock())
     }
 
     /// Number of currently attached sessions.
@@ -193,15 +263,33 @@ impl ServeEngine {
     /// timer starts at the current time plus the spec's phase offset and
     /// generates `spec.frames` requests (`0` makes the session push-only:
     /// frames arrive solely through [`ServeHandle::submit_frame`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the session's [`ExecMode`] does not fit the engine's
+    /// backend: [`ExecMode::Sharded`] needs a [`BackendKind::Cluster`]
+    /// with at least `shards` lanes (and `shards >= 1`).
     pub fn attach_session(&mut self, session: Session) -> SessionId {
+        let mode = session.spec.exec;
+        if let ExecMode::Sharded { shards, .. } = mode {
+            assert!(shards >= 1, "a sharded session needs at least one shard");
+            assert!(
+                matches!(self.cfg.backend, BackendKind::Cluster { .. })
+                    && shards <= self.backend.lane_count(),
+                "session {:?} wants {shards} shard lanes but the backend has {} \
+                 (sharded sessions need a cluster backend)",
+                session.spec.name,
+                self.backend.lane_count(),
+            );
+        }
         let id = SessionId(self.slots.len() as u32);
         let period = session.spec.qos.period_cycles(self.cfg.gbu.clock_ghz);
         let phase = (session.spec.phase.rem_euclid(1.0) * period as f64) as u64;
         let base = self.now();
         let next_arrival = (session.spec.frames > 0).then_some((base.saturating_add(phase), 0));
         self.roster.push((session.spec.name.clone(), session.spec.qos.hz));
-        let min_service = session.min_frame_cycles();
-        self.slots.push(Some(Slot { session, period, min_service, next_arrival }));
+        let min_service = mode.min_service(session.min_frame_cycles());
+        self.slots.push(Some(Slot { session, period, mode, min_service, next_arrival }));
         id
     }
 
@@ -213,8 +301,8 @@ impl ServeEngine {
     }
 
     /// Detaches a session: stops its QoS timer, drops its queued frames
-    /// and cancels its in-flight frames through the device pool's
-    /// cancellation hook (all reported as
+    /// and cancels its in-flight frames through the backend's
+    /// cancellation hook (all shards of a sharded frame; all reported as
     /// [`DropReason::SessionDetached`]). Returns `false` when the id was
     /// never attached or already detached.
     pub fn detach_session(&mut self, id: SessionId) -> bool {
@@ -223,12 +311,12 @@ impl ServeEngine {
             return false;
         }
         let now = self.now();
-        // The pool clock lags at the last event; bring it forward to the
-        // detach time so the cancellation frees devices *now*, not
+        // The backend clock lags at the last event; bring it forward to
+        // the detach time so the cancellation frees devices *now*, not
         // retroactively at that event. This is exact: `step_until` has
         // already processed every event at or before the horizon, so the
         // advance crosses none (any stragglers are completed properly).
-        self.advance_pool_to(now);
+        self.advance_backend_to(now);
         // Cancel queued-not-started frames ...
         let mut i = 0;
         while i < self.queue.len() {
@@ -240,11 +328,8 @@ impl ServeEngine {
             }
         }
         // ... and preempt in-flight ones.
-        for device in 0..self.pool.len() {
-            if self.pool.active_ticket(device).is_some_and(|t| t.session == id) {
-                let ticket = self.pool.cancel(device).expect("active ticket was just observed");
-                self.drop_ticket(ticket, DropReason::SessionDetached, now);
-            }
+        for ticket in self.backend.cancel_session(id) {
+            self.drop_ticket(ticket, DropReason::SessionDetached, now);
         }
         true
     }
@@ -279,12 +364,12 @@ impl ServeEngine {
         let id = self.alloc_frame();
         let ticket = FrameTicket { id, session, frame: view, arrival: at, deadline };
         // In-flight-aware admission reads the devices' remaining work,
-        // which is exact only at the pool clock; bring it to the
+        // which is exact only at the backend clock; bring it to the
         // submission time first. Like the detach path, this is exact:
         // every event at or before the horizon has already been
         // processed, so the advance crosses none.
         if self.cfg.admission.reject_unmeetable && self.cfg.admission.in_flight_aware {
-            self.advance_pool_to(at);
+            self.advance_backend_to(at);
         }
         self.admit(ticket, at);
         id
@@ -299,13 +384,23 @@ impl ServeEngine {
         self.statuses[frame.0 as usize]
     }
 
+    /// Collects the rendered image of a completed frame, if the engine
+    /// retained it ([`ServeConfig::retain_images`]). Each image can be
+    /// taken once; `None` for frames that did not complete, were already
+    /// taken, or when retention is off. Sharded frames yield the merged
+    /// image — bit-identical to the unsharded render.
+    pub fn take_image(&mut self, frame: FrameId) -> Option<FrameBuffer> {
+        let idx = self.images.iter().position(|(id, _)| *id == frame)?;
+        Some(self.images.swap_remove(idx).1)
+    }
+
     /// `true` when nothing remains to simulate: no pending events, no
     /// queued or in-flight frames, and no session timer with requests
     /// left to generate.
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty()
             && self.queue.is_empty()
-            && self.pool.busy_count() == 0
+            && self.backend.in_flight_frames() == 0
             && self.slots.iter().flatten().all(|s| s.next_arrival.is_none())
     }
 
@@ -338,7 +433,7 @@ impl ServeEngine {
     fn step_events(&mut self, cycle: u64) -> Vec<ServeEvent> {
         let mut events = std::mem::take(&mut self.pending);
         loop {
-            let now = self.pool.clock();
+            let now = self.backend.clock();
             self.admit_due(now);
             if self.cfg.drop_unmeetable {
                 self.drop_pass(now);
@@ -351,7 +446,8 @@ impl ServeEngine {
             let next_timer =
                 self.slots.iter().flatten().filter_map(|s| s.next_arrival.map(|(at, _)| at)).min();
             let next_push = self.queue.iter().map(|t| t.arrival).filter(|&a| a > now).min();
-            let next_completion = self.pool.next_completion_dt().map(|dt| now.saturating_add(dt));
+            let next_completion =
+                self.backend.next_completion_dt().map(|dt| now.saturating_add(dt));
             let t = [next_timer, next_push, next_completion].into_iter().flatten().min();
             match t {
                 None => break,
@@ -360,31 +456,55 @@ impl ServeEngine {
                 // `u64::MAX`): time cannot advance, so stop rather than
                 // livelock; whatever is in flight stays unfinished.
                 Some(t) if t <= now => break,
-                Some(t) => self.advance_pool_to(t),
+                Some(t) => self.advance_backend_to(t),
             }
             events.append(&mut self.pending);
         }
         events
     }
 
-    /// Advances the pool clock to `t` (a no-op when already there),
-    /// recording and emitting any completions that pop on the way.
-    fn advance_pool_to(&mut self, t: u64) {
-        let now = self.pool.clock();
+    /// Advances the backend clock to `t` (a no-op when already there),
+    /// recording and emitting everything that lands on the way: shard
+    /// landings as [`ServeEvent::ShardCompleted`], frame completions as
+    /// [`ServeEvent::Completed`] (with the image retained when
+    /// [`ServeConfig::retain_images`] is set).
+    fn advance_backend_to(&mut self, t: u64) {
+        let now = self.backend.clock();
         if t <= now {
             return;
         }
-        for done in self.pool.advance(t - now) {
-            let latency = done.completed_at - done.ticket.arrival;
-            let missed = done.completed_at > done.ticket.deadline;
-            self.metrics.complete(done.ticket, done.completed_at);
-            self.emit(ServeEvent::Completed {
-                frame: done.ticket.id,
-                session: done.ticket.session,
-                at: done.completed_at,
-                latency_cycles: latency,
-                missed,
-            });
+        for completion in self.backend.advance(t - now) {
+            match completion {
+                ExecCompletion::Shard { ticket, shard, lane, at, service_cycles } => {
+                    self.emit(ServeEvent::ShardCompleted {
+                        frame: ticket.id,
+                        session: ticket.session,
+                        shard,
+                        lane,
+                        at,
+                        service_cycles,
+                    });
+                }
+                ExecCompletion::Frame(done) => {
+                    let latency = done.completed_at - done.ticket.arrival;
+                    let missed = done.completed_at > done.ticket.deadline;
+                    self.metrics.complete_with_shards(
+                        done.ticket,
+                        done.completed_at,
+                        &done.shard_cycles,
+                    );
+                    if self.cfg.retain_images {
+                        self.images.push((done.ticket.id, done.image));
+                    }
+                    self.emit(ServeEvent::Completed {
+                        frame: done.ticket.id,
+                        session: done.ticket.session,
+                        at: done.completed_at,
+                        latency_cycles: latency,
+                        missed,
+                    });
+                }
+            }
         }
     }
 
@@ -410,9 +530,9 @@ impl ServeEngine {
         self.metrics.report(
             &RunInfo {
                 policy: self.cfg.policy.label(),
-                devices: self.cfg.devices,
-                wall_cycles: self.pool.clock(),
-                utilization: self.pool.utilization(),
+                devices: self.backend.device_count(),
+                wall_cycles: self.backend.clock(),
+                utilization: self.backend.utilization(),
                 clock_ghz: self.cfg.gbu.clock_ghz,
             },
             &names,
@@ -437,7 +557,11 @@ impl ServeEngine {
         let status = match event {
             ServeEvent::Admitted { .. } => FrameStatus::Queued,
             ServeEvent::Rejected { reason, .. } => FrameStatus::Rejected(reason),
-            ServeEvent::Started { .. } => FrameStatus::Rendering,
+            // A shard landing leaves the frame rendering until the last
+            // shard's Completed arrives.
+            ServeEvent::Started { .. } | ServeEvent::ShardCompleted { .. } => {
+                FrameStatus::Rendering
+            }
             ServeEvent::Completed { latency_cycles, missed, .. } => {
                 FrameStatus::Completed { latency_cycles, missed }
             }
@@ -457,48 +581,80 @@ impl ServeEngine {
         self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
     }
 
-    /// Estimated wait (cycles) a new arrival sees before a device can
-    /// start it: a greedy earliest-free schedule where each device
-    /// starts at its remaining in-flight work (when
-    /// [`AdmissionControl::in_flight_aware`]; zero when idle or the
-    /// term is off) and every queued frame's optimistic service time is
-    /// placed on the earliest-free device (when
-    /// [`AdmissionControl::queue_aware`]); the estimate is the earliest
-    /// availability left. An idle device with an empty queue yields
-    /// zero, keeping the bound optimistic — it also ignores contention,
-    /// matching `min_service`'s own optimism — so a rejection is still
-    /// a proof of unmeetability.
-    fn wait_estimate(&self) -> u64 {
+    /// The (lanes-needed, optimistic service) requirements of a session's
+    /// frames under its execution mode; detached sessions contribute
+    /// nothing.
+    fn mode_requirements(&self, session: SessionId) -> (usize, u64) {
+        self.slots[session.index()]
+            .as_ref()
+            .map_or((1, 0), |slot| (slot.mode.lanes_needed(), slot.min_service))
+    }
+
+    /// Estimated wait (cycles) a new arrival of `session` sees before the
+    /// backend can start it: a greedy earliest-free schedule over the
+    /// backend's lanes, where each device starts at its remaining
+    /// in-flight work (when [`AdmissionControl::in_flight_aware`]; zero
+    /// when idle or the term is off) and every queued frame's optimistic
+    /// service time is placed on the earliest-free device of each of the
+    /// `lanes_needed` earliest-free lanes its mode occupies (when
+    /// [`AdmissionControl::queue_aware`]).
+    ///
+    /// The estimate is lane-aware: an unsharded candidate waits for the
+    /// earliest-free device anywhere, while a k-shard candidate waits for
+    /// its *critical-path lane* — the k-th earliest-free lane, since all
+    /// k shards must start together. An idle backend with an empty queue
+    /// yields zero, keeping the bound optimistic — it also ignores
+    /// contention, matching `min_service`'s own optimism — so a
+    /// rejection is still a proof of unmeetability.
+    fn wait_estimate(&self, session: SessionId) -> u64 {
         let ac = &self.cfg.admission;
-        let mut free: Vec<u64> = if ac.in_flight_aware {
-            self.pool.in_flight_backlog_per_device()
+        let mut lanes: Vec<Vec<u64>> = if ac.in_flight_aware {
+            self.backend.lane_backlogs()
         } else {
-            vec![0; self.pool.len()]
+            // Same lane/device shape, all idle — without touching the
+            // per-device in-flight state the term would discard anyway.
+            // (Both backends have uniformly sized lanes.)
+            let lanes = self.backend.lane_count();
+            vec![vec![0; self.backend.device_count() / lanes]; lanes]
         };
+        // Earliest-free device of a lane.
+        let lane_free = |lane: &[u64]| lane.iter().copied().min().expect("lanes are non-empty");
         if ac.queue_aware {
             for t in &self.queue {
-                let service =
-                    self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service);
-                let d = (0..free.len()).min_by_key(|&d| free[d]).expect("pools are non-empty");
-                free[d] = free[d].saturating_add(service);
+                let (k, service) = self.mode_requirements(t.session);
+                // The k earliest-free lanes this frame would occupy.
+                let mut order: Vec<usize> = (0..lanes.len()).collect();
+                order.sort_by_key(|&l| (lane_free(&lanes[l]), l));
+                for &l in order.iter().take(k.min(lanes.len())) {
+                    let d = (0..lanes[l].len())
+                        .min_by_key(|&d| lanes[l][d])
+                        .expect("lanes are non-empty");
+                    lanes[l][d] = lanes[l][d].saturating_add(service);
+                }
             }
         }
-        free.into_iter().min().expect("pools are non-empty")
+        let (k, _) = self.mode_requirements(session);
+        let mut frees: Vec<u64> = lanes.iter().map(|l| lane_free(l)).collect();
+        frees.sort_unstable();
+        // The candidate's critical-path lane: the k-th earliest-free.
+        frees[k.min(frees.len()) - 1]
     }
 
     /// Runs the admission decision for `ticket` at time `at`, queueing it
     /// or rejecting it.
     fn admit(&mut self, ticket: FrameTicket, at: u64) {
-        let min_service =
-            self.slots[ticket.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+        let (_, min_service) = self.mode_requirements(ticket.session);
         let ac = &self.cfg.admission;
         let queued_wait = if ac.reject_unmeetable && (ac.queue_aware || ac.in_flight_aware) {
-            self.wait_estimate()
+            self.wait_estimate(ticket.session)
         } else {
             0
         };
+        let session_depth = self.queue.iter().filter(|t| t.session == ticket.session).count();
         match self.cfg.admission.decide(
             self.queue.len(),
+            session_depth,
+            self.cfg.session_queue_quota,
             queued_wait,
             ticket.arrival,
             ticket.deadline,
@@ -555,22 +711,58 @@ impl ServeEngine {
         }
     }
 
-    /// Dispatches queued, already-arrived frames onto idle devices.
+    /// Dispatches queued, already-arrived frames the backend can accept
+    /// right now. A frame is eligible when it has arrived *and* the
+    /// backend has capacity for its session's [`ExecMode`] — on a
+    /// cluster, an unsharded frame needs one open lane while a k-shard
+    /// frame needs k, so cheap frames backfill around a wide frame that
+    /// is still waiting for lanes (the scheduler keeps its priority
+    /// order *within* the eligible set). On the single-pool backend
+    /// every queued frame has the same requirement, making this loop
+    /// behave exactly like the pre-trait engine.
+    ///
+    /// Backfill is a deliberate work-conserving trade-off: lanes never
+    /// idle while any placeable frame waits, but under sustained narrow
+    /// load a k-wide frame may never see k lanes simultaneously free —
+    /// EDF priority does not reserve lanes across dispatch rounds. The
+    /// deadline passes pick up the pieces ([`ServeConfig::drop_unmeetable`]
+    /// sheds the starved frame once its deadline is provably gone, and
+    /// lane-aware `reject_unmeetable` refuses hopeless wide frames at
+    /// admission); a gang-scheduling/lane-reservation pass is a ROADMAP
+    /// item.
     fn dispatch(&mut self, now: u64) {
-        while let Some(device) = self.pool.idle_device() {
+        loop {
             if self.queue.is_empty() {
                 break;
             }
-            let qi = if self.queue.iter().all(|t| t.arrival <= now) {
-                // Common case: every queued frame has arrived — pick in
-                // place, no copy.
+            let eligible_mask: Vec<bool> = self
+                .queue
+                .iter()
+                .map(|t| {
+                    t.arrival <= now
+                        && self.backend.can_accept(
+                            self.slots[t.session.index()]
+                                .as_ref()
+                                .expect("queued frames of detached sessions are dropped at detach")
+                                .mode,
+                        )
+                })
+                .collect();
+            let qi = if eligible_mask.iter().all(|&e| e) {
+                // Common case: everything queued is dispatchable — pick
+                // in place, no copy.
                 let Some(i) = self.scheduler.pick(&self.queue, now) else { break };
                 i
             } else {
-                // Pushed frames stamped beyond the pool clock wait for
-                // their arrival event; pick among the arrived subset.
-                let eligible: Vec<FrameTicket> =
-                    self.queue.iter().copied().filter(|t| t.arrival <= now).collect();
+                // Pushed frames stamped beyond the backend clock wait for
+                // their arrival event, and frames whose mode lacks open
+                // lanes wait for capacity; pick among the rest.
+                let eligible: Vec<FrameTicket> = self
+                    .queue
+                    .iter()
+                    .zip(&eligible_mask)
+                    .filter_map(|(t, &e)| e.then_some(*t))
+                    .collect();
                 if eligible.is_empty() {
                     break;
                 }
@@ -582,6 +774,11 @@ impl ServeEngine {
                     .expect("picked ticket comes from the queue")
             };
             let ticket = self.queue.remove(qi);
+            let slot = self.slots[ticket.session.index()]
+                .as_ref()
+                .expect("queued frames of detached sessions are dropped at detach");
+            let (mode, view) = (slot.mode, slot.session.view(ticket.frame));
+            let device = self.backend.submit(view, ticket, mode);
             self.metrics.start(ticket, now);
             self.emit(ServeEvent::Started {
                 frame: ticket.id,
@@ -589,10 +786,6 @@ impl ServeEngine {
                 device,
                 at: now,
             });
-            let slot = self.slots[ticket.session.index()]
-                .as_ref()
-                .expect("queued frames of detached sessions are dropped at detach");
-            self.pool.submit(device, slot.session.view(ticket.frame), ticket);
         }
     }
 }
@@ -654,14 +847,14 @@ pub fn run_sessions(cfg: ServeConfig, sessions: &[Session]) -> ServeReport {
 /// Convenience: prepare, calibrate and run one workload under `cfg`.
 ///
 /// The GBU clock is chosen with [`calibrated_clock_ghz`] so the offered
-/// load is `target_utilization` of the pool's capacity; everything else
-/// comes from `cfg`.
+/// load is `target_utilization` of the backend's total device capacity;
+/// everything else comes from `cfg`.
 pub fn run_workload(
     mut cfg: ServeConfig,
     sessions: &[Session],
     target_utilization: f64,
 ) -> ServeReport {
-    cfg.gbu.clock_ghz = calibrated_clock_ghz(sessions, cfg.devices, target_utilization);
+    cfg.gbu.clock_ghz = calibrated_clock_ghz(sessions, cfg.total_devices(), target_utilization);
     run_sessions(cfg, sessions)
 }
 
@@ -678,6 +871,7 @@ mod tests {
             qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
             frames,
             phase: 0.0,
+            exec: ExecMode::Unsharded,
         }
     }
 
@@ -944,6 +1138,152 @@ mod tests {
         );
         engine.drain();
         assert!(matches!(engine.poll(f1), FrameStatus::Completed { .. }));
+    }
+
+    fn sharded_spec(shards: usize, strategy: gbu_render::shard::ShardStrategy) -> SessionSpec {
+        SessionSpec {
+            name: format!("sharded-{shards}"),
+            content: SessionContent::SyntheticHd {
+                seed: 5,
+                gaussians: 150,
+                width: 128,
+                height: 96,
+            },
+            qos: QosTarget::VR_72,
+            frames: 0,
+            phase: 0.0,
+            exec: ExecMode::Sharded { shards, strategy },
+        }
+    }
+
+    #[test]
+    fn cluster_engine_serves_mixed_modes_through_one_api() {
+        use gbu_render::shard::ShardStrategy;
+        let cfg = ServeConfig {
+            backend: BackendKind::Cluster { lanes: 3, devices_per_lane: 1 },
+            retain_images: true,
+            ..ServeConfig::default()
+        };
+        assert_eq!(cfg.total_devices(), 3);
+        let mut engine = ServeEngine::new(cfg);
+        let sharded = engine.attach_spec(sharded_spec(2, ShardStrategy::CostBalanced));
+        let plain = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+
+        let fs = engine.handle().submit_frame(sharded, 0);
+        let fp = engine.handle().submit_frame(plain, 0);
+        let mut events = Vec::new();
+        while !engine.is_drained() {
+            events.extend(engine.drain());
+        }
+        assert!(matches!(engine.poll(fs), FrameStatus::Completed { .. }));
+        assert!(matches!(engine.poll(fp), FrameStatus::Completed { .. }));
+
+        // The sharded frame: Admitted, Started, 2 ShardCompleted, then
+        // Completed — in that order; the plain frame never emits shards.
+        let of =
+            |frame| events.iter().filter(move |e| e.frame() == frame).cloned().collect::<Vec<_>>();
+        let sharded_events = of(fs);
+        assert!(matches!(sharded_events[0], ServeEvent::Admitted { .. }));
+        assert!(matches!(sharded_events[1], ServeEvent::Started { .. }));
+        assert!(
+            matches!(sharded_events[2], ServeEvent::ShardCompleted { shard: 0, .. })
+                || matches!(sharded_events[2], ServeEvent::ShardCompleted { shard: 1, .. })
+        );
+        assert!(matches!(sharded_events[3], ServeEvent::ShardCompleted { .. }));
+        assert!(matches!(sharded_events[4], ServeEvent::Completed { .. }));
+        assert_eq!(sharded_events.len(), 5);
+        assert!(
+            !of(fp).iter().any(|e| matches!(e, ServeEvent::ShardCompleted { .. })),
+            "unsharded frames emit no shard events"
+        );
+
+        // The merged sharded image is bit-identical to a direct
+        // single-device render of the same view.
+        let session =
+            Session::prepare(sharded_spec(2, ShardStrategy::CostBalanced), &GbuConfig::paper());
+        let view = session.view(0);
+        let mut gbu = gbu_core::Gbu::new(GbuConfig::paper());
+        gbu.render_image(&view.splats, &view.bins, &view.camera, gbu_math::Vec3::ZERO).unwrap();
+        let reference = gbu.wait().expect("frame in flight").image;
+        let merged = engine.take_image(fs).expect("image retained");
+        assert_eq!(merged.pixels(), reference.pixels(), "merged image bit-identical");
+        assert!(engine.take_image(fs).is_none(), "images are taken once");
+
+        // The report carries per-frame shard imbalance for the sharded
+        // frame only.
+        let report = engine.report();
+        assert_eq!(report.completed, 2);
+        let sharding = report.sharding.as_ref().expect("a sharded frame completed");
+        assert_eq!(sharding.frames.len(), 1);
+        assert_eq!(sharding.frames[0].shards, 2);
+        assert!(sharding.mean_imbalance >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sharded sessions need a cluster backend")]
+    fn sharded_session_requires_cluster_backend() {
+        use gbu_render::shard::ShardStrategy;
+        let mut engine = ServeEngine::new(ServeConfig::default());
+        engine.attach_spec(sharded_spec(2, ShardStrategy::CostBalanced));
+    }
+
+    #[test]
+    fn lane_aware_admission_rejects_only_provably_unmeetable_shards() {
+        use gbu_render::shard::ShardStrategy;
+        // Calibrate so an unsharded frame costs ~2 periods: hopeless
+        // unsharded, provably fine at 4 shards (bound = unsharded/4).
+        let sessions = vec![Session::prepare(
+            sharded_spec(4, ShardStrategy::CostBalanced),
+            &GbuConfig::paper(),
+        )];
+        let mut cfg = ServeConfig {
+            backend: BackendKind::Cluster { lanes: 4, devices_per_lane: 1 },
+            ..ServeConfig::default()
+        };
+        cfg.admission.reject_unmeetable = true;
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, 1, 2.0);
+        let mut engine = ServeEngine::new(cfg.clone());
+        let four = engine.attach_session(sessions[0].clone());
+        let f_ok = engine.handle().submit_frame(four, 0);
+        assert!(
+            !matches!(engine.poll(f_ok), FrameStatus::Rejected(_)),
+            "a 4-shard frame's critical-path bound fits the period: {:?}",
+            engine.poll(f_ok)
+        );
+        engine.drain();
+        assert!(matches!(engine.poll(f_ok), FrameStatus::Completed { .. }));
+
+        // The same scene as a 1-shard session on the same cluster: its
+        // critical-path lane must execute the whole frame — provably
+        // unmeetable, rejected at admission.
+        let mut engine = ServeEngine::new(cfg);
+        let one = engine.attach_spec(sharded_spec(1, ShardStrategy::CostBalanced));
+        let f_bad = engine.handle().submit_frame(one, 0);
+        assert_eq!(engine.poll(f_bad), FrameStatus::Rejected(RejectReason::Unmeetable));
+    }
+
+    #[test]
+    fn session_queue_quota_rejects_the_flooder_only() {
+        let mut cfg = ServeConfig { session_queue_quota: Some(2), ..ServeConfig::default() };
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&tiny_workload(1, 1), 1, 0.5);
+        let mut engine = ServeEngine::new(cfg);
+        let flooder = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+        let peer = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(1, 0) });
+        // Flood five submissions at once: 2 queue, the rest bounce.
+        let floods: Vec<FrameId> =
+            (0..5).map(|v| engine.handle().submit_frame(flooder, v)).collect();
+        let rejected = floods
+            .iter()
+            .filter(|f| engine.poll(**f) == FrameStatus::Rejected(RejectReason::QuotaExceeded))
+            .count();
+        assert_eq!(rejected, 3, "the quota holds two queued frames per session");
+        // The peer is untouched by the flooder's quota.
+        let p = engine.handle().submit_frame(peer, 0);
+        assert_eq!(engine.poll(p), FrameStatus::Queued);
+        engine.drain();
+        let report = engine.report();
+        assert_eq!(report.reject_reasons.quota_exceeded, 3);
+        assert_eq!(report.sessions[1].rejected, 0);
     }
 
     #[test]

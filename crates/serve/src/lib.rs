@@ -11,11 +11,23 @@
 //!   runtime by [`SessionId`]) and is driven open-loop: a host calls
 //!   [`ServeEngine::step_until`] in whatever time slices it likes and
 //!   gets back typed [`ServeEvent`]s (`Admitted`, `Rejected`, `Started`,
-//!   `Completed`, `Dropped`). The [`ServeHandle`] is the client-facing
-//!   surface: non-blocking [`ServeHandle::submit_frame`] returning a
-//!   [`FrameId`] future, resolved by [`ServeEngine::poll`] →
-//!   [`FrameStatus`]. The old batch behaviour survives as the thin
-//!   [`run_workload`] / [`run_sessions`] wrappers;
+//!   `ShardCompleted`, `Completed`, `Dropped`). The [`ServeHandle`] is
+//!   the client-facing surface: non-blocking
+//!   [`ServeHandle::submit_frame`] returning a [`FrameId`] future,
+//!   resolved by [`ServeEngine::poll`] → [`FrameStatus`]. The old batch
+//!   behaviour survives as the thin [`run_workload`] / [`run_sessions`]
+//!   wrappers;
+//! - [`backend`]: the [`ExecBackend`] trait — the execution layer the
+//!   engine drives (submit / cancel / `next_completion_dt` / advance /
+//!   per-lane backlog accounting / capacity probes), mirroring how the
+//!   paper's GBU hides behind a stable host interface. Two
+//!   implementations: the single [`DevicePool`]
+//!   ([`BackendKind::Single`], byte-identical to the pre-trait engine)
+//!   and the [`ClusterBackend`] ([`BackendKind::Cluster`]). Each
+//!   *session* picks its [`ExecMode`] (`Unsharded`, or
+//!   `Sharded { shards, strategy }` fanning every frame over that many
+//!   cluster lanes), so mixed sharded/unsharded sessions share one
+//!   clock, one scheduler and one admission gate;
 //! - [`session`]: a [`Session`] is one AR/VR client — scene content
 //!   (static / dynamic / avatar, resolved through `gbu_core::apps`), a
 //!   preprocessed viewpoint stream, and a [`QosTarget`] (60/72/90 Hz
@@ -26,12 +38,13 @@
 //!   on **one** simulated clock with shared-DRAM bandwidth contention
 //!   (the paper's Limitation 2, generalised to a pool), plus per-device
 //!   cancellation over the device's `cancel_in_flight` hook;
-//! - [`cluster`]: a [`ShardedPool`] fans one frame's tile-row shards
-//!   (planned by `gbu_render::shard`) out to multiple [`DevicePool`]s on
-//!   a shared simulated clock, completes the frame only when all shards
-//!   land, merges the partial frame buffers bit-identically to an
-//!   unsharded render, and reports per-shard imbalance — the multi-GPU
-//!   path for scenes one pool cannot sustain at deadline;
+//! - [`cluster`]: the [`ClusterBackend`] — N [`DevicePool`] lanes on one
+//!   lockstep clock, executing unsharded frames on the least-busy lane
+//!   and sharded frames (planned by `gbu_render::shard`, including the
+//!   measurement-fed `ShardStrategy::Measured` replanner) fanned over
+//!   the least-busy `shards` lanes, each landing reported shard by shard
+//!   before the merged, bit-identical frame completes. The PR-4
+//!   [`ShardedPool`] remains as the hand-driven cluster primitive;
 //! - [`scheduler`]: a pluggable [`Scheduler`] trait with FCFS,
 //!   round-robin and earliest-deadline-first policies plus
 //!   [`AdmissionControl`] — bounded-queue backpressure and optional
@@ -66,7 +79,7 @@
 //!
 //! ```
 //! use gbu_serve::{
-//!     FrameStatus, QosTarget, ServeConfig, ServeEngine, SessionContent, SessionSpec,
+//!     ExecMode, FrameStatus, QosTarget, ServeConfig, ServeEngine, SessionContent, SessionSpec,
 //! };
 //!
 //! let mut engine = ServeEngine::new(ServeConfig::default());
@@ -78,6 +91,7 @@
 //!     qos: QosTarget::VR_72,
 //!     frames: 0,
 //!     phase: 0.0,
+//!     exec: ExecMode::Unsharded,
 //! });
 //!
 //! // Non-blocking submission returns a frame future immediately.
@@ -94,10 +108,56 @@
 //! }
 //! assert!(matches!(engine.poll(frame), FrameStatus::Completed { missed: false, .. }));
 //! ```
+//!
+//! # Cluster example: sharded and unsharded sessions on one engine
+//!
+//! ```
+//! use gbu_render::shard::ShardStrategy;
+//! use gbu_serve::{
+//!     BackendKind, ExecMode, FrameStatus, QosTarget, ServeConfig, ServeEngine, ServeEvent,
+//!     SessionContent, SessionSpec,
+//! };
+//!
+//! // A 3-lane cluster: same engine API, different execution backend.
+//! let mut engine = ServeEngine::new(ServeConfig {
+//!     backend: BackendKind::Cluster { lanes: 3, devices_per_lane: 1 },
+//!     ..ServeConfig::default()
+//! });
+//! let spec = |name: &str, exec| SessionSpec {
+//!     name: name.into(),
+//!     content: SessionContent::SyntheticHd { seed: 7, gaussians: 80, width: 128, height: 96 },
+//!     qos: QosTarget::VR_72,
+//!     frames: 0, // push-only
+//!     phase: 0.0,
+//!     exec,
+//! };
+//! // A 2-wide sharded session and an unsharded one share the clock.
+//! let sharded = engine.attach_spec(spec(
+//!     "hmd-sharded",
+//!     ExecMode::Sharded { shards: 2, strategy: ShardStrategy::CostBalanced },
+//! ));
+//! let plain = engine.attach_spec(spec("hmd-plain", ExecMode::Unsharded));
+//!
+//! let f0 = engine.handle().submit_frame(sharded, 0);
+//! let f1 = engine.handle().submit_frame(plain, 0);
+//! let events = engine.drain();
+//!
+//! // The sharded frame lands shard by shard before completing.
+//! let shards = events
+//!     .iter()
+//!     .filter(|e| matches!(e, ServeEvent::ShardCompleted { frame, .. } if *frame == f0))
+//!     .count();
+//! assert_eq!(shards, 2);
+//! assert!(matches!(engine.poll(f0), FrameStatus::Completed { .. }));
+//! assert!(matches!(engine.poll(f1), FrameStatus::Completed { .. }));
+//! // Per-frame shard imbalance lands in the report's sharding block.
+//! assert_eq!(engine.report().sharding.expect("sharded frames ran").frames.len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 pub mod cluster;
 pub mod engine;
 pub mod event;
@@ -107,14 +167,15 @@ pub mod scheduler;
 pub mod session;
 pub mod workload;
 
-pub use cluster::{ShardedCompletion, ShardedPool};
+pub use backend::{BackendKind, ExecBackend, ExecCompletion, ExecMode, FrameDone};
+pub use cluster::{ClusterBackend, ShardedCompletion, ShardedPool};
 pub use engine::{
     calibrated_clock_ghz, run_sessions, run_workload, ServeConfig, ServeEngine, ServeHandle,
 };
 pub use event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
 pub use metrics::{
     DropBreakdown, FrameRecord, LifetimeCounts, RejectBreakdown, RunInfo, ServeMetrics,
-    ServeReport, SessionReport,
+    ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
 };
 pub use pool::{DevicePool, PoolCompletion};
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};

@@ -67,9 +67,25 @@ pub struct ServeMetrics {
     rejected: Vec<(FrameTicket, RejectReason)>,
     dropped: Vec<(FrameTicket, DropReason)>,
     starts: Vec<(FrameTicket, u64)>,
+    /// Sharded completions only: per-frame shard count and measured
+    /// imbalance (max shard service over mean), windowed like the rest.
+    sharded: Vec<ShardFrameRecord>,
     /// Per-category record cap; `None` keeps everything.
     window: Option<usize>,
     lifetime: LifetimeCounts,
+}
+
+/// Shard-level record of one completed sharded frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardFrameRecord {
+    /// The completed request.
+    pub ticket: FrameTicket,
+    /// Number of shards the frame was split into.
+    pub shards: usize,
+    /// Critical-path shard service in wall cycles (the max).
+    pub critical_path_cycles: u64,
+    /// Measured imbalance: max shard service over mean (1.0 = balanced).
+    pub imbalance: f64,
 }
 
 /// Bounds `v`'s growth under a retention window: the buffer is allowed
@@ -143,6 +159,19 @@ impl ServeMetrics {
 
     /// Records a completion.
     pub fn complete(&mut self, ticket: FrameTicket, completed: u64) {
+        self.complete_with_shards(ticket, completed, &[]);
+    }
+
+    /// Records a completion with its per-shard service cycles (empty for
+    /// unsharded frames — then identical to [`ServeMetrics::complete`]).
+    /// Sharded completions additionally feed the [`ShardingReport`]
+    /// (per-frame imbalance, critical path).
+    pub fn complete_with_shards(
+        &mut self,
+        ticket: FrameTicket,
+        completed: u64,
+        shard_cycles: &[u64],
+    ) {
         // Each ticket completes once, so its start entry can be retired —
         // `starts` stays bounded by the in-flight count instead of
         // growing with the run.
@@ -158,6 +187,20 @@ impl ServeMetrics {
         self.lifetime.missed += usize::from(record.missed());
         self.completed.push(record);
         evict(&mut self.completed, self.window);
+        if let Some(imbalance) = crate::backend::shard_imbalance(shard_cycles) {
+            self.sharded.push(ShardFrameRecord {
+                ticket,
+                shards: shard_cycles.len(),
+                critical_path_cycles: *shard_cycles.iter().max().expect("non-empty"),
+                imbalance,
+            });
+            evict(&mut self.sharded, self.window);
+        }
+    }
+
+    /// Shard-level records of completed sharded frames.
+    pub fn sharded(&self) -> &[ShardFrameRecord] {
+        tail(&self.sharded, self.window)
     }
 
     /// Completed-frame records.
@@ -199,7 +242,14 @@ impl ServeMetrics {
             queue_full: count_reject(RejectReason::QueueFull),
             unmeetable: count_reject(RejectReason::Unmeetable),
             unknown_session: count_reject(RejectReason::UnknownSession),
+            quota_exceeded: count_reject(RejectReason::QuotaExceeded),
         };
+        let sharded = self.sharded();
+        let sharding = (!sharded.is_empty()).then(|| ShardingReport {
+            frames: sharded.to_vec(),
+            mean_imbalance: sharded.iter().map(|r| r.imbalance).sum::<f64>() / sharded.len() as f64,
+            max_imbalance: sharded.iter().map(|r| r.imbalance).fold(f64::MIN, f64::max),
+        });
         let drop_reasons = DropBreakdown {
             deadline: count_drop(DropReason::Deadline),
             session_detached: count_drop(DropReason::SessionDetached),
@@ -273,6 +323,7 @@ impl ServeMetrics {
             },
             device_utilization: utilization,
             wall_seconds,
+            sharding,
             sessions,
         }
     }
@@ -305,6 +356,21 @@ pub struct RejectBreakdown {
     /// Submitted for a detached session. (Submissions for ids the engine
     /// never issued are reported to the caller but not recorded here.)
     pub unknown_session: usize,
+    /// Rejected by the per-session queue quota
+    /// ([`crate::ServeConfig::session_queue_quota`]).
+    pub quota_exceeded: usize,
+}
+
+/// Shard-level slice of a [`ServeReport`] — present only when sharded
+/// frames completed within the retention window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingReport {
+    /// Per-frame shard records (window-bounded, completion order).
+    pub frames: Vec<ShardFrameRecord>,
+    /// Mean measured imbalance over those frames.
+    pub mean_imbalance: f64,
+    /// Worst measured imbalance over those frames.
+    pub max_imbalance: f64,
 }
 
 /// Drop counts by [`DropReason`].
@@ -383,6 +449,10 @@ pub struct ServeReport {
     pub device_utilization: f64,
     /// Simulated run length in seconds.
     pub wall_seconds: f64,
+    /// Shard-level breakdown — `None` unless sharded frames completed
+    /// within the retention window (unsharded runs keep their report,
+    /// and its JSON, unchanged).
+    pub sharding: Option<ShardingReport>,
     /// Per-session breakdown (one entry per ever-attached session, in
     /// [`crate::SessionId`] order).
     pub sessions: Vec<SessionReport>,
@@ -451,11 +521,39 @@ impl ServeReport {
             })
             .collect();
         let reject_reasons = format!(
-            "{{\"queue_full\":{},\"unmeetable\":{},\"unknown_session\":{}}}",
+            "{{\"queue_full\":{},\"unmeetable\":{},\"unknown_session\":{},\"quota_exceeded\":{}}}",
             self.reject_reasons.queue_full,
             self.reject_reasons.unmeetable,
             self.reject_reasons.unknown_session,
+            self.reject_reasons.quota_exceeded,
         );
+        // The sharding block appears only when sharded frames completed,
+        // so unsharded runs serialise exactly as before.
+        let sharding = match &self.sharding {
+            None => String::new(),
+            Some(s) => {
+                let frames: Vec<String> = s
+                    .frames
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"frame\":{},\"shards\":{},\"critical_path_cycles\":{},\
+                             \"imbalance\":{}}}",
+                            f.ticket.id.index(),
+                            f.shards,
+                            f.critical_path_cycles,
+                            json_f(f.imbalance),
+                        )
+                    })
+                    .collect();
+                format!(
+                    ",\"sharding\":{{\"mean_imbalance\":{},\"max_imbalance\":{},\"frames\":[{}]}}",
+                    json_f(s.mean_imbalance),
+                    json_f(s.max_imbalance),
+                    frames.join(","),
+                )
+            }
+        };
         let drop_reasons = format!(
             "{{\"deadline\":{},\"session_detached\":{},\"gated\":{}}}",
             self.drop_reasons.deadline, self.drop_reasons.session_detached, self.drop_reasons.gated,
@@ -473,7 +571,7 @@ impl ServeReport {
              \"rejected\":{},\"dropped\":{},\"missed\":{},\"reject_reasons\":{},\
              \"drop_reasons\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
-             \"device_utilization\":{},\"wall_seconds\":{},\"sessions\":[{}]}}",
+             \"device_utilization\":{},\"wall_seconds\":{}{sharding},\"sessions\":[{}]}}",
             json_str(&self.policy),
             self.devices,
             self.generated,
@@ -626,6 +724,67 @@ mod tests {
         assert_eq!(j.matches("\"name\"").count(), 2);
         // Balanced braces.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn sharded_completions_build_the_sharding_report() {
+        let mut m = ServeMetrics::default();
+        m.start(ticket(0, 0, 0, 1000), 0);
+        m.complete_with_shards(ticket(0, 0, 0, 1000), 300, &[300, 100]);
+        m.start(ticket(0, 1, 0, 1000), 300);
+        m.complete_with_shards(ticket(0, 1, 0, 1000), 500, &[200, 200, 200, 200]);
+        m.start(ticket(1, 0, 0, 1000), 500);
+        m.complete(ticket(1, 0, 0, 1000), 600); // unsharded: no shard record
+        assert_eq!(m.sharded().len(), 2);
+        let r = m.report(
+            &RunInfo {
+                policy: "edf",
+                devices: 4,
+                wall_cycles: 600,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string(), "b".to_string()],
+            &[72.0, 72.0],
+        );
+        let s = r.sharding.as_ref().expect("sharded frames completed");
+        assert_eq!(s.frames.len(), 2);
+        assert_eq!(s.frames[0].shards, 2);
+        assert_eq!(s.frames[0].critical_path_cycles, 300);
+        assert!((s.frames[0].imbalance - 1.5).abs() < 1e-12);
+        assert!((s.frames[1].imbalance - 1.0).abs() < 1e-12);
+        assert!((s.mean_imbalance - 1.25).abs() < 1e-12);
+        assert!((s.max_imbalance - 1.5).abs() < 1e-12);
+        let j = r.to_json();
+        assert!(j.contains("\"sharding\":{\"mean_imbalance\":1.25"));
+        assert!(j.contains("\"critical_path_cycles\":300"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn unsharded_reports_omit_the_sharding_block() {
+        let r = sample_report();
+        assert!(r.sharding.is_none());
+        assert!(!r.to_json().contains("sharding"));
+    }
+
+    #[test]
+    fn quota_rejections_are_broken_out() {
+        let mut m = sample_metrics();
+        m.reject(ticket(0, 8, 600, 700), RejectReason::QuotaExceeded);
+        let r = m.report(
+            &RunInfo {
+                policy: "fcfs",
+                devices: 1,
+                wall_cycles: 1000,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string(), "b".to_string()],
+            &[60.0, 90.0],
+        );
+        assert_eq!(r.reject_reasons.quota_exceeded, 1);
+        assert!(r.to_json().contains("\"quota_exceeded\":1"));
     }
 
     #[test]

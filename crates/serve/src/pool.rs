@@ -183,6 +183,16 @@ impl DevicePool {
         self.active[device].as_ref().map(|a| &a.ticket)
     }
 
+    /// Full device occupancy (`max(D&B, Tile PE)` cycles) of the frame
+    /// in flight on `device`, fixed at submission — `None` when idle.
+    /// The cluster backend records this per shard as the
+    /// measured-service feedback behind
+    /// `gbu_render::shard::ShardStrategy::Measured`.
+    pub fn in_flight_occupancy(&self, device: usize) -> Option<u64> {
+        self.active[device].as_ref()?;
+        self.devices[device].in_flight_occupancy()
+    }
+
     /// Cancels the frame in flight on `device` through the device's
     /// `cancel_in_flight` hook, freeing the slot immediately. Returns the
     /// cancelled ticket, or `None` when the device was idle (no-op-safe).
@@ -289,6 +299,7 @@ impl DevicePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::ExecMode;
     use crate::session::{Session, SessionContent, SessionSpec};
     use crate::QosTarget;
 
@@ -300,6 +311,7 @@ mod tests {
                 qos: QosTarget::VR_72,
                 frames: 4,
                 phase: 0.0,
+                exec: ExecMode::Unsharded,
             },
             &GbuConfig::paper(),
         )

@@ -204,17 +204,23 @@ impl AdmissionControl {
     }
 
     /// Full admission decision for a frame arriving at `arrival` with
-    /// `deadline`, given the current queue `depth`, the estimated wait
-    /// `queued_wait_cycles` behind work already queued *and* already
-    /// executing (the engine folds in only the terms enabled by
-    /// [`AdmissionControl::queue_aware`] /
+    /// `deadline`, given the current queue `depth`, the frames its
+    /// session already holds queued (`session_depth`, gated by
+    /// `session_quota` — [`crate::ServeConfig::session_queue_quota`]),
+    /// the estimated wait `queued_wait_cycles` behind work already
+    /// queued *and* already executing (the engine folds in only the
+    /// terms enabled by [`AdmissionControl::queue_aware`] /
     /// [`AdmissionControl::in_flight_aware`]; with both off the wait is
     /// ignored entirely) and the session's optimistic
-    /// `min_service_cycles` estimate. `Ok(())` admits; `Err` carries the
-    /// rejection reason.
+    /// `min_service_cycles` estimate (mode-aware: the critical-path
+    /// shard bound for sharded sessions). `Ok(())` admits; `Err`
+    /// carries the rejection reason.
+    #[allow(clippy::too_many_arguments)] // an admission decision simply has this many inputs
     pub fn decide(
         &self,
         depth: usize,
+        session_depth: usize,
+        session_quota: Option<usize>,
         queued_wait_cycles: u64,
         arrival: u64,
         deadline: u64,
@@ -222,6 +228,9 @@ impl AdmissionControl {
     ) -> Result<(), RejectReason> {
         if !self.admits(depth) {
             return Err(RejectReason::QueueFull);
+        }
+        if session_quota.is_some_and(|quota| session_depth >= quota) {
+            return Err(RejectReason::QuotaExceeded);
         }
         let wait = if self.queue_aware || self.in_flight_aware { queued_wait_cycles } else { 0 };
         if self.reject_unmeetable
@@ -293,8 +302,8 @@ mod tests {
         assert!(ac.admits(0));
         assert!(ac.admits(1));
         assert!(!ac.admits(2));
-        assert_eq!(ac.decide(2, 0, 0, 100, 10), Err(RejectReason::QueueFull));
-        assert_eq!(ac.decide(1, 0, 0, 100, 10), Ok(()));
+        assert_eq!(ac.decide(2, 0, None, 0, 0, 100, 10), Err(RejectReason::QueueFull));
+        assert_eq!(ac.decide(1, 0, None, 0, 0, 100, 10), Ok(()));
     }
 
     #[test]
@@ -302,16 +311,16 @@ mod tests {
         let lax = AdmissionControl::default();
         // Deadline 100 with a 500-cycle minimum service: hopeless, but
         // admitted unless the deadline-aware check is enabled.
-        assert_eq!(lax.decide(0, 0, 50, 100, 500), Ok(()));
+        assert_eq!(lax.decide(0, 0, None, 0, 50, 100, 500), Ok(()));
         let strict = AdmissionControl { reject_unmeetable: true, ..lax };
-        assert_eq!(strict.decide(0, 0, 50, 100, 500), Err(RejectReason::Unmeetable));
+        assert_eq!(strict.decide(0, 0, None, 0, 50, 100, 500), Err(RejectReason::Unmeetable));
         // A meetable frame still passes.
-        assert_eq!(strict.decide(0, 0, 50, 600, 500), Ok(()));
+        assert_eq!(strict.decide(0, 0, None, 0, 50, 600, 500), Ok(()));
         // Saturating arithmetic: a huge arrival cannot wrap around and
         // sneak past an effectively-infinite deadline.
-        assert_eq!(strict.decide(0, 0, u64::MAX - 1, u64::MAX, 500), Ok(()));
+        assert_eq!(strict.decide(0, 0, None, 0, u64::MAX - 1, u64::MAX, 500), Ok(()));
         assert_eq!(
-            strict.decide(0, 0, u64::MAX - 1, u64::MAX - 1, 500),
+            strict.decide(0, 0, None, 0, u64::MAX - 1, u64::MAX - 1, 500),
             Err(RejectReason::Unmeetable)
         );
     }
@@ -320,17 +329,23 @@ mod tests {
     fn queue_wait_folds_into_meetability() {
         let strict = AdmissionControl { reject_unmeetable: true, ..AdmissionControl::default() };
         // Meetable with an empty queue (arrival 0, service 400 ≤ 1000)…
-        assert_eq!(strict.decide(0, 0, 0, 1000, 400), Ok(()));
+        assert_eq!(strict.decide(0, 0, None, 0, 0, 1000, 400), Ok(()));
         // …but not behind 700 cycles of queued work.
-        assert_eq!(strict.decide(3, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
+        assert_eq!(strict.decide(3, 0, None, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
         // A fully wait-blind configuration ignores the estimate (the
         // pre-queue-aware behaviour, kept reachable for comparison).
         let blind = AdmissionControl { queue_aware: false, in_flight_aware: false, ..strict };
-        assert_eq!(blind.decide(3, 700, 0, 1000, 400), Ok(()));
+        assert_eq!(blind.decide(3, 0, None, 700, 0, 1000, 400), Ok(()));
         // Either awareness flag alone re-enables the wait term.
         let inflight_only = AdmissionControl { queue_aware: false, ..strict };
-        assert_eq!(inflight_only.decide(3, 700, 0, 1000, 400), Err(RejectReason::Unmeetable));
+        assert_eq!(
+            inflight_only.decide(3, 0, None, 700, 0, 1000, 400),
+            Err(RejectReason::Unmeetable)
+        );
         // Queue wait saturates rather than wrapping.
-        assert_eq!(strict.decide(1, u64::MAX, 5, u64::MAX - 1, 1), Err(RejectReason::Unmeetable));
+        assert_eq!(
+            strict.decide(1, 0, None, u64::MAX, 5, u64::MAX - 1, 1),
+            Err(RejectReason::Unmeetable)
+        );
     }
 }

@@ -11,6 +11,7 @@
 //! serving then replays the viewpoints round-robin, so the steady-state
 //! per-frame work the scheduler sees is the paper's Step ❸.
 
+use crate::backend::ExecMode;
 use gbu_core::apps::FrameScenario;
 use gbu_hw::GbuConfig;
 use gbu_math::Vec3;
@@ -52,6 +53,19 @@ pub enum SessionContent {
         /// Number of Gaussians.
         gaussians: usize,
     },
+    /// [`SessionContent::Synthetic`] at an explicit resolution — heavy
+    /// enough (many tile rows) that sharded execution has planning
+    /// freedom; the cluster sweeps and examples use this.
+    SyntheticHd {
+        /// Scene seed.
+        seed: u64,
+        /// Number of Gaussians.
+        gaussians: usize,
+        /// Frame width in pixels.
+        width: u32,
+        /// Frame height in pixels.
+        height: u32,
+    },
     /// A registry scene (static / dynamic / avatar) resolved through
     /// `gbu_core::apps::FrameScenario` at the given profile.
     Dataset {
@@ -79,6 +93,11 @@ pub struct SessionSpec {
     /// same cycle. The engine converts it to cycles once the clock (and
     /// hence the period) is fixed at run time.
     pub phase: f64,
+    /// How this session's frames execute on the engine's backend:
+    /// [`ExecMode::Unsharded`] (any backend) or [`ExecMode::Sharded`]
+    /// (cluster backends only — the frame fans over that many lanes).
+    /// Sessions of different modes coexist on one engine clock.
+    pub exec: ExecMode,
 }
 
 /// A preprocessed viewpoint: the outputs of Rendering Steps ❶/❷ that the
@@ -139,18 +158,21 @@ impl Session {
     /// `VIEWS_PER_SESSION` viewpoints and measures each view once on a
     /// scratch device for load calibration.
     pub fn prepare(spec: SessionSpec, gbu: &GbuConfig) -> Self {
+        let synth = |seed: u64, gaussians: usize| {
+            SceneBuilder::new(seed)
+                .ellipsoid_cloud(
+                    Vec3::ZERO,
+                    Vec3::splat(0.8),
+                    gaussians,
+                    Vec3::new(0.6, 0.5, 0.4),
+                    0.15,
+                )
+                .build()
+        };
         let (scene, width, height) = match &spec.content {
-            SessionContent::Synthetic { seed, gaussians } => {
-                let scene = SceneBuilder::new(*seed)
-                    .ellipsoid_cloud(
-                        Vec3::ZERO,
-                        Vec3::splat(0.8),
-                        *gaussians,
-                        Vec3::new(0.6, 0.5, 0.4),
-                        0.15,
-                    )
-                    .build();
-                (scene, 64, 64)
+            SessionContent::Synthetic { seed, gaussians } => (synth(*seed, *gaussians), 64, 64),
+            SessionContent::SyntheticHd { seed, gaussians, width, height } => {
+                (synth(*seed, *gaussians), *width, *height)
             }
             SessionContent::Dataset { name, profile } => {
                 let ds = DatasetScene::by_name(name)
@@ -161,7 +183,9 @@ impl Session {
             }
         };
         let seed = match &spec.content {
-            SessionContent::Synthetic { seed, .. } => *seed,
+            SessionContent::Synthetic { seed, .. } | SessionContent::SyntheticHd { seed, .. } => {
+                *seed
+            }
             // Hash the (unique) session name so sessions sharing a dataset
             // scene still get distinct orbits.
             SessionContent::Dataset { .. } => {
@@ -226,6 +250,7 @@ mod tests {
             qos: QosTarget::VR_72,
             frames: 4,
             phase: 0.0,
+            exec: ExecMode::Unsharded,
         }
     }
 
@@ -273,9 +298,33 @@ mod tests {
                 qos: QosTarget::VR_90,
                 frames: 2,
                 phase: 0.0,
+                exec: ExecMode::Unsharded,
             },
             &GbuConfig::paper(),
         );
         assert!(s.mean_frame_cycles() > 0.0);
+    }
+
+    #[test]
+    fn synthetic_hd_controls_resolution() {
+        let s = Session::prepare(
+            SessionSpec {
+                name: "hd".into(),
+                content: SessionContent::SyntheticHd {
+                    seed: 9,
+                    gaussians: 60,
+                    width: 128,
+                    height: 96,
+                },
+                qos: QosTarget::VR_72,
+                frames: 1,
+                phase: 0.0,
+                exec: ExecMode::Unsharded,
+            },
+            &GbuConfig::paper(),
+        );
+        assert_eq!(s.view(0).camera.width, 128);
+        assert_eq!(s.view(0).camera.height, 96);
+        assert!(s.view(0).bins.tiles_y >= 6, "HD frames have real shard-planning freedom");
     }
 }

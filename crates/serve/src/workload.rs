@@ -1,6 +1,7 @@
 //! Canonical workload mixes shared by the example, the integration tests
 //! and the bench sweep.
 
+use crate::backend::ExecMode;
 use crate::session::{Session, SessionContent, SessionSpec};
 use crate::QosTarget;
 use gbu_hw::GbuConfig;
@@ -25,6 +26,7 @@ pub fn synthetic_mix(n_sessions: usize, frames: u32) -> Vec<SessionSpec> {
                 // Golden-ratio stagger: spreads client phases evenly so
                 // arrivals do not all burst on the same cycle.
                 phase: (i as f64 * 0.618_033_988_749).fract(),
+                exec: ExecMode::Unsharded,
             }
         })
         .collect()
@@ -50,6 +52,7 @@ pub fn dataset_mix(n_sessions: usize, frames: u32) -> Vec<SessionSpec> {
                 frames,
                 // Golden-ratio stagger: spreads client phases evenly so
                 // arrivals do not all burst on the same cycle.
+                exec: ExecMode::Unsharded,
                 phase: (i as f64 * 0.618_033_988_749).fract(),
             }
         })

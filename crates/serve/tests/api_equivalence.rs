@@ -17,8 +17,8 @@
 
 use gbu_hw::GbuConfig;
 use gbu_serve::{
-    calibrated_clock_ghz, run_sessions, AdmissionControl, FrameStatus, Policy, QosTarget,
-    ServeConfig, ServeEngine, ServeEvent, Session, SessionContent, SessionSpec,
+    calibrated_clock_ghz, run_sessions, AdmissionControl, BackendKind, ExecMode, FrameStatus,
+    Policy, QosTarget, ServeConfig, ServeEngine, ServeEvent, Session, SessionContent, SessionSpec,
 };
 use proptest::prelude::*;
 
@@ -35,6 +35,7 @@ fn workload(n_sessions: usize, frames: u32, seed: u64) -> Vec<Session> {
                     qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
                     frames,
                     phase: (i as f64 * 0.37).fract(),
+                    exec: ExecMode::Unsharded,
                 },
                 &GbuConfig::paper(),
             )
@@ -163,6 +164,124 @@ proptest! {
 
         // Nothing is generated beyond the specs' frame budgets.
         prop_assert!(report.generated <= n_sessions * frames as usize);
+    }
+}
+
+/// A heterogeneous mixed-mode workload for the cluster backend: every
+/// third session unsharded, the rest sharded at varying widths and
+/// strategies (including `Measured`, whose feedback replanning must
+/// also be slicing-invariant).
+fn mixed_workload(n_sessions: usize, frames: u32, seed: u64, lanes: usize) -> Vec<Session> {
+    use gbu_render::shard::ShardStrategy;
+    let mut sessions = workload(n_sessions, frames, seed);
+    for (i, s) in sessions.iter_mut().enumerate() {
+        s.spec.exec = match i % 3 {
+            0 => ExecMode::Unsharded,
+            1 => ExecMode::Sharded { shards: 2.min(lanes), strategy: ShardStrategy::Measured },
+            _ => ExecMode::Sharded { shards: lanes, strategy: ShardStrategy::CostBalanced },
+        };
+    }
+    sessions
+}
+
+/// Attach `sessions`, drive with the given slices (then drain), seal,
+/// and return the full event stream plus the report.
+fn run_engine(
+    cfg: ServeConfig,
+    sessions: &[Session],
+    slices: &[u64],
+) -> (Vec<ServeEvent>, gbu_serve::ServeReport) {
+    let mut engine = ServeEngine::new(cfg);
+    for s in sessions {
+        engine.attach_session(s.clone());
+    }
+    let mut events = Vec::new();
+    let mut now = 0u64;
+    for &slice in slices {
+        now += slice;
+        events.extend(engine.step_until(now));
+    }
+    events.extend(engine.drain());
+    events.extend(engine.finish());
+    assert!(engine.is_drained());
+    (events, engine.report())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The cluster backend is slicing-invariant too: `step_until` at any
+    /// granularity over mixed sharded/unsharded sessions replays the
+    /// one-shot `drain` event stream (shard events included) bit for bit.
+    #[test]
+    fn cluster_step_slicing_matches_one_shot_drain(
+        n_sessions in 2usize..5,
+        frames in 2u32..4,
+        lanes in 2usize..4,
+        util_pct in 50u32..200,
+        seed in 0u64..1000,
+        deadline_aware in any::<bool>(),
+        slices in prop::collection::vec(1u64..50_000, 1..24),
+    ) {
+        let sessions = mixed_workload(n_sessions, frames, seed, lanes);
+        let mut cfg = config(1, Policy::Edf, 64, deadline_aware);
+        cfg.backend = BackendKind::Cluster { lanes, devices_per_lane: 1 };
+        cfg.gbu.clock_ghz =
+            calibrated_clock_ghz(&sessions, lanes, f64::from(util_pct) / 100.0);
+
+        let (one_shot_events, one_shot) = run_engine(cfg.clone(), &sessions, &[]);
+        let (sliced_events, sliced) = run_engine(cfg, &sessions, &slices);
+
+        prop_assert_eq!(&sliced_events, &one_shot_events, "event streams diverged");
+        prop_assert_eq!(&sliced, &one_shot, "reports diverged");
+
+        // Every sharded completion carries its full shard-event preamble.
+        for e in &one_shot_events {
+            if let ServeEvent::Completed { frame, .. } = e {
+                let shards_seen = one_shot_events
+                    .iter()
+                    .filter(|se| {
+                        matches!(se, ServeEvent::ShardCompleted { frame: f, .. } if f == frame)
+                    })
+                    .count();
+                let session = e.session().index();
+                match sessions[session].spec.exec {
+                    ExecMode::Unsharded => prop_assert_eq!(shards_seen, 0),
+                    ExecMode::Sharded { shards, .. } => prop_assert_eq!(shards_seen, shards),
+                }
+            }
+        }
+        prop_assert_eq!(
+            one_shot.generated,
+            one_shot.completed + one_shot.rejected + one_shot.dropped,
+            "conservation on the cluster backend"
+        );
+    }
+
+    /// A 1-lane cluster serving unsharded sessions is indistinguishable
+    /// from the single-pool backend: identical event streams and reports
+    /// — the unsharded event vocabulary is unchanged by the backend
+    /// abstraction.
+    #[test]
+    fn single_and_one_lane_cluster_backends_are_equivalent(
+        n_sessions in 2usize..5,
+        frames in 2u32..5,
+        devices in 1usize..3,
+        util_pct in 50u32..220,
+        seed in 0u64..1000,
+        deadline_aware in any::<bool>(),
+    ) {
+        let sessions = workload(n_sessions, frames, seed);
+        for policy in Policy::all() {
+            let mut cfg = config(devices, policy, 8, deadline_aware);
+            cfg.gbu.clock_ghz =
+                calibrated_clock_ghz(&sessions, devices, f64::from(util_pct) / 100.0);
+            let single = run_engine(cfg.clone(), &sessions, &[]);
+            cfg.backend = BackendKind::Cluster { lanes: 1, devices_per_lane: devices };
+            let cluster = run_engine(cfg, &sessions, &[]);
+            prop_assert_eq!(&single.0, &cluster.0, "event streams diverged under {:?}", policy);
+            prop_assert_eq!(&single.1, &cluster.1, "reports diverged under {:?}", policy);
+        }
     }
 }
 

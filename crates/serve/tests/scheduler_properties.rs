@@ -10,8 +10,9 @@
 
 use gbu_hw::GbuConfig;
 use gbu_serve::{
-    calibrated_clock_ghz, run_sessions, AdmissionControl, DevicePool, Edf, FrameId, FrameTicket,
-    Policy, QosTarget, Scheduler, ServeConfig, Session, SessionContent, SessionId, SessionSpec,
+    calibrated_clock_ghz, run_sessions, AdmissionControl, DevicePool, Edf, ExecMode, FrameId,
+    FrameTicket, Policy, QosTarget, Scheduler, ServeConfig, Session, SessionContent, SessionId,
+    SessionSpec,
 };
 use proptest::prelude::*;
 
@@ -28,6 +29,7 @@ fn workload(n_sessions: usize, frames: u32, seed: u64) -> Vec<Session> {
                     qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
                     frames,
                     phase: (i as f64 * 0.37).fract(),
+                    exec: ExecMode::Unsharded,
                 },
                 &GbuConfig::paper(),
             )

@@ -66,7 +66,9 @@ fn main() {
         metrics::psnr(&pfs.image, &frame.image)
     );
 
-    // 4. Save the image so you can look at it.
-    std::fs::write("quickstart.ppm", frame.image.to_ppm()).expect("write ppm");
-    println!("wrote quickstart.ppm");
+    // 4. Save the image so you can look at it — under bench_out/ like
+    //    the bench smokes, so example runs never litter the repo root.
+    std::fs::create_dir_all("bench_out").expect("create bench_out/");
+    std::fs::write("bench_out/quickstart.ppm", frame.image.to_ppm()).expect("write ppm");
+    println!("wrote bench_out/quickstart.ppm");
 }

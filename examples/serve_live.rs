@@ -132,6 +132,11 @@ fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
         ServeEvent::Started { frame, device, .. } => {
             println!("[{ms:>3} ms] started   {frame} ({name}) on GBU {device}");
         }
+        ServeEvent::ShardCompleted { frame, shard, lane, .. } => {
+            // Only sharded sessions (cluster backend) emit these; this
+            // demo serves unsharded clients — see serve_cluster.rs.
+            println!("[{ms:>3} ms] shard     {frame}#{shard} ({name}) landed on lane {lane}");
+        }
         ServeEvent::Completed { frame, latency_cycles, missed, .. } => {
             let lat_ms = *latency_cycles as f64 / cycles_per_ms as f64;
             let verdict = if *missed { "MISSED" } else { "on time" };

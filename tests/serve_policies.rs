@@ -5,7 +5,10 @@
 //! deadline-miss rate — the acceptance criterion of the serving layer.
 
 use gbu_hw::GbuConfig;
-use gbu_serve::{run_workload, workload, Policy, ServeConfig, ServeReport};
+use gbu_serve::{
+    calibrated_clock_ghz, run_workload, workload, ExecMode, Policy, QosTarget, ServeConfig,
+    ServeEngine, ServeReport, SessionContent, SessionSpec,
+};
 
 const SESSIONS: usize = 16;
 const FRAMES: u32 = 10;
@@ -169,6 +172,84 @@ fn in_flight_aware_admission_tightens_the_bound() {
     let aware_light = run(true, 0.4);
     assert_eq!(aware_light.completed, blind_light.completed);
     assert_eq!(aware_light.rejected, blind_light.rejected);
+}
+
+/// Per-session queue quotas (ROADMAP "smarter admission, part 4"): a
+/// client flooding the shared ready queue with pushed frames must not
+/// starve its peers. Without a quota, FCFS serves the flood burst first
+/// and the timer-driven peers blow their deadlines behind it; with
+/// `session_queue_quota`, the flooder is clipped to its quota (rejected
+/// as `QuotaExceeded`) while the peers' frames are untouched.
+#[test]
+fn session_queue_quota_protects_peers_from_a_flooder() {
+    const PEERS: usize = 2;
+    const PEER_FRAMES: u32 = 8;
+    const FLOOD: u32 = 40;
+    let peers =
+        workload::prepare_all(workload::synthetic_mix(PEERS, PEER_FRAMES), &GbuConfig::paper());
+    let run = |quota: Option<usize>| {
+        let mut cfg = ServeConfig {
+            devices: 1,
+            policy: Policy::Fcfs,
+            session_queue_quota: quota,
+            ..ServeConfig::default()
+        };
+        // The peers alone underload the device: any peer miss below is
+        // the flooder's doing, not capacity.
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&peers, 1, 0.6);
+        let mut engine = ServeEngine::new(cfg);
+        for s in &peers {
+            engine.attach_session(s.clone());
+        }
+        let flooder = engine.attach_spec(SessionSpec {
+            name: "flooder".into(),
+            content: SessionContent::Synthetic { seed: 77, gaussians: 90 },
+            qos: QosTarget::VR_72,
+            frames: 0,
+            phase: 0.0,
+            exec: ExecMode::Unsharded,
+        });
+        // One burst up front: everything lands in the queue ahead of the
+        // peers' timer frames.
+        for v in 0..FLOOD {
+            engine.handle().submit_frame(flooder, v);
+        }
+        engine.drain();
+        engine.finish();
+        assert!(engine.is_drained());
+        engine.report()
+    };
+
+    let open = run(None);
+    let quota = run(Some(2));
+    for r in [&open, &quota] {
+        assert_eq!(r.generated, PEERS * PEER_FRAMES as usize + FLOOD as usize);
+        assert_eq!(r.completed + r.rejected + r.dropped, r.generated, "conservation");
+    }
+    let peer_missed = |r: &ServeReport| -> usize {
+        r.sessions.iter().take(PEERS).map(|s| s.missed + s.rejected + s.dropped).sum()
+    };
+    eprintln!(
+        "flooding: open peer-failures={} quota peer-failures={} quota-rejects={}",
+        peer_missed(&open),
+        peer_missed(&quota),
+        quota.reject_reasons.quota_exceeded,
+    );
+    assert!(peer_missed(&open) > 0, "an unbounded flood must hurt the peers");
+    assert!(
+        peer_missed(&quota) < peer_missed(&open),
+        "the quota must shield the peers: {} vs {}",
+        peer_missed(&quota),
+        peer_missed(&open)
+    );
+    assert!(quota.reject_reasons.quota_exceeded > 0, "the flooder is clipped");
+    assert_eq!(
+        quota.sessions[PEERS].rejected, quota.reject_reasons.quota_exceeded,
+        "only the flooder pays the quota"
+    );
+    // The flooder's admitted frames still get served — a quota is
+    // backpressure, not a ban.
+    assert!(quota.sessions[PEERS].completed > 0);
 }
 
 #[test]

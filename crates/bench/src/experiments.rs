@@ -1063,9 +1063,11 @@ pub fn render(ctx: &Ctx) {
 
     let threads_json: Vec<String> = THREADS.iter().map(usize::to_string).collect();
     let json = format!(
-        "{{\"experiment\":\"render_bench\",\"profile\":\"{:?}\",\"host_cores\":{host_cores},\
+        "{{\"experiment\":\"render_bench\",\"profile\":\"{:?}\",\"run_info\":{},\
+         \"host_cores\":{host_cores},\
          \"threads\":[{}],\"reps\":{reps},\"scenes\":[{}]}}\n",
         ctx.profile,
+        run_info(),
         threads_json.join(","),
         scene_jsons.join(",")
     );
@@ -1160,9 +1162,10 @@ pub fn serve(ctx: &Ctx) {
     );
 
     let json = format!(
-        "{{\"experiment\":\"serve_sweep\",\"frames_per_session\":{FRAMES},\
+        "{{\"experiment\":\"serve_sweep\",\"run_info\":{},\"frames_per_session\":{FRAMES},\
          \"clock_ghz\":{clock_ghz:.6},\"reference\":{{\"sessions\":16,\"devices\":2,\
          \"target_utilization\":1.0}},\"runs\":[{}]}}\n",
+        run_info(),
         runs.join(",")
     );
     let path = smoke_path(ctx.profile, "BENCH_serve");
@@ -1330,12 +1333,13 @@ pub fn shard(ctx: &Ctx) {
     }
 
     let json = format!(
-        "{{\"experiment\":\"shard_sweep\",\"profile\":\"{:?}\",\
+        "{{\"experiment\":\"shard_sweep\",\"profile\":\"{:?}\",\"run_info\":{},\
          \"scene\":{{\"gaussians\":{},\"splats\":{},\"width\":{width},\"height\":{height},\
          \"tile_rows\":{},\"occupied_tiles\":{}}},\
          \"unsharded\":{{\"occupancy_cycles\":{base_cycles},\"dram_bytes\":{}}},\
          \"runs\":[{}]}}\n",
         ctx.profile,
+        run_info(),
         scene.len(),
         projected.splats.len(),
         binned.bins.tiles_y,
@@ -1547,17 +1551,218 @@ pub fn cluster(ctx: &Ctx) {
     }
 
     let json = format!(
-        "{{\"experiment\":\"cluster_sweep\",\"profile\":\"{:?}\",\"lanes\":{LANES},\
+        "{{\"experiment\":\"cluster_sweep\",\"profile\":\"{:?}\",\"run_info\":{},\"lanes\":{LANES},\
          \"frames\":{FRAMES},\"overload\":{OVERLOAD},\"clock_ghz\":{clock_ghz:.6},\
          \"scene\":{{\"light_gaussians\":{light_g},\"heavy_gaussians\":{heavy_g},\
          \"width\":{width},\"height\":{height}}},\
          \"runs\":[{}]}}\n",
         ctx.profile,
+        run_info(),
         runs.join(",")
     );
     let path = smoke_path(ctx.profile, "BENCH_cluster");
     std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("wrote {path} ({} runs)\n", rows.len());
+}
+
+/// Per-stage / per-lane trace profile: runs the staged render pipeline
+/// under a wall-clock recorder and a mixed sharded/unsharded cluster
+/// serving run under a cycle-domain recorder, folds both traces with
+/// [`gbu_telemetry::TraceSummary`], and emits `BENCH_trace.json`.
+///
+/// Self-validating (the run fails itself otherwise):
+///
+/// 1. both traces are well-nested span trees
+///    ([`gbu_telemetry::validate`]);
+/// 2. every completed frame's span duration reconciles with the
+///    engine's `Completed` event latency *exactly* in the cycle domain,
+///    and its `queue_wait` + `service` children partition it;
+/// 3. on the render side, stage wall times (`project` + `bin` +
+///    `blend`) sum to within the enclosing `render` span.
+pub fn trace(ctx: &Ctx) {
+    use gbu_render::{pipeline, Dataflow, RenderConfig};
+    use gbu_scene::ScaleProfile;
+    use gbu_serve::{
+        calibrated_clock_ghz, BackendKind, ExecMode, Policy, ServeConfig, ServeEngine, ServeEvent,
+        SessionContent, SessionSpec,
+    };
+    use gbu_serve::{QosTarget, Session};
+    use gbu_telemetry::{validate, Recorder, TraceSummary, Verbosity};
+
+    println!("== Trace profile: staged render + cluster serving telemetry ==");
+    let mut invalid = false;
+
+    // -- Part 1: wall-clock trace of the staged render pipeline. --------
+    let (gaussians, width, height) = match ctx.profile {
+        ScaleProfile::Test => (800usize, 256u32, 192u32),
+        _ => (8_000, 640, 480),
+    };
+    let scene = gbu_scene::synth::SceneBuilder::new(41)
+        .ellipsoid_cloud(Vec3::ZERO, Vec3::splat(1.0), gaussians, Vec3::new(0.7, 0.4, 0.3), 0.1)
+        .build();
+    let camera = gbu_scene::Camera::orbit(width, height, 1.0, Vec3::ZERO, 3.0, 0.4, 0.2);
+    let previous = gbu_telemetry::set_global(Recorder::enabled(Verbosity::Normal));
+    let _ = pipeline::render(&scene, &camera, Dataflow::Irss, &RenderConfig::default());
+    let render_trace = gbu_telemetry::global().snapshot();
+    gbu_telemetry::set_global(previous);
+
+    if let Err(e) = validate(&render_trace) {
+        eprintln!("INVALID: render trace: {e}");
+        invalid = true;
+    }
+    let render_summary = TraceSummary::from_trace(&render_trace);
+    let stage_cycles =
+        |name: &str| render_summary.stage(name, gbu_telemetry::Domain::Wall).map_or(0, |s| s.total);
+    let (total, staged) = (
+        stage_cycles("render"),
+        stage_cycles("project") + stage_cycles("bin") + stage_cycles("blend"),
+    );
+    if staged > total {
+        eprintln!("INVALID: stage wall times ({staged} ns) exceed the render span ({total} ns)");
+        invalid = true;
+    }
+    let mut rows = Vec::new();
+    for name in ["render", "project", "bin", "blend"] {
+        if let Some(s) = render_summary.stage(name, gbu_telemetry::Domain::Wall) {
+            rows.push(vec![
+                name.to_string(),
+                s.count.to_string(),
+                fmt_f(s.total as f64 / 1e6, 3),
+                fmt_pct(if total > 0 { s.total as f64 / total as f64 } else { 0.0 }),
+            ]);
+        }
+    }
+    println!("{}", table(&["stage", "spans", "wall ms", "of render"], &rows));
+
+    // -- Part 2: cycle-domain trace of a mixed cluster serving run. -----
+    const LANES: usize = 3;
+    let (n_sessions, frames) = match ctx.profile {
+        ScaleProfile::Test => (4usize, 3u32),
+        _ => (6, 6),
+    };
+    let sessions: Vec<Session> = (0..n_sessions)
+        .map(|i| {
+            Session::prepare(
+                SessionSpec {
+                    name: format!("s{i}"),
+                    content: SessionContent::Synthetic {
+                        seed: 90 + i as u64,
+                        gaussians: 30 + 40 * (i % 3),
+                    },
+                    qos: [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3],
+                    frames,
+                    phase: (i as f64 * 0.37).fract(),
+                    exec: match i % 3 {
+                        0 => ExecMode::Unsharded,
+                        _ => ExecMode::Sharded {
+                            shards: 2,
+                            strategy: gbu_render::shard::ShardStrategy::CostBalanced,
+                        },
+                    },
+                },
+                &gbu_hw::GbuConfig::paper(),
+            )
+        })
+        .collect();
+    let recorder = Recorder::enabled(Verbosity::Normal);
+    let mut cfg = ServeConfig {
+        backend: BackendKind::Cluster { lanes: LANES, devices_per_lane: 1 },
+        policy: Policy::Edf,
+        telemetry: recorder.clone(),
+        ..ServeConfig::default()
+    };
+    let clock_ghz = calibrated_clock_ghz(&sessions, LANES, 1.1);
+    cfg.gbu.clock_ghz = clock_ghz;
+    let mut engine = ServeEngine::new(cfg);
+    for s in &sessions {
+        engine.attach_session(s.clone());
+    }
+    let mut events = engine.drain();
+    events.extend(engine.finish());
+    let report = engine.report();
+    let serve_trace = recorder.snapshot();
+
+    if let Err(e) = validate(&serve_trace) {
+        eprintln!("INVALID: serve trace: {e}");
+        invalid = true;
+    }
+    let serve_summary = TraceSummary::from_trace(&serve_trace);
+    if serve_summary.frame_count() != report.lifetime.completed as u64 {
+        eprintln!(
+            "INVALID: trace saw {} frame spans, metrics completed {}",
+            serve_summary.frame_count(),
+            report.lifetime.completed
+        );
+        invalid = true;
+    }
+    for e in &events {
+        let ServeEvent::Completed { frame, session, latency_cycles, .. } = e else { continue };
+        let stat = serve_summary
+            .frames
+            .iter()
+            .find(|f| f.frame == frame.index() && f.session == session.index() as u32);
+        match stat {
+            Some(f) if f.latency_cycles == *latency_cycles => {}
+            Some(f) => {
+                eprintln!(
+                    "INVALID: frame {} span duration {} != event latency {latency_cycles}",
+                    frame.index(),
+                    f.latency_cycles
+                );
+                invalid = true;
+            }
+            None => {
+                eprintln!("INVALID: completed frame {} has no frame span", frame.index());
+                invalid = true;
+            }
+        }
+    }
+    let lane_rows: Vec<Vec<String>> = serve_summary
+        .lanes
+        .iter()
+        .map(|l| {
+            vec![
+                l.lane.to_string(),
+                l.busy_spans.to_string(),
+                fmt_f(l.busy_cycles as f64 / 1e6, 3),
+                l.shards.to_string(),
+                fmt_f(l.shard_cycles as f64 / 1e6, 3),
+            ]
+        })
+        .collect();
+    println!("{}", table(&["lane", "busy spans", "busy Mcyc", "shards", "shard Mcyc"], &lane_rows));
+    println!(
+        "frames: {} completed, latency reconciles with ServeMetrics to the cycle",
+        serve_summary.frame_count()
+    );
+
+    if invalid {
+        eprintln!("trace profile produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"trace_profile\",\"profile\":\"{:?}\",\"run_info\":{},\
+         \"clock_ghz\":{clock_ghz:.6},\
+         \"render\":{{\"gaussians\":{gaussians},\"width\":{width},\"height\":{height},\
+         \"summary\":{}}},\
+         \"serve\":{{\"lanes\":{LANES},\"sessions\":{n_sessions},\"frames\":{frames},\
+         \"completed\":{},\"summary\":{}}}}}\n",
+        ctx.profile,
+        run_info(),
+        render_summary.to_json(),
+        report.lifetime.completed,
+        serve_summary.to_json()
+    );
+    let path = smoke_path(ctx.profile, "BENCH_trace");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}\n");
+}
+
+/// Wall-clock run metadata embedded in every bench JSON (ISO-8601 start
+/// time, host thread count, `GBU_THREADS` in effect).
+fn run_info() -> String {
+    gbu_telemetry::run_info_json(gbu_par::global().threads())
 }
 
 /// Output path for a bench trajectory: the committed `<stem>.json` at

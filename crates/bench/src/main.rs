@@ -11,7 +11,10 @@
 //! the multi-pool scene-sharding sweep (shard count × strategy), which
 //! writes `BENCH_shard.json`, and `cluster` — the cluster-mode serving
 //! sweep (ExecMode shard width × strategy × lane-aware admission), which
-//! writes `BENCH_cluster.json`.
+//! writes `BENCH_cluster.json`, and `trace` — the per-stage/per-lane
+//! telemetry profile (staged render + cluster serving under a
+//! `gbu_telemetry` recorder, self-validated against `ServeMetrics`),
+//! which writes `BENCH_trace.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -69,7 +72,8 @@ fn print_help() {
          serve   (multi-session serving sweep; writes BENCH_serve.json)\n  \
          render  (render hot-path wall-clock sweep; writes BENCH_render.json)\n  \
          shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)\n  \
-         cluster (cluster-mode serving sweep; writes BENCH_cluster.json)"
+         cluster (cluster-mode serving sweep; writes BENCH_cluster.json)\n  \
+         trace   (per-stage/per-lane telemetry profile; writes BENCH_trace.json)"
     );
 }
 
@@ -100,6 +104,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "render" => experiments::render(ctx),
         "shard" => experiments::shard(ctx),
         "cluster" => experiments::cluster(ctx),
+        "trace" => experiments::trace(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -129,6 +134,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "render",
                 "shard",
                 "cluster",
+                "trace",
             ] {
                 run(ctx, c);
             }

@@ -78,6 +78,7 @@ fn run_inner(splats: &[Splat2D], bins: &TileBins, cfg: &GbuConfig, scoped: bool)
     };
     let cycles =
         decomposed * cfg.dnb_evd_cycles + access_trace.len() as u64 * cfg.dnb_intersect_cycles;
+    gbu_telemetry::global().histogram("hw.dnb.cycles").record(cycles);
     DnbResult { transforms, access_trace, next_use, cycles }
 }
 

@@ -141,7 +141,27 @@ impl ThreadPool {
     /// and returns once all of them have finished. The closure may
     /// borrow caller stack data — this call never returns (even by
     /// panic) while a participant is still inside it.
+    ///
+    /// At high trace verbosity (`GBU_TRACE=2`) each participant's stay
+    /// in the batch is recorded as a `par_worker` wall span, making pool
+    /// imbalance visible in the timeline; otherwise the telemetry check
+    /// is one branch per *batch*, not per item.
     fn run(&self, workers: usize, task: &(dyn Fn(usize) + Sync)) {
+        let recorder = gbu_telemetry::global();
+        if recorder.detailed() {
+            let traced = move |w: usize| {
+                let _span =
+                    recorder.wall_span("par_worker", gbu_telemetry::Labels::worker(w as u32));
+                task(w);
+            };
+            self.run_inner(workers, &traced);
+        } else {
+            self.run_inner(workers, task);
+        }
+    }
+
+    /// The untraced batch executor behind [`ThreadPool::run`].
+    fn run_inner(&self, workers: usize, task: &(dyn Fn(usize) + Sync)) {
         let workers = workers.clamp(1, self.threads);
         if workers == 1 {
             task(0);

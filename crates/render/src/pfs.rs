@@ -95,7 +95,15 @@ pub fn blend_into(
         .map(|pixels| RowJob { pixels, stats: BlendStats::default(), nanos: 0 })
         .collect();
     let workers = pool.threads().min(jobs.len()).max(1);
+    let recorder = gbu_telemetry::global();
     pool.for_each_mut_with(scratch.workers(workers), &mut jobs, |tile_scratch, ty, job| {
+        // Per-tile-row spans only at high verbosity; otherwise the
+        // telemetry cost on this hot path is one branch per row.
+        let _row_span = recorder.detailed().then(|| {
+            let labels =
+                gbu_telemetry::Labels { row: Some(ty as u32), ..gbu_telemetry::Labels::default() };
+            recorder.wall_span("blend_row", labels)
+        });
         let t0 = std::time::Instant::now();
         blend_tile_row(
             splats,

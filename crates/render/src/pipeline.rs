@@ -79,6 +79,8 @@ pub fn project(scene: &GaussianScene, camera: &Camera) -> ProjectedFrame {
 
 /// [`project`] on an explicit pool.
 pub fn project_pooled(pool: &ThreadPool, scene: &GaussianScene, camera: &Camera) -> ProjectedFrame {
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("project", gbu_telemetry::Labels::default());
     let (splats, stats) = preprocess::project_scene_pooled(pool, scene, camera);
     ProjectedFrame { camera: camera.clone(), splats, stats }
 }
@@ -86,6 +88,8 @@ pub fn project_pooled(pool: &ThreadPool, scene: &GaussianScene, camera: &Camera)
 /// Step ❷: duplicates splats per overlapped tile and radix-sorts by
 /// `(tile, depth)`.
 pub fn bin(frame: &ProjectedFrame, tile_size: u32) -> BinnedFrame {
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("bin", gbu_telemetry::Labels::default());
     let (bins, stats) = binning::bin_splats(&frame.splats, &frame.camera, tile_size);
     BinnedFrame { bins, stats }
 }
@@ -109,6 +113,8 @@ pub fn blend_pooled(
     dataflow: Dataflow,
     config: &RenderConfig,
 ) -> (FrameBuffer, BlendStats) {
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("blend", gbu_telemetry::Labels::default());
     match dataflow {
         Dataflow::Pfs => {
             pfs::blend_pooled(pool, &frame.splats, &binned.bins, &frame.camera, config)
@@ -143,6 +149,8 @@ pub fn render(
     dataflow: Dataflow,
     config: &RenderConfig,
 ) -> RenderOutput {
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("render", gbu_telemetry::Labels::default());
     let projected = project(scene, camera);
     let binned = bin(&projected, config.tile_size);
     let (image, blend) = blend(&projected, &binned, dataflow, config);

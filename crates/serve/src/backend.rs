@@ -204,6 +204,11 @@ pub trait ExecBackend: std::fmt::Debug {
     /// still executing on each device (zero when idle), grouped by lane —
     /// what lane-aware admission seeds its earliest-free schedule with.
     fn lane_backlogs(&self) -> Vec<Vec<u64>>;
+
+    /// Attaches a telemetry recorder: the backend records per-lane
+    /// `device_busy` spans and DRAM-arbitration stall gauges into it.
+    /// Default is a no-op so hand-rolled test backends need not care.
+    fn set_telemetry(&mut self, _recorder: &gbu_telemetry::Recorder) {}
 }
 
 impl ExecBackend for DevicePool {
@@ -272,6 +277,10 @@ impl ExecBackend for DevicePool {
 
     fn lane_backlogs(&self) -> Vec<Vec<u64>> {
         vec![self.in_flight_backlog_per_device()]
+    }
+
+    fn set_telemetry(&mut self, recorder: &gbu_telemetry::Recorder) {
+        self.attach_recorder(recorder.clone(), None);
     }
 }
 

@@ -542,6 +542,12 @@ impl ExecBackend for ClusterBackend {
     fn lane_backlogs(&self) -> Vec<Vec<u64>> {
         self.lanes.iter().map(DevicePool::in_flight_backlog_per_device).collect()
     }
+
+    fn set_telemetry(&mut self, recorder: &gbu_telemetry::Recorder) {
+        for (lane, pool) in self.lanes.iter_mut().enumerate() {
+            pool.attach_recorder(recorder.clone(), Some(lane as u32));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,14 @@ pub struct ServeConfig {
     /// through [`crate::metrics::LifetimeCounts`]. Long-lived engines
     /// should set a window.
     pub metrics_window: Option<usize>,
+    /// Telemetry recorder the engine and its backend record into:
+    /// per-frame `frame`/`queue_wait`/`service` spans with per-lane
+    /// `shard` children, admission marks and counters, per-device busy
+    /// segments and DRAM-stall gauges — all on the exact cycle clock.
+    /// Defaults to [`gbu_telemetry::Recorder::from_env`] (`GBU_TRACE`),
+    /// i.e. a disabled recorder whose overhead is a branch unless the
+    /// environment opts in.
+    pub telemetry: gbu_telemetry::Recorder,
 }
 
 impl ServeConfig {
@@ -118,6 +126,7 @@ impl Default for ServeConfig {
             gpu: GpuConfig::orin_nx(),
             dram_share: 0.5,
             metrics_window: None,
+            telemetry: gbu_telemetry::Recorder::from_env(),
         }
     }
 }
@@ -195,12 +204,21 @@ pub struct ServeEngine {
     /// stamped with this time (the backend clock lags at the last event).
     horizon: u64,
     metrics: ServeMetrics,
+    /// Clone of [`ServeConfig::telemetry`] (also attached to the
+    /// backend).
+    recorder: gbu_telemetry::Recorder,
+    /// Shard landings of frames still in flight, buffered until the
+    /// frame completes and its `service` span exists to parent them:
+    /// `(frame, shard, lane, landed_at, service_cycles)`. Only populated
+    /// while telemetry is enabled; entries of dropped frames are purged
+    /// in `drop_ticket`.
+    shard_trace: Vec<(FrameId, usize, usize, u64, u64)>,
 }
 
 impl ServeEngine {
     /// Creates an empty engine; attach sessions to give it work.
     pub fn new(cfg: ServeConfig) -> Self {
-        let backend: Box<dyn ExecBackend> = match cfg.backend {
+        let mut backend: Box<dyn ExecBackend> = match cfg.backend {
             BackendKind::Single => {
                 Box::new(DevicePool::new(cfg.devices, &cfg.gbu, &cfg.gpu, cfg.dram_share))
             }
@@ -212,11 +230,15 @@ impl ServeEngine {
                 cfg.dram_share,
             )),
         };
+        if cfg.telemetry.is_enabled() {
+            backend.set_telemetry(&cfg.telemetry);
+        }
         let scheduler = cfg.policy.build();
         let metrics = match cfg.metrics_window {
             Some(window) => ServeMetrics::windowed(window),
             None => ServeMetrics::default(),
         };
+        let recorder = cfg.telemetry.clone();
         Self {
             cfg,
             backend,
@@ -229,6 +251,8 @@ impl ServeEngine {
             images: Vec::new(),
             horizon: 0,
             metrics,
+            recorder,
+            shard_trace: Vec::new(),
         }
     }
 
@@ -476,6 +500,9 @@ impl ServeEngine {
         for completion in self.backend.advance(t - now) {
             match completion {
                 ExecCompletion::Shard { ticket, shard, lane, at, service_cycles } => {
+                    if self.recorder.is_enabled() {
+                        self.shard_trace.push((ticket.id, shard, lane, at, service_cycles));
+                    }
                     self.emit(ServeEvent::ShardCompleted {
                         frame: ticket.id,
                         session: ticket.session,
@@ -488,6 +515,11 @@ impl ServeEngine {
                 ExecCompletion::Frame(done) => {
                     let latency = done.completed_at - done.ticket.arrival;
                     let missed = done.completed_at > done.ticket.deadline;
+                    if self.recorder.is_enabled() {
+                        // Before `complete_with_shards` retires the
+                        // dispatch entry this reads.
+                        self.record_frame_spans(done.ticket, done.completed_at);
+                    }
                     self.metrics.complete_with_shards(
                         done.ticket,
                         done.completed_at,
@@ -572,13 +604,104 @@ impl ServeEngine {
     }
 
     fn reject_ticket(&mut self, ticket: FrameTicket, reason: RejectReason, at: u64) {
+        if self.recorder.is_enabled() {
+            let name = match reason {
+                RejectReason::QueueFull => "reject.queue_full",
+                RejectReason::Unmeetable => "reject.unmeetable",
+                RejectReason::UnknownSession => "reject.unknown_session",
+                RejectReason::QuotaExceeded => "reject.quota_exceeded",
+            };
+            self.recorder.mark(name, gbu_telemetry::Domain::Cycles, at, self.ticket_labels(ticket));
+            self.recorder.counter(&format!("serve.rejected.{}", reason.label())).add(1);
+        }
         self.metrics.reject(ticket, reason);
         self.emit(ServeEvent::Rejected { frame: ticket.id, session: ticket.session, reason, at });
     }
 
     fn drop_ticket(&mut self, ticket: FrameTicket, reason: DropReason, at: u64) {
+        if self.recorder.is_enabled() {
+            let name = match reason {
+                DropReason::Deadline => "drop.deadline",
+                DropReason::SessionDetached => "drop.session_detached",
+                DropReason::Gated => "drop.gated",
+            };
+            self.recorder.mark(name, gbu_telemetry::Domain::Cycles, at, self.ticket_labels(ticket));
+            self.recorder.counter(&format!("serve.dropped.{}", reason.label())).add(1);
+            // A dropped frame never completes; its buffered shard
+            // landings would otherwise linger forever.
+            self.shard_trace.retain(|&(id, ..)| id != ticket.id);
+        }
         self.metrics.drop_frame(ticket, reason);
         self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
+    }
+
+    /// Span/mark labels of a ticket: session + engine-issued frame id.
+    fn ticket_labels(&self, ticket: FrameTicket) -> gbu_telemetry::Labels {
+        gbu_telemetry::Labels::frame(ticket.session.index() as u32, ticket.id.index())
+    }
+
+    /// Records a completed frame's cycle-domain span subtree:
+    /// `frame[arrival, completed]` partitioned exactly into
+    /// `queue_wait[arrival, started]` + `service[started, completed]`,
+    /// with one `shard` child per buffered shard landing under
+    /// `service`. The frame span's duration *is* the latency
+    /// `ServeMetrics` records (completion − arrival), which is what lets
+    /// `repro trace` reconcile the two to the cycle.
+    fn record_frame_spans(&mut self, ticket: FrameTicket, completed_at: u64) {
+        let started = self
+            .metrics
+            .started_at(ticket)
+            .expect("a completing frame has an in-flight dispatch entry");
+        let labels = self.ticket_labels(ticket);
+        let frame = self.recorder.span(
+            "frame",
+            gbu_telemetry::Domain::Cycles,
+            ticket.arrival,
+            completed_at,
+            None,
+            labels,
+        );
+        self.recorder.span(
+            "queue_wait",
+            gbu_telemetry::Domain::Cycles,
+            ticket.arrival,
+            started,
+            frame,
+            labels,
+        );
+        let service = self.recorder.span(
+            "service",
+            gbu_telemetry::Domain::Cycles,
+            started,
+            completed_at,
+            frame,
+            labels,
+        );
+        let mut i = 0;
+        while i < self.shard_trace.len() {
+            if self.shard_trace[i].0 == ticket.id {
+                let (_, shard, lane, at, service_cycles) = self.shard_trace.swap_remove(i);
+                let shard_labels = gbu_telemetry::Labels {
+                    lane: Some(lane as u32),
+                    shard: Some(shard as u32),
+                    ..labels
+                };
+                // Shards submit when the frame dispatches, so the span
+                // starts at `at − service_cycles == started` — nested in
+                // `service` by construction.
+                self.recorder.span(
+                    "shard",
+                    gbu_telemetry::Domain::Cycles,
+                    at - service_cycles,
+                    at,
+                    service,
+                    shard_labels,
+                );
+            } else {
+                i += 1;
+            }
+        }
+        self.recorder.counter("serve.completed").add(1);
     }
 
     /// The (lanes-needed, optimistic service) requirements of a session's
@@ -661,6 +784,15 @@ impl ServeEngine {
             min_service,
         ) {
             Ok(()) => {
+                if self.recorder.is_enabled() {
+                    self.recorder.mark(
+                        "admit",
+                        gbu_telemetry::Domain::Cycles,
+                        at,
+                        self.ticket_labels(ticket),
+                    );
+                    self.recorder.counter("serve.admitted").add(1);
+                }
                 self.queue.push(ticket);
                 self.emit(ServeEvent::Admitted { frame: ticket.id, session: ticket.session, at });
             }
@@ -780,6 +912,15 @@ impl ServeEngine {
             let (mode, view) = (slot.mode, slot.session.view(ticket.frame));
             let device = self.backend.submit(view, ticket, mode);
             self.metrics.start(ticket, now);
+            if self.recorder.is_enabled() {
+                self.recorder.mark(
+                    "dispatch",
+                    gbu_telemetry::Domain::Cycles,
+                    now,
+                    self.ticket_labels(ticket),
+                );
+                self.recorder.counter("serve.dispatched").add(1);
+            }
             self.emit(ServeEvent::Started {
                 frame: ticket.id,
                 session: ticket.session,

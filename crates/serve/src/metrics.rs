@@ -143,6 +143,14 @@ impl ServeMetrics {
         self.starts.push((ticket, now));
     }
 
+    /// Dispatch cycle of an in-flight ticket — available until the
+    /// completion that retires the entry. The engine's telemetry path
+    /// reads it *before* [`ServeMetrics::complete_with_shards`] to cut
+    /// the frame span into queue-wait and service children.
+    pub fn started_at(&self, ticket: FrameTicket) -> Option<u64> {
+        self.starts.iter().find(|(t, _)| *t == ticket).map(|&(_, at)| at)
+    }
+
     /// Records an admitted frame cancelled before completion (deadline
     /// drop or session detach) — queued or already dispatched.
     pub fn drop_frame(&mut self, ticket: FrameTicket, reason: DropReason) {
@@ -711,6 +719,64 @@ mod tests {
         m.start(ticket(0, 1, 10, 200), 15);
         m.complete(ticket(0, 1, 10, 200), 120);
         assert_eq!(m.completed().len(), 1);
+    }
+
+    /// Satellite: downstream diffing of `BENCH_*.json` must never see
+    /// keys appear or disappear between runs — `reject_reasons` and
+    /// `drop_reasons` always carry every known reason, zeroes included,
+    /// and an all-zero report exposes the exact same top-level key set
+    /// as a populated one.
+    #[test]
+    fn report_json_schema_is_stable() {
+        let empty = ServeMetrics::default()
+            .report(
+                &RunInfo {
+                    policy: "edf",
+                    devices: 1,
+                    wall_cycles: 0,
+                    utilization: 0.0,
+                    clock_ghz: 1.0,
+                },
+                &[],
+                &[],
+            )
+            .to_json();
+        assert!(empty.contains(
+            "\"reject_reasons\":{\"queue_full\":0,\"unmeetable\":0,\"unknown_session\":0,\
+             \"quota_exceeded\":0}"
+        ));
+        assert!(
+            empty.contains("\"drop_reasons\":{\"deadline\":0,\"session_detached\":0,\"gated\":0}")
+        );
+        let keys = |json: &str| {
+            let mut k: Vec<String> =
+                json.split('"').skip(1).step_by(2).map(str::to_string).collect();
+            k.sort();
+            k.dedup();
+            k
+        };
+        let populated = sample_report().to_json();
+        // The populated sample has per-session objects; dropping their
+        // per-session-only keys must leave exactly the empty report's
+        // key set — nothing else may come or go with the data.
+        let empty_keys = keys(&empty);
+        for k in keys(&populated) {
+            let session_only = ["name", "qos_hz", "achieved_fps", "a", "b", "fcfs", "edf"];
+            if !session_only.contains(&k.as_str()) {
+                assert!(empty_keys.contains(&k), "key {k:?} appears only when populated");
+            }
+        }
+    }
+
+    #[test]
+    fn started_at_reads_in_flight_dispatches() {
+        let mut m = ServeMetrics::default();
+        let t = ticket(0, 0, 0, 100);
+        assert_eq!(m.started_at(t), None);
+        m.start(t, 42);
+        assert_eq!(m.started_at(t), Some(42));
+        m.complete(t, 90);
+        assert_eq!(m.started_at(t), None, "completion retires the entry");
     }
 
     #[test]

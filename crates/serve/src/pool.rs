@@ -44,6 +44,9 @@ struct ActiveFrame {
     /// Fractional device-cycle accumulator (contention rates are not
     /// integer, the device clock is).
     residue: f64,
+    /// Wall cycle the frame was submitted at (start of the busy segment
+    /// telemetry records on completion).
+    started: u64,
 }
 
 /// N GBU devices on one simulated clock with a shared DRAM budget.
@@ -56,6 +59,17 @@ pub struct DevicePool {
     /// of the edge SoC's LPDDR bandwidth).
     bytes_per_cycle: f64,
     busy_device_cycles: u64,
+    /// Device-cycles lost to DRAM fair-share arbitration so far: busy
+    /// wall time each device spent *not* progressing because the
+    /// contention rate was below 1.
+    dram_stall_cycles: f64,
+    recorder: gbu_telemetry::Recorder,
+    /// Cluster lane this pool serves as, for span labels (`None` when
+    /// the pool is a standalone backend).
+    lane: Option<u32>,
+    /// Registry handle acquired once at attach (gauge updates on the
+    /// advance path are then an atomic store).
+    stall_gauge: gbu_telemetry::Gauge,
 }
 
 impl DevicePool {
@@ -73,7 +87,31 @@ impl DevicePool {
             clock: 0,
             bytes_per_cycle,
             busy_device_cycles: 0,
+            dram_stall_cycles: 0.0,
+            recorder: gbu_telemetry::Recorder::disabled(),
+            lane: None,
+            stall_gauge: gbu_telemetry::Gauge::default(),
         }
+    }
+
+    /// Attaches a telemetry recorder: every frame completion records a
+    /// `device_busy` span `[submit, completion]`, and DRAM-arbitration
+    /// stalls accumulate into a `serve.dram_stall_cycles` gauge (lane-
+    /// suffixed when this pool is one cluster lane, so lanes don't
+    /// clobber each other).
+    pub fn attach_recorder(&mut self, recorder: gbu_telemetry::Recorder, lane: Option<u32>) {
+        self.stall_gauge = match lane {
+            Some(l) => recorder.gauge(&format!("serve.lane{l}.dram_stall_cycles")),
+            None => recorder.gauge("serve.dram_stall_cycles"),
+        };
+        self.recorder = recorder;
+        self.lane = lane;
+    }
+
+    /// Device-cycles lost to DRAM fair-share arbitration so far
+    /// (busy wall time at a contention rate below 1).
+    pub fn dram_stall_cycles(&self) -> f64 {
+        self.dram_stall_cycles
     }
 
     /// Number of devices.
@@ -154,7 +192,8 @@ impl DevicePool {
         let duration = gbu.in_flight_remaining().expect("frame was just submitted");
         let bytes = gbu.in_flight_dram_bytes().expect("frame was just submitted");
         let demand = bytes as f64 / duration.max(1) as f64;
-        self.active[device] = Some(ActiveFrame { ticket, demand, residue: 0.0 });
+        self.active[device] =
+            Some(ActiveFrame { ticket, demand, residue: 0.0, started: self.clock });
     }
 
     /// Device-cycles of work still executing on each device (zero for
@@ -255,6 +294,7 @@ impl DevicePool {
             gbu: &'a mut Gbu,
             slot: &'a mut Option<ActiveFrame>,
             busy: u64,
+            started: u64,
             completion: Option<PoolCompletion>,
         }
         let mut jobs: Vec<AdvanceJob> = self
@@ -263,11 +303,19 @@ impl DevicePool {
             .zip(self.active.iter_mut())
             .enumerate()
             .filter(|(_, (_, slot))| slot.is_some())
-            .map(|(i, (gbu, slot))| AdvanceJob { device: i, gbu, slot, busy: 0, completion: None })
+            .map(|(i, (gbu, slot))| AdvanceJob {
+                device: i,
+                gbu,
+                slot,
+                busy: 0,
+                started: 0,
+                completion: None,
+            })
             .collect();
 
         gbu_par::global().for_each_mut(&mut jobs, |_, job| {
             let a = job.slot.as_mut().expect("jobs hold busy devices only");
+            job.started = a.started;
             // Busy credit stops when the frame finishes, even if the
             // caller overshoots the completion event.
             let remaining = job.gbu.in_flight_remaining().unwrap_or(0) as f64 - a.residue;
@@ -286,11 +334,36 @@ impl DevicePool {
         });
 
         let mut done = Vec::new();
+        let mut total_busy = 0u64;
         for job in jobs {
             self.busy_device_cycles += job.busy;
+            total_busy += job.busy;
             if let Some(c) = job.completion {
+                if self.recorder.is_enabled() {
+                    let labels = gbu_telemetry::Labels {
+                        lane: self.lane,
+                        device: Some(c.device as u32),
+                        session: Some(c.ticket.session.index() as u32),
+                        frame: Some(c.ticket.id.index()),
+                        ..gbu_telemetry::Labels::default()
+                    };
+                    self.recorder.span(
+                        "device_busy",
+                        gbu_telemetry::Domain::Cycles,
+                        job.started,
+                        c.completed_at,
+                        None,
+                        labels,
+                    );
+                }
                 done.push(c);
             }
+        }
+        // Fair-share arbitration below rate 1 means every busy wall
+        // cycle progressed the device by only `rate` device-cycles.
+        if rate < 1.0 {
+            self.dram_stall_cycles += total_busy as f64 * (1.0 - rate);
+            self.stall_gauge.set(self.dram_stall_cycles as u64);
         }
         done
     }

@@ -1,0 +1,205 @@
+//! Timeline exporters: Chrome `trace_event` JSON and a JSONL span log.
+//!
+//! Both are hand-rolled (the crate is dependency-free); escaping follows
+//! RFC 8259. The Chrome format is the common denominator of
+//! `chrome://tracing` and Perfetto: one `"ph":"X"` complete event per
+//! span, one `"ph":"i"` instant per mark, timestamps in microseconds.
+//! The two clock domains land on separate pids (1 = simulated cycles,
+//! 2 = host wall clock) so their tracks never interleave; within a pid
+//! the tid is the lane (cycles) or worker (wall) so each lane/worker
+//! reads as its own swimlane.
+
+use crate::recorder::Trace;
+use crate::span::{Domain, Labels};
+
+/// Escapes `s` as the *contents* of a JSON string (RFC 8259).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microseconds a timestamp maps to in the Chrome timeline: cycles are
+/// scaled by the simulated clock (`clock_ghz` GHz ⇒ `clock_ghz·1000`
+/// cycles per µs), wall nanoseconds divide by 1000.
+fn to_us(domain: Domain, t: u64, clock_ghz: f64) -> f64 {
+    match domain {
+        Domain::Cycles => t as f64 / (clock_ghz * 1e3),
+        Domain::Wall => t as f64 / 1e3,
+    }
+}
+
+fn pid(domain: Domain) -> u32 {
+    match domain {
+        Domain::Cycles => 1,
+        Domain::Wall => 2,
+    }
+}
+
+fn tid(domain: Domain, labels: &Labels) -> u32 {
+    match domain {
+        Domain::Cycles => labels.lane.map_or(0, |l| l + 1),
+        Domain::Wall => labels.worker.map_or(0, |w| w + 1),
+    }
+}
+
+fn args_json(labels: &Labels, extra: &[(&str, u64)]) -> String {
+    let mut fields = Vec::new();
+    let mut push = |k: &str, v: u64| fields.push(format!("\"{k}\":{v}"));
+    if let Some(v) = labels.lane {
+        push("lane", v as u64);
+    }
+    if let Some(v) = labels.device {
+        push("device", v as u64);
+    }
+    if let Some(v) = labels.session {
+        push("session", v as u64);
+    }
+    if let Some(v) = labels.frame {
+        push("frame", v);
+    }
+    if let Some(v) = labels.shard {
+        push("shard", v as u64);
+    }
+    if let Some(v) = labels.worker {
+        push("worker", v as u64);
+    }
+    if let Some(v) = labels.row {
+        push("row", v as u64);
+    }
+    for &(k, v) in extra {
+        push(k, v);
+    }
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders `trace` as a Chrome `trace_event` JSON document. Load the
+/// file in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace(trace: &Trace, clock_ghz: f64) -> String {
+    let mut events = Vec::with_capacity(trace.spans.len() + trace.marks.len() + 2);
+    for (p, name) in [(1u32, "simulated cycles"), (2, "host wall clock")] {
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{p},\"tid\":0,\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    for s in &trace.spans {
+        let ts = to_us(s.domain, s.start, clock_ghz);
+        let dur = to_us(s.domain, s.end, clock_ghz) - ts;
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\
+             \"args\":{}}}",
+            json_escape(s.name),
+            pid(s.domain),
+            tid(s.domain, &s.labels),
+            ts,
+            dur,
+            args_json(&s.labels, &[("span_id", s.id.0)]),
+        ));
+    }
+    for m in &trace.marks {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\
+             \"args\":{}}}",
+            json_escape(m.name),
+            pid(m.domain),
+            tid(m.domain, &m.labels),
+            to_us(m.domain, m.at, clock_ghz),
+            args_json(&m.labels, &[]),
+        ));
+    }
+    format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n", events.join(","))
+}
+
+/// Renders `trace` as a JSONL span log: one JSON object per line, spans
+/// first (`"kind":"span"`), then marks, then one `"kind":"counters"`
+/// tail line — greppable and stream-parseable without a JSON reader.
+pub fn jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for s in &trace.spans {
+        out.push_str(&format!(
+            "{{\"kind\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"domain\":\"{}\",\
+             \"start\":{},\"end\":{},\"labels\":{}}}\n",
+            s.id.0,
+            s.parent.map_or("null".to_string(), |p| p.0.to_string()),
+            json_escape(s.name),
+            s.domain.label(),
+            s.start,
+            s.end,
+            args_json(&s.labels, &[]),
+        ));
+    }
+    for m in &trace.marks {
+        out.push_str(&format!(
+            "{{\"kind\":\"mark\",\"name\":\"{}\",\"domain\":\"{}\",\"at\":{},\"labels\":{}}}\n",
+            json_escape(m.name),
+            m.domain.label(),
+            m.at,
+            args_json(&m.labels, &[]),
+        ));
+    }
+    let counters = trace
+        .counters
+        .iter()
+        .map(|(n, v)| format!("\"{}\":{v}", json_escape(n)))
+        .collect::<Vec<_>>()
+        .join(",");
+    out.push_str(&format!("{{\"kind\":\"counters\",\"values\":{{{counters}}}}}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::span::Verbosity;
+
+    fn sample() -> Trace {
+        let r = Recorder::enabled(Verbosity::Normal);
+        let frame = r.span("frame", Domain::Cycles, 0, 1000, None, Labels::frame(1, 2));
+        r.span("service", Domain::Cycles, 200, 1000, frame, Labels::lane(3));
+        r.mark("admit", Domain::Cycles, 0, Labels::frame(1, 2));
+        r.counter("frames").add(1);
+        r.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_balanced_and_scaled() {
+        let doc = chrome_trace(&sample(), 1.0); // 1 GHz: 1000 cycles == 1 µs
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"frame\""));
+        assert!(doc.contains("\"dur\":1.000"), "1000 cycles at 1 GHz is 1 µs: {doc}");
+        assert!(doc.contains("\"tid\":4"), "lane 3 maps to tid 4");
+        assert!(doc.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let log = jsonl(&sample());
+        let lines: Vec<_> = log.lines().collect();
+        assert_eq!(lines.len(), 2 + 1 + 1, "2 spans + 1 mark + counters tail");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        assert!(lines[0].contains("\"parent\":null"));
+        assert!(lines[1].contains("\"parent\":1"));
+        assert!(lines[3].contains("\"frames\":1"));
+    }
+
+    #[test]
+    fn escaping_follows_rfc8259() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,176 @@
+//! Counters, gauges and log-bucketed histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are acquired once by
+//! name from a [`crate::Recorder`] registry (a lock plus a linear scan,
+//! allocation only on first registration) and are then a branch plus an
+//! atomic op per update — nothing on the hot path allocates or locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets a [`Histogram`] holds: one per possible
+/// `u64` magnitude, so bucketing is a `leading_zeros`, never a search.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter. Disabled recorders hand out
+/// no-op handles whose `add` is a branch.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// Adds `v` to the counter.
+    pub fn add(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub(crate) Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage of one histogram: power-of-two buckets plus exact
+/// count/sum, all atomics — recording is allocation- and lock-free.
+#[derive(Debug)]
+pub(crate) struct HistogramCells {
+    pub(crate) buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramCells {
+    pub(crate) fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram handle: values land in bucket
+/// `⌈log2(v+1)⌉`, i.e. bucket 0 holds only zeros and bucket `b` holds
+/// `[2^(b-1), 2^b)`.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(pub(crate) Option<Arc<HistogramCells>>);
+
+/// Bucket index of `v` under the log2 rule.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        if let Some(cells) = &self.0 {
+            cells.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            cells.count.fetch_add(1, Ordering::Relaxed);
+            cells.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations so far (0 for a no-op handle).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+}
+
+/// Point-in-time copy of a histogram for reports and export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Exact sum of all observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn from_cells(cells: &HistogramCells) -> Self {
+        let buckets = cells
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(b, c)| {
+                let n = c.load(Ordering::Relaxed);
+                (n > 0).then(|| (if b == 0 { 0 } else { 1u64 << (b - 1) }, n))
+            })
+            .collect();
+        Self {
+            count: cells.count.load(Ordering::Relaxed),
+            sum: cells.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_rule_is_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn noop_handles_do_nothing() {
+        let c = Counter::default();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = Histogram::default();
+        h.record(10);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn snapshot_collapses_to_nonempty_buckets() {
+        let cells = HistogramCells::new();
+        let h = Histogram(Some(Arc::new(cells)));
+        for v in [0, 1, 5, 5, 700] {
+            h.record(v);
+        }
+        let snap = HistogramSnapshot::from_cells(h.0.as_ref().unwrap());
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.sum, 711);
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 1), (4, 2), (512, 1)]);
+        assert!((snap.mean() - 142.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,483 @@
+//! The [`Recorder`]: lock-cheap span/mark capture plus the metrics
+//! registry, and the [`Trace`] snapshot everything downstream consumes.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramCells, HistogramSnapshot};
+use crate::span::{Domain, Labels, Mark, Span, SpanId, Verbosity};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Environment variable enabling tracing: unset or `0` is off, `1`
+/// records stage/frame/lane spans ([`Verbosity::Normal`]), `2` adds
+/// per-tile-row and per-worker detail ([`Verbosity::High`]).
+pub const TRACE_ENV: &str = "GBU_TRACE";
+
+/// Environment variable naming the file the Chrome trace of an
+/// instrumented example/binary is written to.
+pub const TRACE_OUT_ENV: &str = "GBU_TRACE_OUT";
+
+/// Number of independent span buffers. Each recording thread is pinned
+/// to one buffer (round-robin at first use), so with up to this many
+/// threads every buffer lock is uncontended.
+const SHARDS: usize = 32;
+
+#[derive(Debug, Default)]
+struct Shard {
+    spans: Vec<Span>,
+    marks: Vec<Mark>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: Vec<(String, Arc<AtomicU64>)>,
+    gauges: Vec<(String, Arc<AtomicU64>)>,
+    histograms: Vec<(String, Arc<HistogramCells>)>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    verbosity: Verbosity,
+    epoch: Instant,
+    next_id: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    registry: Mutex<Registry>,
+}
+
+/// Captures typed spans, instant marks and metrics for one run.
+///
+/// A `Recorder` is a cheap clonable handle (an `Arc` under the hood);
+/// every clone feeds the same buffers, so the engine, its backend lanes
+/// and the render pipeline can all hold one. [`Recorder::disabled`]
+/// hands out a no-op recorder whose every operation is a branch — the
+/// serving stack threads it unconditionally and pays nothing when
+/// tracing is off (pinned by the no-perturbation tests).
+#[derive(Clone, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Recorder(disabled)"),
+            Some(inner) => write!(f, "Recorder(enabled, {:?})", inner.verbosity),
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's span-buffer shard (round-robin assigned).
+    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// Stack of open wall-clock spans, tagged with their recorder so
+    /// parents never leak across recorders: `(recorder_tag, span_id)`.
+    static WALL_STACK: RefCell<Vec<(usize, SpanId)>> = const { RefCell::new(Vec::new()) };
+}
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+fn my_shard() -> usize {
+    MY_SHARD.with(|s| {
+        let mut idx = s.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            s.set(idx);
+        }
+        idx
+    })
+}
+
+impl Recorder {
+    /// A recorder that records nothing; every operation is a branch.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording recorder at the given verbosity.
+    pub fn enabled(verbosity: Verbosity) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                verbosity,
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+                registry: Mutex::new(Registry::default()),
+            })),
+        }
+    }
+
+    /// Builds a recorder from the [`TRACE_ENV`] environment variable:
+    /// unset/`0` → disabled, `1` → [`Verbosity::Normal`], `2` →
+    /// [`Verbosity::High`].
+    pub fn from_env() -> Self {
+        match std::env::var(TRACE_ENV).ok().as_deref().map(str::trim) {
+            None | Some("" | "0" | "off" | "false") => Self::disabled(),
+            Some("2") => Self::enabled(Verbosity::High),
+            Some(_) => Self::enabled(Verbosity::Normal),
+        }
+    }
+
+    /// `true` when this recorder captures anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Verbosity of an enabled recorder; `None` when disabled.
+    pub fn verbosity(&self) -> Option<Verbosity> {
+        self.inner.as_ref().map(|i| i.verbosity)
+    }
+
+    /// `true` when high-verbosity detail (per-tile-row, per-worker
+    /// spans) should be captured.
+    pub fn detailed(&self) -> bool {
+        self.verbosity() == Some(Verbosity::High)
+    }
+
+    /// Nanoseconds since this recorder's construction (0 when disabled)
+    /// — the wall-clock domain's timebase.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Tag distinguishing this recorder in thread-local state.
+    fn tag(&self) -> usize {
+        self.inner.as_ref().map_or(0, |i| Arc::as_ptr(i) as usize)
+    }
+
+    /// Records a closed span with explicit timestamps (the
+    /// discrete-event path: the serving engine knows `start`/`end` in
+    /// cycles exactly). Returns the new span's id for parent links, or
+    /// `None` when disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end < start`.
+    pub fn span(
+        &self,
+        name: &'static str,
+        domain: Domain,
+        start: u64,
+        end: u64,
+        parent: Option<SpanId>,
+        labels: Labels,
+    ) -> Option<SpanId> {
+        let inner = self.inner.as_ref()?;
+        assert!(end >= start, "span '{name}' ends before it starts ({end} < {start})");
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let span = Span { id, parent, name, domain, start, end, labels };
+        inner.shards[my_shard()].lock().expect("telemetry shard").spans.push(span);
+        Some(id)
+    }
+
+    /// Records an instant event.
+    pub fn mark(&self, name: &'static str, domain: Domain, at: u64, labels: Labels) {
+        if let Some(inner) = &self.inner {
+            inner.shards[my_shard()].lock().expect("telemetry shard").marks.push(Mark {
+                name,
+                domain,
+                at,
+                labels,
+            });
+        }
+    }
+
+    /// Opens a wall-clock span that closes (and records) when the
+    /// returned guard drops. Guards nest: a wall span opened while
+    /// another is open on the same thread becomes its child, which is
+    /// how the render pipeline's `project`/`bin`/`blend` spans land
+    /// under their frame's `render` span without threading ids around.
+    pub fn wall_span(&self, name: &'static str, labels: Labels) -> WallSpan<'_> {
+        let Some(inner) = &self.inner else {
+            return WallSpan { recorder: self, open: None };
+        };
+        let id = SpanId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let tag = self.tag();
+        let parent = WALL_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().and_then(|&(t, id)| (t == tag).then_some(id));
+            stack.push((tag, id));
+            parent
+        });
+        WallSpan {
+            recorder: self,
+            open: Some(OpenWall { id, parent, name, labels, start: self.now_ns() }),
+        }
+    }
+
+    /// Counter handle for `name` (registered on first use). No-op handle
+    /// when disabled.
+    pub fn counter(&self, name: &str) -> Counter {
+        let Some(inner) = &self.inner else { return Counter(None) };
+        let mut reg = inner.registry.lock().expect("telemetry registry");
+        if let Some((_, cell)) = reg.counters.iter().find(|(n, _)| n == name) {
+            return Counter(Some(Arc::clone(cell)));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        reg.counters.push((name.to_string(), Arc::clone(&cell)));
+        Counter(Some(cell))
+    }
+
+    /// Gauge handle for `name` (registered on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else { return Gauge(None) };
+        let mut reg = inner.registry.lock().expect("telemetry registry");
+        if let Some((_, cell)) = reg.gauges.iter().find(|(n, _)| n == name) {
+            return Gauge(Some(Arc::clone(cell)));
+        }
+        let cell = Arc::new(AtomicU64::new(0));
+        reg.gauges.push((name.to_string(), Arc::clone(&cell)));
+        Gauge(Some(cell))
+    }
+
+    /// Histogram handle for `name` (registered on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else { return Histogram(None) };
+        let mut reg = inner.registry.lock().expect("telemetry registry");
+        if let Some((_, cells)) = reg.histograms.iter().find(|(n, _)| n == name) {
+            return Histogram(Some(Arc::clone(cells)));
+        }
+        let cells = Arc::new(HistogramCells::new());
+        reg.histograms.push((name.to_string(), Arc::clone(&cells)));
+        Histogram(Some(cells))
+    }
+
+    /// Point-in-time copy of everything recorded so far. Spans and marks
+    /// are merged across the per-thread buffers and sorted by
+    /// `(domain, start, id)` so output is deterministic regardless of
+    /// which thread recorded what.
+    pub fn snapshot(&self) -> Trace {
+        let Some(inner) = &self.inner else { return Trace::default() };
+        let mut spans = Vec::new();
+        let mut marks = Vec::new();
+        for shard in &inner.shards {
+            let shard = shard.lock().expect("telemetry shard");
+            spans.extend_from_slice(&shard.spans);
+            marks.extend_from_slice(&shard.marks);
+        }
+        let key = |d: Domain| matches!(d, Domain::Wall) as u8;
+        spans.sort_by_key(|s| (key(s.domain), s.start, s.id));
+        marks.sort_by_key(|m| (key(m.domain), m.at, m.name));
+        let reg = inner.registry.lock().expect("telemetry registry");
+        Trace {
+            spans,
+            marks,
+            counters: reg
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: reg
+                .gauges
+                .iter()
+                .map(|(n, c)| (n.clone(), c.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: reg
+                .histograms
+                .iter()
+                .map(|(n, c)| (n.clone(), HistogramSnapshot::from_cells(c)))
+                .collect(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct OpenWall {
+    id: SpanId,
+    parent: Option<SpanId>,
+    name: &'static str,
+    labels: Labels,
+    start: u64,
+}
+
+/// Guard of an open wall-clock span; records the span when dropped.
+/// See [`Recorder::wall_span`].
+#[derive(Debug)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct WallSpan<'r> {
+    recorder: &'r Recorder,
+    open: Option<OpenWall>,
+}
+
+impl WallSpan<'_> {
+    /// The open span's id (`None` on a disabled recorder) — for linking
+    /// children recorded through other means.
+    pub fn id(&self) -> Option<SpanId> {
+        self.open.as_ref().map(|o| o.id)
+    }
+}
+
+impl Drop for WallSpan<'_> {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else { return };
+        let Some(inner) = &self.recorder.inner else { return };
+        let tag = self.recorder.tag();
+        WALL_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop in scope order, so ours is the top entry; be
+            // defensive about exotic drop orders anyway.
+            if let Some(pos) = stack.iter().rposition(|&(t, id)| t == tag && id == open.id) {
+                stack.remove(pos);
+            }
+        });
+        let end = self.recorder.now_ns().max(open.start);
+        let span = Span {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            domain: Domain::Wall,
+            start: open.start,
+            end,
+            labels: open.labels,
+        };
+        inner.shards[my_shard()].lock().expect("telemetry shard").spans.push(span);
+    }
+}
+
+/// Everything a recorder captured: the input to the exporters and the
+/// [`crate::TraceSummary`].
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All closed spans, sorted by `(domain, start, id)`.
+    pub spans: Vec<Span>,
+    /// All instant marks, sorted by `(domain, at, name)`.
+    pub marks: Vec<Mark>,
+    /// Counter values by name, registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name, registration order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram snapshots by name, registration order.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Trace {
+    /// Value of counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Spans named `name`, in snapshot order.
+    pub fn spans_named<'t>(&'t self, name: &str) -> impl Iterator<Item = &'t Span> {
+        let name = name.to_string();
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// Reads [`TRACE_OUT_ENV`]: where an instrumented binary should write
+/// its Chrome trace, when set.
+pub fn trace_out_path() -> Option<String> {
+    std::env::var(TRACE_OUT_ENV).ok().filter(|p| !p.trim().is_empty())
+}
+
+static GLOBAL: std::sync::OnceLock<Mutex<Recorder>> = std::sync::OnceLock::new();
+
+fn global_cell() -> &'static Mutex<Recorder> {
+    GLOBAL.get_or_init(|| Mutex::new(Recorder::from_env()))
+}
+
+/// The process-wide recorder library code that has no recorder handle
+/// threaded to it (the render pipeline, the thread pool) records into.
+/// First access initialises it from the environment
+/// ([`Recorder::from_env`]); cloning is an `Arc` bump, so call sites
+/// fetch it once per stage, not per item.
+pub fn global() -> Recorder {
+    global_cell().lock().expect("global recorder").clone()
+}
+
+/// Replaces the process-wide recorder, returning the previous one so a
+/// caller (e.g. `repro trace`) can scope instrumentation to one run and
+/// restore afterwards.
+pub fn set_global(recorder: Recorder) -> Recorder {
+    std::mem::replace(&mut *global_cell().lock().expect("global recorder"), recorder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        assert_eq!(r.span("x", Domain::Cycles, 0, 10, None, Labels::default()), None);
+        r.mark("m", Domain::Cycles, 5, Labels::default());
+        r.counter("c").add(3);
+        let _guard = r.wall_span("w", Labels::default());
+        let t = r.snapshot();
+        assert!(t.spans.is_empty() && t.marks.is_empty() && t.counters.is_empty());
+    }
+
+    #[test]
+    fn explicit_spans_link_parents() {
+        let r = Recorder::enabled(Verbosity::Normal);
+        let frame = r.span("frame", Domain::Cycles, 100, 500, None, Labels::frame(0, 7));
+        let wait = r.span("queue_wait", Domain::Cycles, 100, 180, frame, Labels::default());
+        assert!(frame.is_some() && wait.is_some());
+        let t = r.snapshot();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].name, "frame");
+        assert_eq!(t.spans[1].parent, frame);
+        assert_eq!(t.spans[0].labels.frame, Some(7));
+        assert_eq!(t.spans[1].duration(), 80);
+    }
+
+    #[test]
+    fn wall_spans_nest_through_the_guard_stack() {
+        let r = Recorder::enabled(Verbosity::Normal);
+        let (outer_id, inner_id) = {
+            let outer = r.wall_span("render", Labels::default());
+            let inner = r.wall_span("project", Labels::default());
+            (outer.id().unwrap(), inner.id().unwrap())
+        };
+        let t = r.snapshot();
+        let outer = t.spans.iter().find(|s| s.id == outer_id).unwrap();
+        let inner = t.spans.iter().find(|s| s.id == inner_id).unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(inner.domain, Domain::Wall);
+        assert!(outer.start <= inner.start && inner.end <= outer.end);
+    }
+
+    #[test]
+    fn two_recorders_do_not_share_wall_parents() {
+        let a = Recorder::enabled(Verbosity::Normal);
+        let b = Recorder::enabled(Verbosity::Normal);
+        let _ga = a.wall_span("outer_a", Labels::default());
+        let gb = b.wall_span("inner_b", Labels::default());
+        let gb_id = gb.id().unwrap();
+        drop(gb);
+        let tb = b.snapshot();
+        let span_b = tb.spans.iter().find(|s| s.id == gb_id).unwrap();
+        assert_eq!(span_b.parent, None, "recorder b must not adopt recorder a's open span");
+    }
+
+    #[test]
+    fn registry_dedupes_by_name() {
+        let r = Recorder::enabled(Verbosity::Normal);
+        r.counter("hits").add(2);
+        r.counter("hits").add(3);
+        r.histogram("lat").record(10);
+        r.histogram("lat").record(100);
+        let t = r.snapshot();
+        assert_eq!(t.counter("hits"), Some(5));
+        assert_eq!(t.histograms.len(), 1);
+        assert_eq!(t.histograms[0].1.count, 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_repeatable() {
+        let r = Recorder::enabled(Verbosity::Normal);
+        r.span("b", Domain::Cycles, 50, 60, None, Labels::default());
+        r.span("a", Domain::Cycles, 10, 20, None, Labels::default());
+        let t1 = r.snapshot();
+        let t2 = r.snapshot();
+        assert_eq!(t1.spans[0].name, "a");
+        assert_eq!(t1.spans, t2.spans, "snapshot does not drain");
+    }
+
+    #[test]
+    #[should_panic(expected = "ends before it starts")]
+    fn backwards_spans_are_rejected() {
+        let r = Recorder::enabled(Verbosity::Normal);
+        let _ = r.span("bad", Domain::Cycles, 10, 5, None, Labels::default());
+    }
+}

@@ -1,0 +1,122 @@
+//! The typed event vocabulary: spans, instant marks, labels, domains.
+
+/// Identifier of a recorded span, unique within one [`crate::Recorder`].
+/// Ids are dense and allocation order is meaningless; only parent links
+/// give structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// Which clock a timestamp lives on.
+///
+/// The serving stack runs on a *simulated* cycle clock (exact,
+/// deterministic, reconcilable against `ServeMetrics` to the cycle),
+/// while the render hot path is measured in host wall-clock nanoseconds.
+/// A span never mixes the two; exporters keep the domains on separate
+/// tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Simulated GBU cycles (the serving engine's clock).
+    Cycles,
+    /// Host wall-clock nanoseconds since the recorder's epoch.
+    Wall,
+}
+
+impl Domain {
+    /// Stable name for JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Domain::Cycles => "cycles",
+            Domain::Wall => "wall",
+        }
+    }
+}
+
+/// Optional structured labels attached to a span or mark. Everything is
+/// `Option` so hot-path call sites pay only for what they set; the
+/// exporters skip unset fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Labels {
+    /// Cluster lane index.
+    pub lane: Option<u32>,
+    /// Device index within a pool/lane.
+    pub device: Option<u32>,
+    /// Serving session id.
+    pub session: Option<u32>,
+    /// Frame id (dense, engine-issued).
+    pub frame: Option<u64>,
+    /// Shard index within a sharded frame.
+    pub shard: Option<u32>,
+    /// Thread-pool worker id.
+    pub worker: Option<u32>,
+    /// Tile row index (high-verbosity render detail).
+    pub row: Option<u32>,
+}
+
+impl Labels {
+    /// Labels carrying only a lane index.
+    pub fn lane(lane: u32) -> Self {
+        Self { lane: Some(lane), ..Self::default() }
+    }
+
+    /// Labels carrying only a worker id.
+    pub fn worker(worker: u32) -> Self {
+        Self { worker: Some(worker), ..Self::default() }
+    }
+
+    /// Labels identifying a frame of a session.
+    pub fn frame(session: u32, frame: u64) -> Self {
+        Self { session: Some(session), frame: Some(frame), ..Self::default() }
+    }
+}
+
+/// One closed interval of work on a single clock domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// This span's id.
+    pub id: SpanId,
+    /// Enclosing span, when any — parents and children always share a
+    /// [`Domain`], and a child lies within its parent's interval (the
+    /// well-nestedness the summary validates).
+    pub parent: Option<SpanId>,
+    /// Static name ("frame", "service", "project", ...).
+    pub name: &'static str,
+    /// Clock domain of `start`/`end`.
+    pub domain: Domain,
+    /// Inclusive start timestamp.
+    pub start: u64,
+    /// End timestamp, `>= start`.
+    pub end: u64,
+    /// Structured labels.
+    pub labels: Labels,
+}
+
+impl Span {
+    /// Span duration in its domain's units.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// An instant event (zero duration): admissions, rejections, dispatches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mark {
+    /// Static name ("admit", "reject.queue_full", ...).
+    pub name: &'static str,
+    /// Clock domain of `at`.
+    pub domain: Domain,
+    /// Timestamp.
+    pub at: u64,
+    /// Structured labels.
+    pub labels: Labels,
+}
+
+/// How much detail an enabled recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// Stage/frame/lane spans and counters — cheap enough to leave on.
+    Normal,
+    /// Adds per-tile-row blend spans and per-worker pool region spans
+    /// (`GBU_TRACE=2`): orders of magnitude more spans, for drilling
+    /// into one run.
+    High,
+}

@@ -16,6 +16,13 @@
 //! critical-path lane provably cannot meet the deadline are rejected at
 //! submission.
 //!
+//! The whole run records into a `gbu_telemetry` recorder and exports a
+//! Chrome `trace_event` timeline (open it at `chrome://tracing` or
+//! <https://ui.perfetto.dev>): per-frame spans cut into queue-wait +
+//! service, shard child-spans on their lanes, and per-lane device-busy
+//! segments. The output path honours `GBU_TRACE_OUT`, defaulting to
+//! `bench_out/serve_cluster.trace.json`.
+//!
 //! Run with: `cargo run --release --example serve_cluster`
 
 use gbu_core::reports::{fmt_f, fmt_pct, table};
@@ -60,15 +67,18 @@ fn main() {
     let sessions: Vec<Session> =
         specs.into_iter().map(|s| Session::prepare(s, &GbuConfig::paper())).collect();
 
+    let recorder = gbu_telemetry::Recorder::enabled(gbu_telemetry::Verbosity::Normal);
     let mut cfg = ServeConfig {
         backend: BackendKind::Cluster { lanes: LANES, devices_per_lane: 1 },
         policy: Policy::Edf,
+        telemetry: recorder.clone(),
         ..ServeConfig::default()
     };
     cfg.admission.reject_unmeetable = true;
     // Load the cluster to ~70% of its 4 lanes: the heavy client alone
     // would swamp a single lane.
     cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, LANES, 0.7);
+    let clock_ghz = cfg.gbu.clock_ghz;
     let cycles_per_ms = (cfg.gbu.clock_ghz * 1e6).max(1.0) as u64;
     println!(
         "clock {:.4} GHz; EDF + lane-aware admission on a {LANES}-lane cluster\n",
@@ -118,6 +128,18 @@ fn main() {
         fmt_pct(report.deadline_miss_rate),
         fmt_pct(report.device_utilization),
     );
+
+    // Export the recorded timeline as a Chrome trace.
+    let trace = recorder.snapshot();
+    gbu_telemetry::validate(&trace).expect("recorded trace must be well-nested");
+    let out = gbu_telemetry::trace_out_path()
+        .unwrap_or_else(|| "bench_out/serve_cluster.trace.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create trace output directory");
+    }
+    std::fs::write(&out, gbu_telemetry::chrome_trace(&trace, clock_ghz))
+        .unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote Chrome trace to {out} ({} spans; open at chrome://tracing)", trace.spans.len());
 }
 
 fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {

@@ -14,6 +14,8 @@
 //! - [`gbu_baselines`] — voxel / tri-plane radiance-field baselines
 //! - [`gbu_core`] — the public device API and system co-simulation
 //! - [`gbu_serve`] — multi-session frame serving over a pool of GBUs
+//! - [`gbu_telemetry`] — structured tracing, profiling and timeline
+//!   export threaded through the serving stack
 
 pub use gbu_baselines as baselines;
 pub use gbu_core as core_api;
@@ -24,3 +26,4 @@ pub use gbu_par as par;
 pub use gbu_render as render;
 pub use gbu_scene as scene;
 pub use gbu_serve as serve;
+pub use gbu_telemetry as telemetry;

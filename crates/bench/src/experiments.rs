@@ -1759,6 +1759,377 @@ pub fn trace(ctx: &Ctx) {
     println!("wrote {path}\n");
 }
 
+/// Fleet resilience sweep: a wide cluster under sustained overload with
+/// fault-injected lane churn, with and without the fleet controller
+/// (session migration + lane reservation), plus a load-wave autoscaling
+/// run. Emits `BENCH_fleet.json`.
+///
+/// Self-validating (the run fails itself otherwise):
+///
+/// 1. **Conservation under churn** — in every run,
+///    `completed + rejected + dropped == generated`, with requeues
+///    strictly non-terminal bookkeeping on top (baseline requeues
+///    exactly zero; churn runs at least one);
+/// 2. **Bounded + recovering degradation** — per-window badness
+///    (missed completions + deadline drops over terminals) during the
+///    churn window does not make the post-restore window worse: the
+///    post window returns to within a margin of the pre-kill window;
+/// 3. **Controller sanity** — the controller run actually migrates
+///    sessions and its recovery is no worse than the uncontrolled churn
+///    run's (within a margin);
+/// 4. **Autoscaler round trip** — the load-wave run parks lanes while
+///    idle and restores at least one under pressure.
+pub fn fleet(ctx: &Ctx) {
+    use gbu_render::shard::ShardStrategy;
+    use gbu_scene::ScaleProfile;
+    use gbu_serve::{
+        calibrated_clock_ghz, AutoscaleConfig, BackendKind, ExecMode, FleetAction, FleetConfig,
+        FleetEvent, FleetPlan, MigrationConfig, Policy, QosTarget, ServeConfig, ServeEngine,
+        ServeEvent, Session, SessionContent, SessionSpec,
+    };
+
+    /// Offered load vs full-fleet capacity: sustained overload, so the
+    /// drop pass is always shedding and churn bites a loaded system.
+    const OVERLOAD: f64 = 1.3;
+
+    let (lanes, n_sessions, frames) = match ctx.profile {
+        ScaleProfile::Test => (8usize, 24usize, 3u32),
+        _ => (192, 2400, 4),
+    };
+    let killed = lanes / 4;
+    println!("== Fleet resilience: lane churn, migration, autoscaling ==");
+    println!(
+        "   {lanes}-lane cluster, {n_sessions} sessions at {OVERLOAD}x offered load; \
+         fault plan kills {killed} lanes mid-run"
+    );
+
+    // A small pool of distinct prepared scenes, instantiated n_sessions
+    // times with varied QoS/phase/exec — preparation cost stays bounded
+    // while the serving plane sees thousands of independent sessions.
+    let base: Vec<Session> = (0..12)
+        .map(|i| {
+            Session::prepare(
+                SessionSpec {
+                    name: format!("base-{i}"),
+                    content: SessionContent::Synthetic {
+                        seed: 300 + i as u64,
+                        gaussians: 24 + 8 * (i % 4),
+                    },
+                    qos: QosTarget::VR_72,
+                    frames,
+                    phase: 0.0,
+                    exec: ExecMode::Unsharded,
+                },
+                &gbu_hw::GbuConfig::paper(),
+            )
+        })
+        .collect();
+    let instances: Vec<Session> = (0..n_sessions)
+        .map(|i| {
+            let mut s = base[i % base.len()].clone();
+            s.spec.name = format!("hmd-{i}");
+            s.spec.qos = [QosTarget::AR_60, QosTarget::VR_72, QosTarget::VR_90][i % 3];
+            s.spec.phase = (i as f64 * 0.618).fract();
+            // Every 6th session fans its frames over 4 lanes; half of
+            // those replan from measured shard feedback, which must
+            // survive lane churn.
+            s.spec.exec = if i % 6 == 5 {
+                ExecMode::Sharded {
+                    shards: 4,
+                    strategy: if i % 12 == 5 {
+                        ShardStrategy::Measured
+                    } else {
+                        ShardStrategy::CostBalanced
+                    },
+                }
+            } else {
+                ExecMode::Unsharded
+            };
+            s
+        })
+        .collect();
+    let clock_ghz = calibrated_clock_ghz(&instances, lanes, OVERLOAD);
+    let period = QosTarget::AR_60.period_cycles(clock_ghz);
+    let kill_at = period + period / 5;
+    let restore_at = 2 * period + 2 * period / 5;
+    println!(
+        "   calibrated GBU clock {clock_ghz:.4} GHz; churn window [{kill_at}, {restore_at}]\n"
+    );
+
+    let plan = FleetPlan::new(
+        (0..killed)
+            .flat_map(|l| {
+                [
+                    FleetEvent { at: kill_at + l as u64, action: FleetAction::Kill(l) },
+                    FleetEvent { at: restore_at + l as u64, action: FleetAction::Restore(l) },
+                ]
+            })
+            .collect(),
+    );
+    let make_cfg = |fleet: FleetConfig| {
+        let mut cfg = ServeConfig {
+            backend: BackendKind::Cluster { lanes, devices_per_lane: 1 },
+            policy: Policy::Edf,
+            drop_unmeetable: true,
+            metrics_window: Some(512),
+            fleet,
+            ..ServeConfig::default()
+        };
+        cfg.admission.max_queue_depth = n_sessions * 2;
+        cfg.gbu.clock_ghz = clock_ghz;
+        cfg
+    };
+
+    // Badness of a time window: late terminals (missed completions +
+    // deadline drops) over all completions/deadline drops in it.
+    let window_badness = |events: &[ServeEvent], lo: u64, hi: u64| -> f64 {
+        let mut bad = 0usize;
+        let mut terminals = 0usize;
+        for e in events {
+            let at = e.at();
+            if at < lo || at >= hi {
+                continue;
+            }
+            match e {
+                ServeEvent::Completed { missed, .. } => {
+                    terminals += 1;
+                    bad += usize::from(*missed);
+                }
+                ServeEvent::Dropped { reason, .. }
+                    if *reason == gbu_serve::DropReason::Deadline =>
+                {
+                    terminals += 1;
+                    bad += 1;
+                }
+                _ => {}
+            }
+        }
+        if terminals == 0 {
+            0.0
+        } else {
+            bad as f64 / terminals as f64
+        }
+    };
+
+    let mut invalid = false;
+    let mut rows = Vec::new();
+    let mut runs = Vec::new();
+    let mut recovery = [0.0f64; 3]; // post-window badness per churn-suite run
+    for (ri, (label, fleet)) in [
+        ("baseline", FleetConfig::default()),
+        ("churn", FleetConfig { plan: plan.clone(), ..FleetConfig::default() }),
+        (
+            "churn_controller",
+            FleetConfig {
+                plan: plan.clone(),
+                migration: Some(MigrationConfig { rebalance: true }),
+                lane_reservation: true,
+                ..FleetConfig::default()
+            },
+        ),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut engine = ServeEngine::new(make_cfg(fleet));
+        for s in &instances {
+            engine.attach_session(s.clone());
+        }
+        let mut events = engine.drain();
+        events.extend(engine.finish());
+        let r = engine.report();
+
+        let pre = window_badness(&events, 0, kill_at);
+        let churn = window_badness(&events, kill_at, restore_at);
+        let post = window_badness(&events, restore_at, u64::MAX);
+        recovery[ri] = post;
+
+        // Gate 1: conservation, requeues non-terminal. `lifetime` is the
+        // whole-run tally (the windowed report only covers the last
+        // `metrics_window` records per category).
+        let life = r.lifetime;
+        if life.generated != life.completed + life.rejected + life.dropped {
+            eprintln!(
+                "INVALID: {label}: {} generated != {} + {} + {}",
+                life.generated, life.completed, life.rejected, life.dropped
+            );
+            invalid = true;
+        }
+        let requeue_events =
+            events.iter().filter(|e| matches!(e, ServeEvent::Requeued { .. })).count();
+        if requeue_events != life.requeued {
+            eprintln!(
+                "INVALID: {label}: {requeue_events} requeue events, report {}",
+                life.requeued
+            );
+            invalid = true;
+        }
+        if label == "baseline" && (life.requeued != 0 || r.lane_churn != 0) {
+            eprintln!(
+                "INVALID: baseline saw churn: {} requeues, {} transitions",
+                life.requeued, r.lane_churn
+            );
+            invalid = true;
+        }
+        if label != "baseline" {
+            if life.requeued == 0 {
+                eprintln!("INVALID: {label}: killing {killed} loaded lanes requeued nothing");
+                invalid = true;
+            }
+            if r.lane_churn != 2 * killed {
+                eprintln!(
+                    "INVALID: {label}: lane_churn {} != plan's {} transitions",
+                    r.lane_churn,
+                    2 * killed
+                );
+                invalid = true;
+            }
+            // Gate 2: bounded + recovering.
+            if post > churn + 1e-9 {
+                eprintln!(
+                    "INVALID: {label}: post-restore badness {post:.3} above churn {churn:.3}"
+                );
+                invalid = true;
+            }
+            if post > pre + 0.15 {
+                eprintln!(
+                    "INVALID: {label}: post-restore badness {post:.3} not within 0.15 of \
+                     pre-kill {pre:.3}"
+                );
+                invalid = true;
+            }
+        }
+        // Gate 3: the controller actually controls.
+        if label == "churn_controller" && r.migrated == 0 {
+            eprintln!("INVALID: controller run migrated no sessions off {killed} dead lanes");
+            invalid = true;
+        }
+
+        rows.push(vec![
+            label.to_string(),
+            life.completed.to_string(),
+            life.dropped.to_string(),
+            life.requeued.to_string(),
+            r.migrated.to_string(),
+            r.lane_churn.to_string(),
+            fmt_pct(pre),
+            fmt_pct(churn),
+            fmt_pct(post),
+            fmt_f(r.p99_latency_ms, 2),
+        ]);
+        runs.push(format!(
+            "{{\"scenario\":\"{label}\",\"badness\":{{\"pre\":{pre:.6},\"churn\":{churn:.6},\
+             \"post\":{post:.6}}},\"report\":{}}}",
+            r.to_json()
+        ));
+    }
+    if recovery[2] > recovery[1] + 0.05 {
+        eprintln!(
+            "INVALID: controller recovery {:.3} worse than uncontrolled {:.3}",
+            recovery[2], recovery[1]
+        );
+        invalid = true;
+    }
+
+    // Load-wave autoscaling: an eighth of the fleet's sessions trickle
+    // in first (the scaler parks idle lanes), then the full wave lands
+    // and windowed pressure must grow the fleet back.
+    {
+        let autoscale = AutoscaleConfig {
+            interval: period / 8,
+            grow_pressure: 0.05,
+            shrink_pressure: 0.01,
+            shrink_occupancy: 0.5,
+            min_lanes: (lanes / 8).max(1),
+            cooldown_ticks: 0,
+        };
+        let fleet = FleetConfig { autoscale: Some(autoscale), ..FleetConfig::default() };
+        let mut engine = ServeEngine::new(make_cfg(fleet));
+        let wave2_at = period + period / 2;
+        for s in instances.iter().step_by(8) {
+            engine.attach_session(s.clone());
+        }
+        let mut events = engine.step_until(wave2_at);
+        for (i, s) in instances.iter().enumerate() {
+            if i % 8 != 0 {
+                engine.attach_session(s.clone());
+            }
+        }
+        events.extend(engine.drain());
+        events.extend(engine.finish());
+        let r = engine.report();
+        let parked = events.iter().filter(|e| matches!(e, ServeEvent::LaneDown { .. })).count();
+        let grown = events.iter().filter(|e| matches!(e, ServeEvent::LaneUp { .. })).count();
+        // Gate 4: a full scale round trip.
+        if parked == 0 || grown == 0 {
+            eprintln!("INVALID: autoscale run parked {parked} and restored {grown} lanes");
+            invalid = true;
+        }
+        let life = r.lifetime;
+        if life.generated != life.completed + life.rejected + life.dropped {
+            eprintln!(
+                "INVALID: autoscale: {} generated != {} + {} + {}",
+                life.generated, life.completed, life.rejected, life.dropped
+            );
+            invalid = true;
+        }
+        rows.push(vec![
+            "autoscale".to_string(),
+            life.completed.to_string(),
+            life.dropped.to_string(),
+            life.requeued.to_string(),
+            r.migrated.to_string(),
+            r.lane_churn.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            fmt_f(r.p99_latency_ms, 2),
+        ]);
+        runs.push(format!(
+            "{{\"scenario\":\"autoscale\",\"parked\":{parked},\"grown\":{grown},\"report\":{}}}",
+            r.to_json()
+        ));
+        println!("autoscale: parked {parked} lanes while light, restored {grown} under the wave\n");
+    }
+
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario",
+                "done",
+                "drop",
+                "requeue",
+                "migrate",
+                "churn",
+                "bad pre",
+                "bad churn",
+                "bad post",
+                "p99 ms",
+            ],
+            &rows
+        )
+    );
+    if invalid {
+        eprintln!("fleet sweep produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"fleet_resilience\",\"profile\":\"{:?}\",\"run_info\":{},\
+         \"lanes\":{lanes},\"sessions\":{n_sessions},\"frames\":{frames},\
+         \"overload\":{OVERLOAD},\"clock_ghz\":{clock_ghz:.6},\"killed_lanes\":{killed},\
+         \"kill_at\":{kill_at},\"restore_at\":{restore_at},\
+         \"runs\":[{}]}}\n",
+        ctx.profile,
+        run_info(),
+        runs.join(",")
+    );
+    let path = smoke_path(ctx.profile, "BENCH_fleet");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path} ({} runs)\n", rows.len());
+}
+
 /// Wall-clock run metadata embedded in every bench JSON (ISO-8601 start
 /// time, host thread count, `GBU_THREADS` in effect).
 fn run_info() -> String {

@@ -14,7 +14,9 @@
 //! writes `BENCH_cluster.json`, and `trace` — the per-stage/per-lane
 //! telemetry profile (staged render + cluster serving under a
 //! `gbu_telemetry` recorder, self-validated against `ServeMetrics`),
-//! which writes `BENCH_trace.json`.
+//! which writes `BENCH_trace.json`, and `fleet` — the fault-injected
+//! fleet resilience sweep (lane churn, session migration, miss-rate
+//! autoscaling), which writes `BENCH_fleet.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -73,7 +75,8 @@ fn print_help() {
          render  (render hot-path wall-clock sweep; writes BENCH_render.json)\n  \
          shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)\n  \
          cluster (cluster-mode serving sweep; writes BENCH_cluster.json)\n  \
-         trace   (per-stage/per-lane telemetry profile; writes BENCH_trace.json)"
+         trace   (per-stage/per-lane telemetry profile; writes BENCH_trace.json)\n  \
+         fleet   (fault-injected fleet churn/migration/autoscale sweep; writes BENCH_fleet.json)"
     );
 }
 
@@ -105,6 +108,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "shard" => experiments::shard(ctx),
         "cluster" => experiments::cluster(ctx),
         "trace" => experiments::trace(ctx),
+        "fleet" => experiments::fleet(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -135,6 +139,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "shard",
                 "cluster",
                 "trace",
+                "fleet",
             ] {
                 run(ctx, c);
             }

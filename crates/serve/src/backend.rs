@@ -200,10 +200,64 @@ pub trait ExecBackend: std::fmt::Debug {
     /// Panics when `wall_dt == 0` (the clock must move forward).
     fn advance(&mut self, wall_dt: u64) -> Vec<ExecCompletion>;
 
-    /// Per-lane, per-device optimistic backlog: device-cycles of work
-    /// still executing on each device (zero when idle), grouped by lane —
-    /// what lane-aware admission seeds its earliest-free schedule with.
-    fn lane_backlogs(&self) -> Vec<Vec<u64>>;
+    /// Per-lane, per-device optimistic backlog, written into `out`
+    /// (cleared first): device-cycles of work still executing on each
+    /// device (zero when idle), grouped by *live* lane — what lane-aware
+    /// admission seeds its earliest-free schedule with. Taking a caller
+    /// scratch buffer keeps the per-admission probe allocation-free once
+    /// the buffer warms up.
+    fn lane_backlogs_into(&self, out: &mut Vec<Vec<u64>>);
+
+    /// Allocating convenience wrapper over
+    /// [`ExecBackend::lane_backlogs_into`] (tests and one-off probes).
+    fn lane_backlogs(&self) -> Vec<Vec<u64>> {
+        let mut out = Vec::new();
+        self.lane_backlogs_into(&mut out);
+        out
+    }
+
+    /// Whether `lane` is currently up. A single pool's only lane is
+    /// always up; cluster lanes go down under a fleet plan's fault
+    /// injection or the autoscaler's scale-down.
+    fn lane_alive(&self, _lane: usize) -> bool {
+        true
+    }
+
+    /// Number of lanes currently up.
+    fn live_lane_count(&self) -> usize {
+        self.lane_count()
+    }
+
+    /// Number of live lanes with at least one idle device — the
+    /// dispatch headroom lane reservation budgets against.
+    fn open_lane_count(&self) -> usize {
+        usize::from(self.can_accept(ExecMode::Unsharded))
+    }
+
+    /// Takes `lane` down: cancels every in-flight frame with work on it
+    /// (all shards of a sharded frame, wherever they run) and refuses it
+    /// new work until [`ExecBackend::restore_lane`]. Returns the
+    /// cancelled tickets, one entry per frame. Default no-op for
+    /// backends without lane lifecycle.
+    fn kill_lane(&mut self, _lane: usize) -> Vec<FrameTicket> {
+        Vec::new()
+    }
+
+    /// Brings `lane` back up, starting a new
+    /// [`ExecBackend::lane_generation`] lifetime. Default no-op.
+    fn restore_lane(&mut self, _lane: usize) {}
+
+    /// Restart generation of `lane`: 0 for its first lifetime, bumped on
+    /// every restore.
+    fn lane_generation(&self, _lane: usize) -> u32 {
+        0
+    }
+
+    /// Pins `session`'s future unsharded frames to prefer `lane` (or
+    /// clears the pin with `None`) — the fleet controller's migration
+    /// lever. Advisory: a dead or full home lane falls back to least-busy
+    /// placement. Default no-op.
+    fn set_lane_affinity(&mut self, _session: SessionId, _lane: Option<usize>) {}
 
     /// Attaches a telemetry recorder: the backend records per-lane
     /// `device_busy` spans and DRAM-arbitration stall gauges into it.
@@ -275,8 +329,9 @@ impl ExecBackend for DevicePool {
             .collect()
     }
 
-    fn lane_backlogs(&self) -> Vec<Vec<u64>> {
-        vec![self.in_flight_backlog_per_device()]
+    fn lane_backlogs_into(&self, out: &mut Vec<Vec<u64>>) {
+        out.resize_with(1, Vec::new);
+        self.in_flight_backlog_into(&mut out[0]);
     }
 
     fn set_telemetry(&mut self, recorder: &gbu_telemetry::Recorder) {

@@ -280,6 +280,17 @@ pub struct ClusterBackend {
     pending: Vec<PendingMixed>,
     /// Last executed plan + measured shard occupancies, by session index.
     feedback: Vec<Option<ShardFeedback>>,
+    /// Which lanes are up. A dead lane is masked, never removed: its
+    /// pool keeps ticking (idle) so the lockstep clock and stable lane
+    /// indices survive any kill/restore schedule.
+    alive: Vec<bool>,
+    /// Restart generation per lane: 0 for the first lifetime, bumped on
+    /// every restore.
+    generation: Vec<u32>,
+    /// Preferred home lane per session index (the fleet controller's
+    /// migration lever); advisory — a dead or full home falls back to
+    /// least-busy placement.
+    affinity: Vec<Option<usize>>,
 }
 
 impl ClusterBackend {
@@ -306,6 +317,9 @@ impl ClusterBackend {
             devices_per_lane,
             pending: Vec::new(),
             feedback: Vec::new(),
+            alive: vec![true; lanes],
+            generation: vec![0; lanes],
+            affinity: Vec::new(),
         }
     }
 
@@ -315,11 +329,12 @@ impl ClusterBackend {
         self.feedback.get(session.index()).and_then(Option::as_ref)
     }
 
-    /// Lanes with an idle device, ordered by (busy devices, lane index):
-    /// the deterministic placement order for new frames.
+    /// Live lanes with an idle device, ordered by (busy devices, lane
+    /// index): the deterministic placement order for new frames.
     fn placement_order(&self) -> Vec<usize> {
-        let mut open: Vec<usize> =
-            (0..self.lanes.len()).filter(|&l| self.lanes[l].idle_device().is_some()).collect();
+        let mut open: Vec<usize> = (0..self.lanes.len())
+            .filter(|&l| self.alive[l] && self.lanes[l].idle_device().is_some())
+            .collect();
         open.sort_by_key(|&l| (self.lanes[l].busy_count(), l));
         open
     }
@@ -350,17 +365,25 @@ impl ExecBackend for ClusterBackend {
     }
 
     fn can_accept(&self, mode: ExecMode) -> bool {
-        let open = self.lanes.iter().filter(|l| l.idle_device().is_some()).count();
+        let open = self.open_lane_count();
         mode.lanes_needed() <= open && mode.lanes_needed() >= 1
     }
 
     fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize {
         match mode {
             ExecMode::Unsharded => {
-                let lane = *self
-                    .placement_order()
-                    .first()
-                    .expect("submit requires a lane with an idle device");
+                let home = self
+                    .affinity
+                    .get(ticket.session.index())
+                    .copied()
+                    .flatten()
+                    .filter(|&l| self.alive[l] && self.lanes[l].idle_device().is_some());
+                let lane = home.unwrap_or_else(|| {
+                    *self
+                        .placement_order()
+                        .first()
+                        .expect("submit requires a lane with an idle device")
+                });
                 let device =
                     self.lanes[lane].idle_device().expect("placement order holds open lanes");
                 self.lanes[lane].submit(device, view, ticket);
@@ -539,8 +562,96 @@ impl ExecBackend for ClusterBackend {
             .collect()
     }
 
-    fn lane_backlogs(&self) -> Vec<Vec<u64>> {
-        self.lanes.iter().map(DevicePool::in_flight_backlog_per_device).collect()
+    /// Live lanes only: a dead lane contributes no capacity, but leaving
+    /// it out (rather than reporting it as infinitely backed up) keeps
+    /// the admission estimate optimistic — a rejection stays a proof of
+    /// unmeetability even if the lane is restored a cycle later.
+    fn lane_backlogs_into(&self, out: &mut Vec<Vec<u64>>) {
+        out.resize_with(self.live_lane_count(), Vec::new);
+        let mut i = 0;
+        for (lane, pool) in self.lanes.iter().enumerate() {
+            if self.alive[lane] {
+                pool.in_flight_backlog_into(&mut out[i]);
+                i += 1;
+            }
+        }
+    }
+
+    fn lane_alive(&self, lane: usize) -> bool {
+        self.alive[lane]
+    }
+
+    fn live_lane_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+
+    fn open_lane_count(&self) -> usize {
+        (0..self.lanes.len())
+            .filter(|&l| self.alive[l] && self.lanes[l].idle_device().is_some())
+            .count()
+    }
+
+    fn kill_lane(&mut self, lane: usize) -> Vec<FrameTicket> {
+        if !self.alive[lane] {
+            return Vec::new();
+        }
+        let mut cancelled = Vec::new();
+        // Sharded frames with *any* shard on the dying lane lose the
+        // whole frame: its partial framebuffer lives in the dead lane's
+        // memory, so landed shards are as lost as in-flight ones. Cancel
+        // every unlanded shard wherever it runs and retire the entry.
+        let mut i = 0;
+        while i < self.pending.len() {
+            if !self.pending[i].lane_of_shard.contains(&lane) {
+                i += 1;
+                continue;
+            }
+            let p = self.pending.remove(i);
+            for (s, &l) in p.lane_of_shard.iter().enumerate() {
+                if p.parts[s].is_some() {
+                    continue; // this shard already landed
+                }
+                let device = (0..self.lanes[l].len())
+                    .find(|&d| self.lanes[l].active_ticket(d).is_some_and(|t| t.id == p.ticket.id))
+                    .expect("unlanded shard is active on its lane");
+                self.lanes[l].cancel(device).expect("active ticket was just observed");
+            }
+            cancelled.push(p.ticket);
+        }
+        // Then the unsharded frames executing on the lane itself.
+        for device in 0..self.lanes[lane].len() {
+            if self.lanes[lane].active_ticket(device).is_some() {
+                cancelled.push(
+                    self.lanes[lane].cancel(device).expect("active ticket was just observed"),
+                );
+            }
+        }
+        self.alive[lane] = false;
+        cancelled
+    }
+
+    fn restore_lane(&mut self, lane: usize) {
+        if self.alive[lane] {
+            return;
+        }
+        self.alive[lane] = true;
+        self.generation[lane] += 1;
+        self.lanes[lane].set_lane_generation(self.generation[lane]);
+    }
+
+    fn lane_generation(&self, lane: usize) -> u32 {
+        self.generation[lane]
+    }
+
+    fn set_lane_affinity(&mut self, session: SessionId, lane: Option<usize>) {
+        let idx = session.index();
+        if self.affinity.len() <= idx {
+            if lane.is_none() {
+                return;
+            }
+            self.affinity.resize(idx + 1, None);
+        }
+        self.affinity[idx] = lane;
     }
 
     fn set_telemetry(&mut self, recorder: &gbu_telemetry::Recorder) {
@@ -859,6 +970,103 @@ mod tests {
             })
             .expect("frame completed");
         assert_eq!(done.image.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn kill_lane_reclaims_whole_sharded_frames() {
+        let session = prepared();
+        let mut backend = cluster_backend(3, 1);
+        let sharded = ExecMode::Sharded { shards: 2, strategy: ShardStrategy::ContiguousRows };
+        backend.submit(session.view(0), ticket(0), sharded);
+        backend.submit(session.view(0), ticket(1), ExecMode::Unsharded);
+        assert_eq!(backend.in_flight_frames(), 2);
+
+        // The sharded frame occupies lanes 0 and 1; killing lane 1 must
+        // reclaim the whole frame (including its shard on lane 0) while
+        // the unsharded frame on lane 2 survives.
+        let cancelled = backend.kill_lane(1);
+        assert_eq!(cancelled.len(), 1);
+        assert_eq!(cancelled[0].id.index(), 0);
+        assert_eq!(backend.in_flight_frames(), 1);
+        assert!(!backend.lane_alive(1));
+        assert_eq!(backend.live_lane_count(), 2);
+        assert_eq!(backend.lane_backlogs().len(), 2, "dead lanes leave the backlog view");
+        assert!(!backend.can_accept(sharded), "one open live lane left");
+        assert!(backend.can_accept(ExecMode::Unsharded));
+
+        // Killing a dead lane is a no-op; restoring bumps its generation.
+        assert!(backend.kill_lane(1).is_empty());
+        assert_eq!(backend.lane_generation(1), 0);
+        backend.restore_lane(1);
+        assert!(backend.lane_alive(1));
+        assert_eq!(backend.lane_generation(1), 1);
+        assert!(backend.can_accept(sharded));
+
+        // The survivor still completes after the churn.
+        let frames = drain_backend(&mut backend)
+            .into_iter()
+            .filter(|c| matches!(c, ExecCompletion::Frame(_)))
+            .count();
+        assert_eq!(frames, 1);
+    }
+
+    #[test]
+    fn dead_lanes_keep_the_lockstep_clock() {
+        let session = prepared();
+        let mut backend = cluster_backend(2, 1);
+        // Lane 0 is the clock source; kill it and run a frame on lane 1.
+        backend.kill_lane(0);
+        backend.submit(session.view(0), ticket(0), ExecMode::Unsharded);
+        let done = drain_backend(&mut backend);
+        assert_eq!(done.len(), 1);
+        let t = ExecBackend::clock(&backend);
+        assert!(t > 0, "dead lane 0 still ticks the shared clock");
+        // A restored lane rejoins at the shared clock, not at zero.
+        backend.restore_lane(0);
+        backend.submit(session.view(0), ticket(1), ExecMode::Unsharded);
+        let done = drain_backend(&mut backend);
+        assert_eq!(done.len(), 1);
+        let ExecCompletion::Frame(f) = &done[0] else { panic!("unsharded completion") };
+        assert!(f.completed_at > t, "restored lane completes in the shared time domain");
+    }
+
+    #[test]
+    fn affinity_steers_unsharded_placement() {
+        let session = prepared();
+        let mut backend = cluster_backend(2, 1);
+        let sid = crate::SessionId::from_index(0);
+        // Least-busy placement would pick lane 0; affinity overrides.
+        backend.set_lane_affinity(sid, Some(1));
+        let device = backend.submit(session.view(0), ticket(0), ExecMode::Unsharded);
+        assert_eq!(device, 1, "home lane 1, device 0 of 1 per lane");
+        drain_backend(&mut backend);
+        // A dead home lane falls back to least-busy placement.
+        backend.kill_lane(1);
+        let device = backend.submit(session.view(0), ticket(1), ExecMode::Unsharded);
+        assert_eq!(device, 0);
+        drain_backend(&mut backend);
+        // Clearing the pin restores least-busy placement.
+        backend.restore_lane(1);
+        backend.set_lane_affinity(sid, None);
+        let device = backend.submit(session.view(0), ticket(2), ExecMode::Unsharded);
+        assert_eq!(device, 0);
+    }
+
+    #[test]
+    fn measured_feedback_survives_lane_churn() {
+        let session = prepared();
+        let mut backend = cluster_backend(2, 1);
+        let mode = ExecMode::Sharded { shards: 2, strategy: ShardStrategy::Measured };
+        let sid = crate::SessionId::from_index(0);
+        backend.submit(session.view(0), ticket(0), mode);
+        drain_backend(&mut backend);
+        assert!(backend.session_feedback(sid).is_some());
+        backend.kill_lane(0);
+        backend.restore_lane(0);
+        assert!(
+            backend.session_feedback(sid).is_some(),
+            "feedback is per-session state, not per-lane state"
+        );
     }
 
     #[test]

@@ -31,7 +31,10 @@
 
 use crate::backend::{BackendKind, ExecBackend, ExecCompletion, ExecMode};
 use crate::cluster::ClusterBackend;
-use crate::event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
+use crate::event::{
+    DropReason, FrameId, FrameStatus, RejectReason, RequeueReason, ServeEvent, SessionId,
+};
+use crate::fleet::{AutoscaleConfig, FleetAction, FleetConfig};
 use crate::metrics::{RunInfo, ServeMetrics, ServeReport};
 use crate::pool::DevicePool;
 use crate::scheduler::{AdmissionControl, FrameTicket, Policy, Scheduler};
@@ -98,6 +101,11 @@ pub struct ServeConfig {
     /// i.e. a disabled recorder whose overhead is a branch unless the
     /// environment opts in.
     pub telemetry: gbu_telemetry::Recorder,
+    /// Fleet control plane: fault-injection schedule, session migration,
+    /// miss-rate autoscaling and lane reservation. The default is
+    /// entirely inactive and costs nothing; anything active requires a
+    /// [`BackendKind::Cluster`] backend.
+    pub fleet: FleetConfig,
 }
 
 impl ServeConfig {
@@ -127,6 +135,7 @@ impl Default for ServeConfig {
             dram_share: 0.5,
             metrics_window: None,
             telemetry: gbu_telemetry::Recorder::from_env(),
+            fleet: FleetConfig::default(),
         }
     }
 }
@@ -163,6 +172,34 @@ struct Slot {
     /// request; `None` for push-only sessions (`spec.frames == 0`) or
     /// once `spec.frames` requests have been generated.
     next_arrival: Option<(u64, u32)>,
+}
+
+/// Engine-side state of an active fleet control plane (`None` on the
+/// engine when [`FleetConfig::is_active`] is false, so an inactive fleet
+/// costs one branch per event-loop iteration).
+///
+/// A lane is up iff it is neither `failed` (fault plan) nor `parked`
+/// (autoscaler) — the two causes are independent, so restoring a failed
+/// lane cannot resurrect one the autoscaler parked and vice versa.
+/// `apply_lane_state` reconciles that desired state against the
+/// backend's actual [`ExecBackend::lane_alive`].
+#[derive(Debug)]
+struct FleetRuntime {
+    /// Cursor into the plan's time-ordered events.
+    next_plan: usize,
+    /// Next autoscale decision cycle (`None` without an autoscaler).
+    next_tick: Option<u64>,
+    /// Decision ticks left to sit out after a scale action.
+    cooldown: u32,
+    /// Lanes currently killed by the fault plan.
+    failed: Vec<bool>,
+    /// Lanes currently parked by the autoscaler.
+    parked: Vec<bool>,
+    /// Home lane per session index (migration policy only; `None` =
+    /// unassigned, e.g. sharded sessions, which span lanes by nature).
+    homes: Vec<Option<usize>>,
+    /// Telemetry gauge tracking the live-lane count through churn.
+    lanes_active: gbu_telemetry::Gauge,
 }
 
 /// The reactive serving engine.
@@ -213,6 +250,15 @@ pub struct ServeEngine {
     /// while telemetry is enabled; entries of dropped frames are purged
     /// in `drop_ticket`.
     shard_trace: Vec<(FrameId, usize, usize, u64, u64)>,
+    /// Active fleet control plane ([`ServeConfig::fleet`]); `None` when
+    /// the config is inactive. Taken out (`Option::take`) for the
+    /// duration of fleet passes so they can call `&mut self` methods.
+    fleet: Option<FleetRuntime>,
+    /// Reused buffer for [`ExecBackend::lane_backlogs_into`] in the
+    /// admission wait estimate — a `RefCell` because `wait_estimate`
+    /// takes `&self` on the hot submit path and must not allocate a
+    /// fresh `Vec<Vec<u64>>` per probe.
+    backlog_scratch: std::cell::RefCell<Vec<Vec<u64>>>,
 }
 
 impl ServeEngine {
@@ -239,6 +285,35 @@ impl ServeEngine {
             None => ServeMetrics::default(),
         };
         let recorder = cfg.telemetry.clone();
+        let fleet = cfg.fleet.is_active().then(|| {
+            assert!(
+                matches!(cfg.backend, BackendKind::Cluster { .. }),
+                "fleet control (plan/autoscale/migration/reservation) needs a cluster backend",
+            );
+            let lanes = backend.lane_count();
+            for e in cfg.fleet.plan.events() {
+                assert!(
+                    e.action.lane() < lanes,
+                    "fleet plan targets lane {} but the cluster has {lanes}",
+                    e.action.lane(),
+                );
+            }
+            if let Some(a) = &cfg.fleet.autoscale {
+                assert!(a.interval > 0, "autoscale interval must be positive");
+                assert!(a.min_lanes >= 1, "autoscaling below one live lane would wedge the queue");
+            }
+            let lanes_active = recorder.gauge("fleet.lanes_active");
+            lanes_active.set(lanes as u64);
+            FleetRuntime {
+                next_plan: 0,
+                next_tick: cfg.fleet.autoscale.as_ref().map(|a| a.interval),
+                cooldown: 0,
+                failed: vec![false; lanes],
+                parked: vec![false; lanes],
+                homes: Vec::new(),
+                lanes_active,
+            }
+        });
         Self {
             cfg,
             backend,
@@ -253,6 +328,8 @@ impl ServeEngine {
             metrics,
             recorder,
             shard_trace: Vec::new(),
+            fleet,
+            backlog_scratch: std::cell::RefCell::new(Vec::new()),
         }
     }
 
@@ -314,6 +391,24 @@ impl ServeEngine {
         self.roster.push((session.spec.name.clone(), session.spec.qos.hz));
         let min_service = mode.min_service(session.min_frame_cycles());
         self.slots.push(Some(Slot { session, period, mode, min_service, next_arrival }));
+        // Migration policy: every unsharded session gets a home lane at
+        // attach (the coldest live lane), mirrored into the backend as a
+        // placement affinity. No SessionMigrated event — assignment is
+        // not a move.
+        if self.cfg.fleet.migration.is_some() {
+            if let Some(mut fleet) = self.fleet.take() {
+                if matches!(mode, ExecMode::Unsharded) {
+                    if fleet.homes.len() <= id.index() {
+                        fleet.homes.resize(id.index() + 1, None);
+                    }
+                    if let Some(lane) = self.coldest_live_lane(&fleet) {
+                        fleet.homes[id.index()] = Some(lane);
+                        self.backend.set_lane_affinity(id, Some(lane));
+                    }
+                }
+                self.fleet = Some(fleet);
+            }
+        }
         id
     }
 
@@ -354,6 +449,14 @@ impl ServeEngine {
         // ... and preempt in-flight ones.
         for ticket in self.backend.cancel_session(id) {
             self.drop_ticket(ticket, DropReason::SessionDetached, now);
+        }
+        // Retire the session's home lane and backend affinity, if any.
+        if let Some(fleet) = self.fleet.as_mut() {
+            if let Some(home) = fleet.homes.get_mut(id.index()) {
+                if home.take().is_some() {
+                    self.backend.set_lane_affinity(id, None);
+                }
+            }
         }
         true
     }
@@ -458,6 +561,7 @@ impl ServeEngine {
         let mut events = std::mem::take(&mut self.pending);
         loop {
             let now = self.backend.clock();
+            self.fleet_due(now);
             self.admit_due(now);
             if self.cfg.drop_unmeetable {
                 self.drop_pass(now);
@@ -465,14 +569,17 @@ impl ServeEngine {
             self.dispatch(now);
             events.append(&mut self.pending);
 
-            // Advance to the next event: completion, timer arrival, or a
-            // pushed frame whose stamped arrival is still in the future.
+            // Advance to the next event: completion, timer arrival, a
+            // pushed frame whose stamped arrival is still in the future,
+            // or a fleet intervention (plan event / autoscale tick).
             let next_timer =
                 self.slots.iter().flatten().filter_map(|s| s.next_arrival.map(|(at, _)| at)).min();
             let next_push = self.queue.iter().map(|t| t.arrival).filter(|&a| a > now).min();
             let next_completion =
                 self.backend.next_completion_dt().map(|dt| now.saturating_add(dt));
-            let t = [next_timer, next_push, next_completion].into_iter().flatten().min();
+            let next_fleet = self.fleet_next_time();
+            let t =
+                [next_timer, next_push, next_completion, next_fleet].into_iter().flatten().min();
             match t {
                 None => break,
                 Some(t) if t > cycle => break,
@@ -584,22 +691,33 @@ impl ServeEngine {
         id
     }
 
-    /// Applies an event's status transition and buffers it for delivery.
+    /// Applies an event's status transition (frame-lifecycle events
+    /// only; control-plane events carry no frame) and buffers it for
+    /// delivery.
     fn emit(&mut self, event: ServeEvent) {
         let status = match event {
-            ServeEvent::Admitted { .. } => FrameStatus::Queued,
-            ServeEvent::Rejected { reason, .. } => FrameStatus::Rejected(reason),
+            ServeEvent::Admitted { .. } => Some(FrameStatus::Queued),
+            ServeEvent::Rejected { reason, .. } => Some(FrameStatus::Rejected(reason)),
             // A shard landing leaves the frame rendering until the last
             // shard's Completed arrives.
             ServeEvent::Started { .. } | ServeEvent::ShardCompleted { .. } => {
-                FrameStatus::Rendering
+                Some(FrameStatus::Rendering)
             }
             ServeEvent::Completed { latency_cycles, missed, .. } => {
-                FrameStatus::Completed { latency_cycles, missed }
+                Some(FrameStatus::Completed { latency_cycles, missed })
             }
-            ServeEvent::Dropped { reason, .. } => FrameStatus::Dropped(reason),
+            ServeEvent::Dropped { reason, .. } => Some(FrameStatus::Dropped(reason)),
+            // A requeued frame is back in the ready queue awaiting a
+            // fresh dispatch.
+            ServeEvent::Requeued { .. } => Some(FrameStatus::Queued),
+            ServeEvent::SessionMigrated { .. }
+            | ServeEvent::LaneDown { .. }
+            | ServeEvent::LaneUp { .. } => None,
         };
-        self.statuses[event.frame().0 as usize] = status;
+        if let Some(status) = status {
+            let frame = event.frame().expect("frame-lifecycle events carry a frame");
+            self.statuses[frame.0 as usize] = status;
+        }
         self.pending.push(event);
     }
 
@@ -633,6 +751,278 @@ impl ServeEngine {
         }
         self.metrics.drop_frame(ticket, reason);
         self.emit(ServeEvent::Dropped { frame: ticket.id, session: ticket.session, reason, at });
+    }
+
+    /// Returns a dispatched frame whose lane went away to the ready
+    /// queue: retires its dispatch entry (non-terminal — the frame keeps
+    /// its original arrival and deadline and counts toward conservation
+    /// only at its eventual terminal event), purges any buffered shard
+    /// landings (they lived in the dead lane's memory), emits
+    /// [`ServeEvent::Requeued`] and requeues the ticket.
+    fn requeue_ticket(&mut self, ticket: FrameTicket, reason: RequeueReason, at: u64) {
+        self.metrics.requeue(ticket, reason);
+        if self.recorder.is_enabled() {
+            let name = match reason {
+                RequeueReason::LaneFailed => "requeue.lane_failed",
+                RequeueReason::LaneRetired => "requeue.lane_retired",
+            };
+            self.recorder.mark(name, gbu_telemetry::Domain::Cycles, at, self.ticket_labels(ticket));
+            self.recorder.counter(&format!("serve.requeued.{}", reason.label())).add(1);
+            self.shard_trace.retain(|&(id, ..)| id != ticket.id);
+        }
+        self.emit(ServeEvent::Requeued { frame: ticket.id, session: ticket.session, reason, at });
+        self.queue.push(ticket);
+    }
+
+    // ------------------------------------------------------------------
+    // Fleet control plane
+    // ------------------------------------------------------------------
+
+    /// Applies every fleet intervention due at or before `now`: plan
+    /// events in schedule order, then at most one autoscale decision
+    /// (a tick that fell behind — e.g. while the engine sat idle —
+    /// catches up with a single decision rather than replaying the
+    /// missed grid). No-op without an active fleet.
+    fn fleet_due(&mut self, now: u64) {
+        let Some(mut fleet) = self.fleet.take() else { return };
+        while let Some(&e) = self.cfg.fleet.plan.events().get(fleet.next_plan) {
+            if e.at > now {
+                break;
+            }
+            fleet.next_plan += 1;
+            let lane = e.action.lane();
+            match e.action {
+                FleetAction::Kill(_) => fleet.failed[lane] = true,
+                FleetAction::Restore(_) => fleet.failed[lane] = false,
+            }
+            self.apply_lane_state(&mut fleet, lane, now, RequeueReason::LaneFailed);
+        }
+        if let Some(a) = self.cfg.fleet.autoscale {
+            if let Some(tick) = fleet.next_tick {
+                if tick <= now {
+                    self.autoscale_decision(&mut fleet, &a, now);
+                    fleet.next_tick = Some(now.saturating_add(a.interval));
+                }
+            }
+        }
+        self.fleet = Some(fleet);
+    }
+
+    /// The next cycle at which the fleet wants the event loop to stop:
+    /// the next unapplied plan event, and — only while work is pending —
+    /// the next autoscale tick. An idle engine must not chase the tick
+    /// grid forever, or [`ServeEngine::drain`] would never return; plan
+    /// events are finite, so they are always offered.
+    fn fleet_next_time(&self) -> Option<u64> {
+        let fleet = self.fleet.as_ref()?;
+        let mut t = self.cfg.fleet.plan.events().get(fleet.next_plan).map(|e| e.at);
+        if let Some(tick) = fleet.next_tick {
+            let work_pending = !self.queue.is_empty()
+                || self.backend.in_flight_frames() > 0
+                || self.slots.iter().flatten().any(|s| s.next_arrival.is_some());
+            if work_pending {
+                t = Some(t.map_or(tick, |x| x.min(tick)));
+            }
+        }
+        t
+    }
+
+    /// Reconciles one lane's desired state (up iff neither failed nor
+    /// parked) against the backend. Going down drains the lane's
+    /// in-flight frames back to the queue (requeued with `reason`) and
+    /// migrates its homed sessions off; coming up starts a new lane
+    /// generation. Either transition counts in
+    /// [`crate::ServeReport::lane_churn`] and updates the
+    /// `fleet.lanes_active` gauge.
+    fn apply_lane_state(
+        &mut self,
+        fleet: &mut FleetRuntime,
+        lane: usize,
+        now: u64,
+        reason: RequeueReason,
+    ) {
+        let want_up = !fleet.failed[lane] && !fleet.parked[lane];
+        if want_up == self.backend.lane_alive(lane) {
+            return;
+        }
+        if want_up {
+            self.backend.restore_lane(lane);
+            let generation = self.backend.lane_generation(lane);
+            self.metrics.lane_transition();
+            if self.recorder.is_enabled() {
+                let labels = gbu_telemetry::Labels {
+                    lane: Some(lane as u32),
+                    lane_generation: Some(generation),
+                    ..gbu_telemetry::Labels::default()
+                };
+                self.recorder.mark("fleet.lane_up", gbu_telemetry::Domain::Cycles, now, labels);
+                self.recorder.counter("fleet.lane_up").add(1);
+            }
+            self.emit(ServeEvent::LaneUp { lane, generation, at: now });
+        } else {
+            // `fleet_due` runs at the backend clock, so the kill lands at
+            // exactly `now` — cancellations free nothing retroactively.
+            for ticket in self.backend.kill_lane(lane) {
+                self.requeue_ticket(ticket, reason, now);
+            }
+            self.metrics.lane_transition();
+            if self.recorder.is_enabled() {
+                let labels = gbu_telemetry::Labels {
+                    lane: Some(lane as u32),
+                    ..gbu_telemetry::Labels::default()
+                };
+                self.recorder.mark("fleet.lane_down", gbu_telemetry::Domain::Cycles, now, labels);
+                self.recorder.counter("fleet.lane_down").add(1);
+            }
+            self.emit(ServeEvent::LaneDown { lane, at: now });
+            if self.cfg.fleet.migration.is_some() {
+                self.migrate_off(fleet, lane, now);
+            }
+        }
+        fleet.lanes_active.set(self.backend.live_lane_count() as u64);
+    }
+
+    /// Moves every attached session homed on `lane` to the coldest live
+    /// lane (fewest homes), emitting [`ServeEvent::SessionMigrated`] per
+    /// move. Sessions are orphaned (home cleared) when no live lane
+    /// remains; a later rebalance pass re-homes them.
+    fn migrate_off(&mut self, fleet: &mut FleetRuntime, lane: usize, now: u64) {
+        for s in 0..fleet.homes.len() {
+            if fleet.homes[s] != Some(lane) {
+                continue;
+            }
+            let id = SessionId(s as u32);
+            if self.slots.get(s).is_none_or(|slot| slot.is_none()) {
+                // Stale home of a detached session.
+                fleet.homes[s] = None;
+                continue;
+            }
+            match self.coldest_live_lane(fleet) {
+                Some(to) => self.do_migrate(fleet, s, lane, to, now),
+                None => {
+                    fleet.homes[s] = None;
+                    self.backend.set_lane_affinity(id, None);
+                }
+            }
+        }
+    }
+
+    /// The live lane with the fewest homed sessions (lowest index on
+    /// ties); `None` when every lane is down.
+    fn coldest_live_lane(&self, fleet: &FleetRuntime) -> Option<usize> {
+        let mut best: Option<(usize, usize)> = None;
+        for lane in 0..self.backend.lane_count() {
+            if !self.backend.lane_alive(lane) {
+                continue;
+            }
+            let count = fleet.homes.iter().filter(|h| **h == Some(lane)).count();
+            if best.is_none_or(|(c, _)| count < c) {
+                best = Some((count, lane));
+            }
+        }
+        best.map(|(_, lane)| lane)
+    }
+
+    /// Re-homes session `s` from lane `from` to lane `to`: updates the
+    /// policy state, mirrors the affinity into the backend, bumps the
+    /// migration counter and emits [`ServeEvent::SessionMigrated`].
+    /// Migration happens *between* frames — in-flight work is untouched,
+    /// only future placement moves — so the span is zero-length.
+    fn do_migrate(&mut self, fleet: &mut FleetRuntime, s: usize, from: usize, to: usize, now: u64) {
+        fleet.homes[s] = Some(to);
+        let session = SessionId(s as u32);
+        self.backend.set_lane_affinity(session, Some(to));
+        self.metrics.migrate();
+        if self.recorder.is_enabled() {
+            let labels = gbu_telemetry::Labels {
+                session: Some(s as u32),
+                lane: Some(to as u32),
+                ..gbu_telemetry::Labels::default()
+            };
+            self.recorder.span("migrate", gbu_telemetry::Domain::Cycles, now, now, None, labels);
+            self.recorder.counter("fleet.migrated").add(1);
+        }
+        self.emit(ServeEvent::SessionMigrated { session, from, to, at: now });
+    }
+
+    /// One autoscale decision at a tick: grow (restore the lowest-index
+    /// parked lane) when window pressure reaches `grow_pressure`, shrink
+    /// (park the highest-index live non-failed lane, requeueing its
+    /// in-flight frames as [`RequeueReason::LaneRetired`]) when pressure
+    /// *and* per-lane occupancy are both low and more than `min_lanes`
+    /// lanes live. Every action arms the cooldown. When the migration
+    /// policy asks for it, one rebalance move runs on the same tick.
+    fn autoscale_decision(&mut self, fleet: &mut FleetRuntime, a: &AutoscaleConfig, now: u64) {
+        if fleet.cooldown > 0 {
+            fleet.cooldown -= 1;
+        } else {
+            let pressure = self.metrics.window_pressure();
+            let live = self.backend.live_lane_count();
+            let occupancy =
+                (self.queue.len() + self.backend.in_flight_frames()) as f64 / live.max(1) as f64;
+            if pressure >= a.grow_pressure {
+                if let Some(lane) = fleet.parked.iter().position(|&p| p) {
+                    fleet.parked[lane] = false;
+                    self.apply_lane_state(fleet, lane, now, RequeueReason::LaneRetired);
+                    fleet.cooldown = a.cooldown_ticks;
+                }
+            } else if pressure <= a.shrink_pressure
+                && occupancy < a.shrink_occupancy
+                && live > a.min_lanes
+            {
+                let candidate = (0..self.backend.lane_count())
+                    .rev()
+                    .find(|&l| self.backend.lane_alive(l) && !fleet.failed[l] && !fleet.parked[l]);
+                if let Some(lane) = candidate {
+                    fleet.parked[lane] = true;
+                    self.apply_lane_state(fleet, lane, now, RequeueReason::LaneRetired);
+                    fleet.cooldown = a.cooldown_ticks;
+                }
+            }
+        }
+        if self.cfg.fleet.migration.is_some_and(|m| m.rebalance) {
+            self.rebalance_once(fleet, now);
+        }
+    }
+
+    /// One rebalance step: re-homes orphaned unsharded sessions (their
+    /// home lane died with no live lane available at the time), then
+    /// moves a single session from the most crowded home lane to the
+    /// least when they differ by at least two — moving one session per
+    /// tick converges without oscillating.
+    fn rebalance_once(&mut self, fleet: &mut FleetRuntime, now: u64) {
+        for s in 0..self.slots.len() {
+            let unsharded =
+                self.slots[s].as_ref().is_some_and(|slot| matches!(slot.mode, ExecMode::Unsharded));
+            if !unsharded || fleet.homes.get(s).copied().flatten().is_some() {
+                continue;
+            }
+            if let Some(lane) = self.coldest_live_lane(fleet) {
+                if fleet.homes.len() <= s {
+                    fleet.homes.resize(s + 1, None);
+                }
+                fleet.homes[s] = Some(lane);
+                self.backend.set_lane_affinity(SessionId(s as u32), Some(lane));
+            }
+        }
+        let counts: Vec<(usize, usize)> = (0..self.backend.lane_count())
+            .filter(|&l| self.backend.lane_alive(l))
+            .map(|l| (fleet.homes.iter().filter(|h| **h == Some(l)).count(), l))
+            .collect();
+        let Some(&(max_c, hot)) = counts.iter().max_by_key(|&&(c, l)| (c, std::cmp::Reverse(l)))
+        else {
+            return;
+        };
+        let Some(&(min_c, cold)) = counts.iter().min_by_key(|&&(c, l)| (c, l)) else { return };
+        if max_c < min_c + 2 {
+            return;
+        }
+        let victim = (0..fleet.homes.len()).find(|&s| {
+            fleet.homes[s] == Some(hot) && self.slots.get(s).is_some_and(|sl| sl.is_some())
+        });
+        if let Some(s) = victim {
+            self.do_migrate(fleet, s, hot, cold, now);
+        }
     }
 
     /// Span/mark labels of a ticket: session + engine-issued frame id.
@@ -731,15 +1121,32 @@ impl ServeEngine {
     /// rejection is still a proof of unmeetability.
     fn wait_estimate(&self, session: SessionId) -> u64 {
         let ac = &self.cfg.admission;
-        let mut lanes: Vec<Vec<u64>> = if ac.in_flight_aware {
-            self.backend.lane_backlogs()
+        // Probe into a reused scratch buffer: admission runs this on
+        // every submission, and rebuilding a `Vec<Vec<u64>>` per probe
+        // showed up as pure allocator churn on the cluster backend.
+        let mut scratch = self.backlog_scratch.borrow_mut();
+        if ac.in_flight_aware {
+            self.backend.lane_backlogs_into(&mut scratch);
         } else {
-            // Same lane/device shape, all idle — without touching the
-            // per-device in-flight state the term would discard anyway.
-            // (Both backends have uniformly sized lanes.)
-            let lanes = self.backend.lane_count();
-            vec![vec![0; self.backend.device_count() / lanes]; lanes]
-        };
+            // Same live-lane/device shape, all idle — without touching
+            // the per-device in-flight state the term would discard
+            // anyway. (Both backends have uniformly sized lanes.)
+            let live = self.backend.live_lane_count();
+            let per_lane = self.backend.device_count() / self.backend.lane_count();
+            scratch.resize_with(live, Vec::new);
+            for lane in scratch.iter_mut() {
+                lane.clear();
+                lane.resize(per_lane, 0);
+            }
+        }
+        let lanes = &mut *scratch;
+        if lanes.is_empty() {
+            // Every lane is down: nothing to measure a backlog against.
+            // Stay optimistic (the fleet may restore a lane before the
+            // deadline) — a rejection must remain a proof of
+            // unmeetability.
+            return 0;
+        }
         // Earliest-free device of a lane.
         let lane_free = |lane: &[u64]| lane.iter().copied().min().expect("lanes are non-empty");
         if ac.queue_aware {
@@ -860,24 +1267,44 @@ impl ServeEngine {
     /// deadline passes pick up the pieces ([`ServeConfig::drop_unmeetable`]
     /// sheds the starved frame once its deadline is provably gone, and
     /// lane-aware `reject_unmeetable` refuses hopeless wide frames at
-    /// admission); a gang-scheduling/lane-reservation pass is a ROADMAP
-    /// item.
+    /// admission). [`FleetConfig::lane_reservation`] closes the gap
+    /// directly: with it on, each dispatch round reserves open lanes for
+    /// the widest arrived queued frame — a narrower frame is eligible
+    /// only when dispatching it still leaves that many lanes open, so
+    /// unsharded backfill can no longer starve a wide frame forever
+    /// (this matters most during scale-down, when the lane supply is
+    /// shrinking under the wide frame).
     fn dispatch(&mut self, now: u64) {
         loop {
             if self.queue.is_empty() {
                 break;
             }
+            // Lane reservation: the widest arrived frame's lane need,
+            // capped at what the fleet can ever supply. Recomputed per
+            // round — the reserve holder itself dispatching releases it.
+            let reserve = if self.cfg.fleet.lane_reservation {
+                self.queue
+                    .iter()
+                    .filter(|t| t.arrival <= now)
+                    .map(|t| self.mode_requirements(t.session).0)
+                    .max()
+                    .unwrap_or(0)
+                    .min(self.backend.live_lane_count())
+            } else {
+                0
+            };
+            let open = if reserve > 0 { self.backend.open_lane_count() } else { 0 };
             let eligible_mask: Vec<bool> = self
                 .queue
                 .iter()
                 .map(|t| {
+                    let slot = self.slots[t.session.index()]
+                        .as_ref()
+                        .expect("queued frames of detached sessions are dropped at detach");
+                    let k = slot.mode.lanes_needed();
                     t.arrival <= now
-                        && self.backend.can_accept(
-                            self.slots[t.session.index()]
-                                .as_ref()
-                                .expect("queued frames of detached sessions are dropped at detach")
-                                .mode,
-                        )
+                        && self.backend.can_accept(slot.mode)
+                        && (reserve == 0 || k >= reserve || open >= reserve + k)
                 })
                 .collect();
             let qi = if eligible_mask.iter().all(|&e| e) {
@@ -1321,8 +1748,9 @@ mod tests {
 
         // The sharded frame: Admitted, Started, 2 ShardCompleted, then
         // Completed — in that order; the plain frame never emits shards.
-        let of =
-            |frame| events.iter().filter(move |e| e.frame() == frame).cloned().collect::<Vec<_>>();
+        let of = |frame| {
+            events.iter().filter(move |e| e.frame() == Some(frame)).cloned().collect::<Vec<_>>()
+        };
         let sharded_events = of(fs);
         assert!(matches!(sharded_events[0], ServeEvent::Admitted { .. }));
         assert!(matches!(sharded_events[1], ServeEvent::Started { .. }));
@@ -1438,5 +1866,203 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert_eq!(report.rejected, report.generated);
         assert_eq!(report.reject_reasons.unmeetable, report.rejected);
+    }
+
+    use crate::fleet::{FleetEvent, FleetPlan, MigrationConfig};
+
+    fn cluster_fleet_cfg(lanes: usize, fleet: FleetConfig) -> ServeConfig {
+        ServeConfig {
+            backend: BackendKind::Cluster { lanes, devices_per_lane: 1 },
+            fleet,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a cluster backend")]
+    fn active_fleet_requires_cluster_backend() {
+        let fleet = FleetConfig { lane_reservation: true, ..FleetConfig::default() };
+        ServeEngine::new(ServeConfig { fleet, ..ServeConfig::default() });
+    }
+
+    #[test]
+    fn lane_kill_requeues_in_flight_frames_and_conserves() {
+        let session =
+            Session::prepare(SessionSpec { frames: 0, ..tiny_spec(0, 0) }, &GbuConfig::paper());
+        let svc = session.min_frame_cycles();
+        let plan = FleetPlan::new(vec![
+            // Mid-service kill (the optimistic bound guarantees the frame
+            // is still in flight), restore well after.
+            FleetEvent { at: svc / 2, action: FleetAction::Kill(0) },
+            FleetEvent { at: svc * 4, action: FleetAction::Restore(0) },
+        ]);
+        let cfg = cluster_fleet_cfg(2, FleetConfig { plan, ..FleetConfig::default() });
+        let mut engine = ServeEngine::new(cfg);
+        let sid = engine.attach_session(session);
+        let f0 = engine.handle().submit_frame(sid, 0);
+        let f1 = engine.handle().submit_frame(sid, 1);
+        let mut events = engine.drain();
+        events.extend(engine.finish());
+        assert!(engine.is_drained());
+
+        assert!(matches!(engine.poll(f0), FrameStatus::Completed { .. }));
+        assert!(matches!(engine.poll(f1), FrameStatus::Completed { .. }));
+        let requeues: Vec<_> =
+            events.iter().filter(|e| matches!(e, ServeEvent::Requeued { .. })).collect();
+        assert_eq!(requeues.len(), 1, "exactly one frame was on the killed lane");
+        assert!(matches!(
+            requeues[0],
+            ServeEvent::Requeued { reason: RequeueReason::LaneFailed, .. }
+        ));
+        assert!(events.iter().any(|e| matches!(e, ServeEvent::LaneDown { lane: 0, .. })));
+        assert!(
+            events.iter().any(|e| matches!(e, ServeEvent::LaneUp { lane: 0, generation: 1, .. })),
+            "restore starts generation 1"
+        );
+        // Each requeue pairs with an extra Started: the frame dispatched
+        // twice but completed once.
+        let started = events.iter().filter(|e| matches!(e, ServeEvent::Started { .. })).count();
+        let completed = events.iter().filter(|e| matches!(e, ServeEvent::Completed { .. })).count();
+        assert_eq!(started, completed + 1);
+
+        let report = engine.report();
+        assert_eq!(report.generated, 2);
+        assert_eq!(report.completed, 2, "the killed frame recovered");
+        assert_eq!(report.requeued, 1);
+        assert_eq!(report.requeue_reasons.lane_failed, 1);
+        assert_eq!(report.lane_churn, 2, "one down + one up");
+        assert_eq!(report.generated, report.completed + report.rejected + report.dropped);
+    }
+
+    #[test]
+    fn migration_moves_homed_sessions_off_a_dying_lane() {
+        let plan = FleetPlan::new(vec![FleetEvent { at: 1_000, action: FleetAction::Kill(0) }]);
+        let fleet = FleetConfig {
+            plan,
+            migration: Some(MigrationConfig { rebalance: false }),
+            ..FleetConfig::default()
+        };
+        let mut engine = ServeEngine::new(cluster_fleet_cfg(2, fleet));
+        // Two unsharded sessions: homes land on the two coldest lanes in
+        // attach order — s0 on lane 0, s1 on lane 1.
+        let s0 = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+        let _s1 = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(1, 0) });
+        let events = engine.drain();
+        let migrated: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ServeEvent::SessionMigrated { session, from, to, .. } => {
+                    Some((*session, *from, *to))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(migrated, vec![(s0, 0, 1)], "only the session homed on lane 0 moves");
+        let report = engine.report();
+        assert_eq!(report.migrated, 1);
+        assert_eq!(report.lane_churn, 1);
+    }
+
+    #[test]
+    fn autoscaler_shrinks_when_idle_and_grows_under_pressure() {
+        let light = tiny_workload(1, 6);
+        let mut cfg = cluster_fleet_cfg(4, FleetConfig::default());
+        // Calibrate so ONE session loads the 4-lane cluster to ~10%.
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&light, 4, 0.1);
+        let period = light[0].spec.qos.period_cycles(cfg.gbu.clock_ghz);
+        cfg.fleet.autoscale = Some(AutoscaleConfig {
+            interval: period / 2,
+            cooldown_ticks: 0,
+            min_lanes: 1,
+            shrink_occupancy: 1.0,
+            ..AutoscaleConfig::default()
+        });
+        let mut engine = ServeEngine::new(cfg);
+        engine.attach_session(light[0].clone());
+        let mut events = engine.drain();
+        let downs = events.iter().filter(|e| matches!(e, ServeEvent::LaneDown { .. })).count();
+        assert!(downs >= 1, "an underloaded fleet parks lanes, saw {downs} LaneDown");
+
+        // Now pile on 12x the load: misses push window pressure over the
+        // grow threshold and the autoscaler restores parked lanes.
+        for s in tiny_workload(12, 8) {
+            engine.attach_session(s);
+        }
+        events.extend(engine.drain());
+        events.extend(engine.finish());
+        assert!(engine.is_drained());
+        let ups = events.iter().filter(|e| matches!(e, ServeEvent::LaneUp { .. })).count();
+        assert!(ups >= 1, "sustained overload restores parked lanes, saw {ups} LaneUp");
+        let report = engine.report();
+        assert_eq!(report.lane_churn, downs + ups);
+        assert_eq!(report.generated, report.completed + report.rejected + report.dropped);
+        // Scale-down requeues are non-terminal bookkeeping.
+        assert_eq!(report.requeue_reasons.lane_retired, report.requeued);
+    }
+
+    #[test]
+    fn lane_reservation_stops_backfill_from_starving_wide_frames() {
+        use gbu_render::shard::ShardStrategy;
+        // The sharded session gets the *latest* deadline (AR_60 vs VR_90
+        // elsewhere), so EDF alone would always backfill the unsharded
+        // queue first and the 2-wide frame waits for a lucky double-idle.
+        let run = |lane_reservation: bool| {
+            let fleet = FleetConfig { lane_reservation, ..FleetConfig::default() };
+            let mut engine = ServeEngine::new(cluster_fleet_cfg(2, fleet));
+            let wide = engine.attach_spec(SessionSpec {
+                frames: 0,
+                qos: QosTarget::AR_60,
+                exec: ExecMode::Sharded { shards: 2, strategy: ShardStrategy::CostBalanced },
+                ..sharded_spec(2, ShardStrategy::CostBalanced)
+            });
+            let narrow = engine.attach_spec(SessionSpec {
+                frames: 0,
+                qos: QosTarget::VR_90,
+                ..tiny_spec(1, 0)
+            });
+            let wf = engine.handle().submit_frame(wide, 0);
+            for v in 0..6 {
+                engine.handle().submit_frame(narrow, v);
+            }
+            let mut events = engine.drain();
+            events.extend(engine.finish());
+            assert!(matches!(engine.poll(wf), FrameStatus::Completed { .. }));
+            // Position of the wide frame's Started among all Starteds.
+            events
+                .iter()
+                .filter(|e| matches!(e, ServeEvent::Started { .. }))
+                .position(|e| e.frame() == Some(wf))
+                .expect("the wide frame started")
+        };
+        let reserved = run(true);
+        let unreserved = run(false);
+        assert_eq!(reserved, 0, "reservation holds both lanes for the wide frame");
+        assert!(
+            unreserved > 0,
+            "without reservation EDF backfills the earlier-deadline narrow frames first"
+        );
+    }
+
+    #[test]
+    fn admission_survives_every_lane_being_down() {
+        let plan = FleetPlan::new(vec![
+            FleetEvent { at: 100, action: FleetAction::Kill(0) },
+            FleetEvent { at: 200_000_000, action: FleetAction::Restore(0) },
+        ]);
+        let mut cfg = cluster_fleet_cfg(1, FleetConfig { plan, ..FleetConfig::default() });
+        cfg.admission.reject_unmeetable = true;
+        cfg.admission.in_flight_aware = true;
+        let mut engine = ServeEngine::new(cfg);
+        let sid = engine.attach_spec(SessionSpec { frames: 0, ..tiny_spec(0, 0) });
+        engine.step_until(1_000); // process the kill: zero live lanes
+                                  // The wait estimate has no lane to measure — it must stay
+                                  // optimistic (admit), not panic on an empty backlog list.
+        let f = engine.handle().submit_frame(sid, 0);
+        assert_eq!(engine.poll(f), FrameStatus::Queued);
+        engine.drain();
+        assert!(
+            matches!(engine.poll(f), FrameStatus::Completed { .. }),
+            "the frame runs once the lane is restored"
+        );
     }
 }

@@ -53,7 +53,16 @@
 //!   deadline-drop pass ([`ServeConfig::drop_unmeetable`]) sheds queued
 //!   frames whose deadline became unmeetable;
 //! - [`event`]: the shared vocabulary — [`SessionId`], [`FrameId`],
-//!   [`ServeEvent`], [`FrameStatus`], [`RejectReason`], [`DropReason`];
+//!   [`ServeEvent`], [`FrameStatus`], [`RejectReason`], [`DropReason`],
+//!   [`RequeueReason`];
+//! - [`fleet`]: the fleet control plane — a [`FleetPlan`]
+//!   fault-injection schedule kills and restores cluster lanes mid-run
+//!   (in-flight frames are requeued, not lost), [`MigrationConfig`]
+//!   moves sessions' home lanes off dying/crowded lanes
+//!   ([`ServeEvent::SessionMigrated`]), [`AutoscaleConfig`] grows and
+//!   shrinks the live-lane set from windowed miss-rate pressure with
+//!   hysteresis, and [`FleetConfig::lane_reservation`] keeps wide
+//!   sharded frames from starving during scale-down;
 //! - [`metrics`]: [`ServeMetrics`] → [`ServeReport`] — throughput,
 //!   per-session FPS, p50/p95/p99 latency, deadline-miss rate,
 //!   drop/reject-reason breakdowns and device utilization, with JSON
@@ -161,6 +170,7 @@ pub mod backend;
 pub mod cluster;
 pub mod engine;
 pub mod event;
+pub mod fleet;
 pub mod metrics;
 pub mod pool;
 pub mod scheduler;
@@ -172,10 +182,15 @@ pub use cluster::{ClusterBackend, ShardedCompletion, ShardedPool};
 pub use engine::{
     calibrated_clock_ghz, run_sessions, run_workload, ServeConfig, ServeEngine, ServeHandle,
 };
-pub use event::{DropReason, FrameId, FrameStatus, RejectReason, ServeEvent, SessionId};
+pub use event::{
+    DropReason, FrameId, FrameStatus, RejectReason, RequeueReason, ServeEvent, SessionId,
+};
+pub use fleet::{
+    AutoscaleConfig, FleetAction, FleetConfig, FleetEvent, FleetPlan, MigrationConfig,
+};
 pub use metrics::{
-    DropBreakdown, FrameRecord, LifetimeCounts, RejectBreakdown, RunInfo, ServeMetrics,
-    ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
+    DropBreakdown, FrameRecord, LifetimeCounts, RejectBreakdown, RequeueBreakdown, RunInfo,
+    ServeMetrics, ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
 };
 pub use pool::{DevicePool, PoolCompletion};
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};

@@ -9,7 +9,7 @@
 //! (deadline pass / session detach) — and conservation reads
 //! `completed + rejected + dropped == generated`.
 
-use crate::event::{DropReason, RejectReason};
+use crate::event::{DropReason, RejectReason, RequeueReason};
 use crate::scheduler::FrameTicket;
 
 /// Lifecycle record of one completed frame.
@@ -50,6 +50,12 @@ pub struct LifetimeCounts {
     pub dropped: usize,
     /// Completed frames that blew their deadline.
     pub missed: usize,
+    /// Requeue transitions (in-flight frames bounced back to the queue
+    /// by lane churn). Non-terminal: a requeued frame still ends up in
+    /// exactly one of the buckets above, so `requeued` is *not* part of
+    /// the `completed + rejected + dropped == generated` conservation
+    /// sum — it counts how often frames took the detour.
+    pub requeued: usize,
 }
 
 /// Collects events during a serving run.
@@ -70,6 +76,12 @@ pub struct ServeMetrics {
     /// Sharded completions only: per-frame shard count and measured
     /// imbalance (max shard service over mean), windowed like the rest.
     sharded: Vec<ShardFrameRecord>,
+    /// Requeue transitions (non-terminal), windowed like the rest.
+    requeued: Vec<(FrameTicket, RequeueReason)>,
+    /// Session migrations performed by the fleet controller.
+    migrated: usize,
+    /// Lane up/down transitions (kills, restores, scale actions).
+    lane_churn: usize,
     /// Per-category record cap; `None` keeps everything.
     window: Option<usize>,
     lifetime: LifetimeCounts,
@@ -163,6 +175,57 @@ impl ServeMetrics {
         self.lifetime.dropped += 1;
         self.dropped.push((ticket, reason));
         evict(&mut self.dropped, self.window);
+    }
+
+    /// Records an in-flight frame bounced back to the ready queue by
+    /// lane churn. Non-terminal: the frame's start entry is retired (it
+    /// will be re-dispatched or dropped later) and nothing terminal is
+    /// counted, so conservation is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `ticket` has no in-flight start entry — only
+    /// dispatched frames can lose their lane.
+    pub fn requeue(&mut self, ticket: FrameTicket, reason: RequeueReason) {
+        let idx =
+            self.starts.iter().position(|(t, _)| *t == ticket).expect("requeue without dispatch");
+        self.starts.swap_remove(idx);
+        self.lifetime.requeued += 1;
+        self.requeued.push((ticket, reason));
+        evict(&mut self.requeued, self.window);
+    }
+
+    /// Records one fleet-controller session migration.
+    pub fn migrate(&mut self) {
+        self.migrated += 1;
+    }
+
+    /// Records one lane up/down transition (kill, restore, or autoscale
+    /// action).
+    pub fn lane_transition(&mut self) {
+        self.lane_churn += 1;
+    }
+
+    /// Requeued tickets with their reasons (window-bounded).
+    pub fn requeued(&self) -> &[(FrameTicket, RequeueReason)] {
+        tail(&self.requeued, self.window)
+    }
+
+    /// Pressure over the retention window: misses, rejections and
+    /// deadline drops as a fraction of generated frames — the signal the
+    /// fleet autoscaler thresholds against (0 when nothing terminated
+    /// yet, so an idle service never grows).
+    pub fn window_pressure(&self) -> f64 {
+        let completed = self.completed();
+        let rejected = self.rejected().len();
+        let dropped = self.dropped();
+        let generated = completed.len() + rejected + dropped.len();
+        if generated == 0 {
+            return 0.0;
+        }
+        let missed = completed.iter().filter(|r| r.missed()).count();
+        let deadline_drops = dropped.iter().filter(|(_, r)| *r == DropReason::Deadline).count();
+        (missed + rejected + deadline_drops) as f64 / generated as f64
     }
 
     /// Records a completion.
@@ -263,6 +326,12 @@ impl ServeMetrics {
             session_detached: count_drop(DropReason::SessionDetached),
             gated: count_drop(DropReason::Gated),
         };
+        let requeued = self.requeued();
+        let count_requeue = |r: RequeueReason| requeued.iter().filter(|(_, why)| *why == r).count();
+        let requeue_reasons = RequeueBreakdown {
+            lane_failed: count_requeue(RequeueReason::LaneFailed),
+            lane_retired: count_requeue(RequeueReason::LaneRetired),
+        };
 
         let sessions = session_names
             .iter()
@@ -305,6 +374,10 @@ impl ServeMetrics {
             missed,
             reject_reasons,
             drop_reasons,
+            requeued: requeued.len(),
+            requeue_reasons,
+            migrated: self.migrated,
+            lane_churn: self.lane_churn,
             throughput_fps: if wall_seconds > 0.0 {
                 completed.len() as f64 / wall_seconds
             } else {
@@ -392,6 +465,15 @@ pub struct DropBreakdown {
     pub gated: usize,
 }
 
+/// Requeue counts by [`RequeueReason`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequeueBreakdown {
+    /// Requeued because the lane was killed by fault injection.
+    pub lane_failed: usize,
+    /// Requeued because the autoscaler retired the lane.
+    pub lane_retired: usize,
+}
+
 /// Per-session slice of a [`ServeReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SessionReport {
@@ -440,6 +522,15 @@ pub struct ServeReport {
     pub reject_reasons: RejectBreakdown,
     /// Drops by reason.
     pub drop_reasons: DropBreakdown,
+    /// Requeue transitions within the retention window (non-terminal —
+    /// not part of the conservation sum; see [`LifetimeCounts::requeued`]).
+    pub requeued: usize,
+    /// Requeues by reason.
+    pub requeue_reasons: RequeueBreakdown,
+    /// Fleet-controller session migrations over the whole run.
+    pub migrated: usize,
+    /// Lane up/down transitions over the whole run.
+    pub lane_churn: usize,
     /// Completed frames per simulated second across all sessions.
     pub throughput_fps: f64,
     /// Median request-to-completion latency (ms).
@@ -566,18 +657,25 @@ impl ServeReport {
             "{{\"deadline\":{},\"session_detached\":{},\"gated\":{}}}",
             self.drop_reasons.deadline, self.drop_reasons.session_detached, self.drop_reasons.gated,
         );
+        let requeue_reasons = format!(
+            "{{\"lane_failed\":{},\"lane_retired\":{}}}",
+            self.requeue_reasons.lane_failed, self.requeue_reasons.lane_retired,
+        );
         let lifetime = format!(
-            "{{\"generated\":{},\"completed\":{},\"rejected\":{},\"dropped\":{},\"missed\":{}}}",
+            "{{\"generated\":{},\"completed\":{},\"rejected\":{},\"dropped\":{},\"missed\":{},\
+             \"requeued\":{}}}",
             self.lifetime.generated,
             self.lifetime.completed,
             self.lifetime.rejected,
             self.lifetime.dropped,
             self.lifetime.missed,
+            self.lifetime.requeued,
         );
         format!(
             "{{\"policy\":{},\"devices\":{},\"lifetime\":{lifetime},\"generated\":{},\"completed\":{},\
              \"rejected\":{},\"dropped\":{},\"missed\":{},\"reject_reasons\":{},\
-             \"drop_reasons\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
+             \"drop_reasons\":{},\"requeued\":{},\"requeue_reasons\":{},\"migrated\":{},\
+             \"lane_churn\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
              \"device_utilization\":{},\"wall_seconds\":{}{sharding},\"sessions\":[{}]}}",
             json_str(&self.policy),
@@ -589,6 +687,10 @@ impl ServeReport {
             self.missed,
             reject_reasons,
             drop_reasons,
+            self.requeued,
+            requeue_reasons,
+            self.migrated,
+            self.lane_churn,
             json_f(self.throughput_fps),
             json_f(self.p50_latency_ms),
             json_f(self.p95_latency_ms),
@@ -748,6 +850,10 @@ mod tests {
         assert!(
             empty.contains("\"drop_reasons\":{\"deadline\":0,\"session_detached\":0,\"gated\":0}")
         );
+        assert!(empty.contains("\"requeue_reasons\":{\"lane_failed\":0,\"lane_retired\":0}"));
+        assert!(empty.contains("\"requeued\":0"));
+        assert!(empty.contains("\"migrated\":0"));
+        assert!(empty.contains("\"lane_churn\":0"));
         let keys = |json: &str| {
             let mut k: Vec<String> =
                 json.split('"').skip(1).step_by(2).map(str::to_string).collect();
@@ -858,6 +964,73 @@ mod tests {
     fn completion_requires_start() {
         let mut m = ServeMetrics::default();
         m.complete(ticket(0, 0, 0, 1), 5);
+    }
+
+    #[test]
+    fn requeue_is_non_terminal_and_conservation_holds() {
+        let mut m = ServeMetrics::default();
+        let t = ticket(0, 0, 0, 1000);
+        m.start(t, 10);
+        m.requeue(t, RequeueReason::LaneFailed);
+        assert_eq!(m.started_at(t), None, "requeue retires the start entry");
+        assert_eq!(m.lifetime().generated, 0, "requeue is not a terminal event");
+        assert_eq!(m.lifetime().requeued, 1);
+        // The frame dispatches again and completes: exactly one terminal.
+        m.start(t, 50);
+        m.complete(t, 200);
+        let life = m.lifetime();
+        assert_eq!(life.generated, 1);
+        assert_eq!(life.completed, 1);
+        assert_eq!(life.requeued, 1);
+        m.migrate();
+        m.lane_transition();
+        m.lane_transition();
+        let r = m.report(
+            &RunInfo {
+                policy: "edf",
+                devices: 2,
+                wall_cycles: 200,
+                utilization: 0.5,
+                clock_ghz: 1.0,
+            },
+            &["a".to_string()],
+            &[60.0],
+        );
+        assert_eq!(r.requeued, 1);
+        assert_eq!(r.requeue_reasons.lane_failed, 1);
+        assert_eq!(r.requeue_reasons.lane_retired, 0);
+        assert_eq!(r.migrated, 1);
+        assert_eq!(r.lane_churn, 2);
+        let j = r.to_json();
+        assert!(j.contains("\"requeued\":1"));
+        assert!(j.contains("\"requeue_reasons\":{\"lane_failed\":1,\"lane_retired\":0}"));
+        assert!(j.contains("\"migrated\":1"));
+        assert!(j.contains("\"lane_churn\":2"));
+        assert!(j.contains("\"requeued\":1}"), "lifetime block carries requeued");
+    }
+
+    #[test]
+    #[should_panic(expected = "requeue without dispatch")]
+    fn requeue_requires_start() {
+        let mut m = ServeMetrics::default();
+        m.requeue(ticket(0, 0, 0, 1), RequeueReason::LaneRetired);
+    }
+
+    #[test]
+    fn window_pressure_tracks_failures_over_generated() {
+        let mut m = ServeMetrics::default();
+        assert_eq!(m.window_pressure(), 0.0, "idle service has zero pressure");
+        // One on-time completion, one miss, one reject, one deadline
+        // drop, one detach drop (excluded from the numerator).
+        m.start(ticket(0, 0, 0, 100), 0);
+        m.complete(ticket(0, 0, 0, 100), 90);
+        m.start(ticket(0, 1, 0, 100), 0);
+        m.complete(ticket(0, 1, 0, 100), 150);
+        m.reject(ticket(0, 2, 0, 100), RejectReason::QueueFull);
+        m.drop_frame(ticket(0, 3, 0, 100), DropReason::Deadline);
+        m.drop_frame(ticket(0, 4, 0, 100), DropReason::SessionDetached);
+        // (1 miss + 1 reject + 1 deadline drop) / 5 generated.
+        assert!((m.window_pressure() - 0.6).abs() < 1e-12, "got {}", m.window_pressure());
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub struct DevicePool {
     /// Cluster lane this pool serves as, for span labels (`None` when
     /// the pool is a standalone backend).
     lane: Option<u32>,
+    /// Restart generation of this pool's lane: 0 for the first lifetime,
+    /// bumped by the cluster on every fleet restore so `device_busy`
+    /// spans distinguish pre- and post-restart work.
+    lane_generation: u32,
     /// Registry handle acquired once at attach (gauge updates on the
     /// advance path are then an atomic store).
     stall_gauge: gbu_telemetry::Gauge,
@@ -90,8 +94,16 @@ impl DevicePool {
             dram_stall_cycles: 0.0,
             recorder: gbu_telemetry::Recorder::disabled(),
             lane: None,
+            lane_generation: 0,
             stall_gauge: gbu_telemetry::Gauge::default(),
         }
+    }
+
+    /// Sets the lane restart generation stamped onto future
+    /// `device_busy` spans (cluster lanes only; standalone pools stay
+    /// at generation 0 and omit the label).
+    pub fn set_lane_generation(&mut self, generation: u32) {
+        self.lane_generation = generation;
     }
 
     /// Attaches a telemetry recorder: every frame completion records a
@@ -202,19 +214,24 @@ impl DevicePool {
     /// (device cycles, not contention-stretched wall cycles), so a
     /// rejection remains a proof of unmeetability.
     pub fn in_flight_backlog_per_device(&self) -> Vec<u64> {
-        self.devices
-            .iter()
-            .zip(&self.active)
-            .map(
-                |(gbu, slot)| {
-                    if slot.is_some() {
-                        gbu.in_flight_remaining().unwrap_or(0)
-                    } else {
-                        0
-                    }
-                },
-            )
-            .collect()
+        let mut out = Vec::new();
+        self.in_flight_backlog_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`DevicePool::in_flight_backlog_per_device`]: clears `out` and
+    /// fills it in device order, reusing its capacity across admission
+    /// probes.
+    pub fn in_flight_backlog_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(self.devices.iter().zip(&self.active).map(|(gbu, slot)| {
+            if slot.is_some() {
+                gbu.in_flight_remaining().unwrap_or(0)
+            } else {
+                0
+            }
+        }));
     }
 
     /// The ticket currently rendering on `device`, if any.
@@ -342,6 +359,7 @@ impl DevicePool {
                 if self.recorder.is_enabled() {
                     let labels = gbu_telemetry::Labels {
                         lane: self.lane,
+                        lane_generation: self.lane.map(|_| self.lane_generation),
                         device: Some(c.device as u32),
                         session: Some(c.ticket.session.index() as u32),
                         frame: Some(c.ticket.id.index()),

@@ -97,6 +97,12 @@ pub struct SessionSpec {
     /// [`ExecMode::Unsharded`] (any backend) or [`ExecMode::Sharded`]
     /// (cluster backends only — the frame fans over that many lanes).
     /// Sessions of different modes coexist on one engine clock.
+    ///
+    /// Under fleet control with migration enabled, unsharded sessions
+    /// also get a *home lane* (a soft affinity the dispatcher prefers);
+    /// the controller re-homes them off dying or retiring lanes and
+    /// emits a `SessionMigrated` event per move. Sharded sessions have
+    /// no single home — their frames already span lanes.
     pub exec: ExecMode,
 }
 

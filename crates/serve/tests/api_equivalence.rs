@@ -17,8 +17,9 @@
 
 use gbu_hw::GbuConfig;
 use gbu_serve::{
-    calibrated_clock_ghz, run_sessions, AdmissionControl, BackendKind, ExecMode, FrameStatus,
-    Policy, QosTarget, ServeConfig, ServeEngine, ServeEvent, Session, SessionContent, SessionSpec,
+    calibrated_clock_ghz, run_sessions, AdmissionControl, AutoscaleConfig, BackendKind, ExecMode,
+    FleetAction, FleetConfig, FleetEvent, FleetPlan, FrameStatus, MigrationConfig, Policy,
+    QosTarget, ServeConfig, ServeEngine, ServeEvent, Session, SessionContent, SessionSpec,
 };
 use proptest::prelude::*;
 
@@ -244,7 +245,7 @@ proptest! {
                         matches!(se, ServeEvent::ShardCompleted { frame: f, .. } if f == frame)
                     })
                     .count();
-                let session = e.session().index();
+                let session = e.session().expect("Completed carries a session").index();
                 match sessions[session].spec.exec {
                     ExecMode::Unsharded => prop_assert_eq!(shards_seen, 0),
                     ExecMode::Sharded { shards, .. } => prop_assert_eq!(shards_seen, shards),
@@ -281,6 +282,194 @@ proptest! {
             let cluster = run_engine(cfg, &sessions, &[]);
             prop_assert_eq!(&single.0, &cluster.0, "event streams diverged under {:?}", policy);
             prop_assert_eq!(&single.1, &cluster.1, "reports diverged under {:?}", policy);
+        }
+    }
+}
+
+/// A host-side intervention pinned to an absolute cycle: detach an
+/// existing session or attach a fresh one. Applied at identical cycles
+/// in both runs being compared, so the only degree of freedom left is
+/// step granularity.
+#[derive(Clone, Copy, Debug)]
+enum Intervention {
+    Detach(usize),
+    Attach,
+}
+
+/// Drives `cfg` over `sessions` with `interventions` applied at their
+/// scheduled cycles, stepping additionally at `extra_slices` boundaries,
+/// then drains and seals. Both the intervention schedule and the fleet
+/// plan inside `cfg` are keyed to absolute cycles, so two calls with
+/// different `extra_slices` must replay the identical event stream.
+fn run_churny(
+    cfg: ServeConfig,
+    sessions: &[Session],
+    interventions: &[(u64, Intervention)],
+    extra_slices: &[u64],
+) -> (Vec<ServeEvent>, gbu_serve::ServeReport) {
+    let mut engine = ServeEngine::new(cfg);
+    let mut ids: Vec<_> = sessions.iter().map(|s| engine.attach_session(s.clone())).collect();
+    let mut boundaries: Vec<(u64, Option<Intervention>)> =
+        interventions.iter().map(|&(at, i)| (at, Some(i))).collect();
+    boundaries.extend(extra_slices.iter().map(|&at| (at, None)));
+    boundaries.sort_by_key(|&(at, _)| at);
+    let mut events = Vec::new();
+    let mut fresh = 0usize;
+    for (at, action) in boundaries {
+        events.extend(engine.step_until(at));
+        match action {
+            Some(Intervention::Detach(i)) => {
+                engine.detach_session(ids[i % ids.len()]);
+            }
+            Some(Intervention::Attach) => {
+                // A fresh timer-driven session joining mid-churn; its
+                // timer phase anchors at the (identical) step horizon.
+                let spec = SessionSpec {
+                    name: format!("late-{fresh}"),
+                    content: SessionContent::Synthetic {
+                        seed: 7_000 + fresh as u64,
+                        gaussians: 35,
+                    },
+                    qos: QosTarget::VR_72,
+                    frames: 2,
+                    phase: 0.25,
+                    exec: ExecMode::Unsharded,
+                };
+                fresh += 1;
+                ids.push(engine.attach_session(Session::prepare(spec, &GbuConfig::paper())));
+            }
+            None => {}
+        }
+    }
+    events.extend(engine.drain());
+    events.extend(engine.finish());
+    assert!(engine.is_drained());
+    (events, engine.report())
+}
+
+/// Checks one frame's event subsequence against the lifecycle grammar:
+/// `Rejected` alone, or `Admitted` followed by any number of
+/// `Started → ShardCompleted* → Requeued` cycles and a queue-side
+/// `Dropped`/dispatch, ending in exactly one terminal
+/// (`Completed`/`Dropped`).
+fn assert_frame_grammar(events: &[&ServeEvent]) {
+    #[derive(PartialEq, Debug)]
+    enum S {
+        Fresh,
+        Queued,
+        Running,
+        Terminal,
+    }
+    let mut state = S::Fresh;
+    for e in events {
+        state = match (state, e) {
+            (S::Fresh, ServeEvent::Rejected { .. }) => S::Terminal,
+            (S::Fresh, ServeEvent::Admitted { .. }) => S::Queued,
+            (S::Queued, ServeEvent::Started { .. }) => S::Running,
+            (S::Queued, ServeEvent::Dropped { .. }) => S::Terminal,
+            (S::Running, ServeEvent::ShardCompleted { .. }) => S::Running,
+            (S::Running, ServeEvent::Requeued { .. }) => S::Queued,
+            (S::Running, ServeEvent::Completed { .. }) => S::Terminal,
+            (S::Running, ServeEvent::Dropped { .. }) => S::Terminal,
+            (state, e) => panic!("event {e:?} illegal in state {state:?}"),
+        };
+    }
+    assert_eq!(state, S::Terminal, "every frame ends terminal: {events:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Fleet churn is slicing-invariant: random lane kill/restore plans,
+    /// migration, autoscaling and lane reservation, overlaid with random
+    /// attach/detach schedules, replay the identical event stream at any
+    /// step granularity — and every frame still walks the lifecycle
+    /// grammar to exactly one terminal state.
+    #[test]
+    fn fleet_churn_is_slicing_invariant_and_conserves_frames(
+        n_sessions in 3usize..6,
+        frames in 2u32..4,
+        lanes in 2usize..4,
+        util_pct in 80u32..260,
+        seed in 0u64..1000,
+        plan_raw in prop::collection::vec((1u64..500_000, 0usize..4, any::<bool>()), 0..8),
+        interventions_raw in prop::collection::vec((1u64..400_000, 0usize..8), 0..5),
+        migration in any::<bool>(),
+        rebalance in any::<bool>(),
+        autoscale in any::<bool>(),
+        lane_reservation in any::<bool>(),
+        slices in prop::collection::vec(1u64..60_000, 1..24),
+    ) {
+        let sessions = mixed_workload(n_sessions, frames, seed, lanes);
+        let mut cfg = config(1, Policy::Edf, 64, false);
+        cfg.backend = BackendKind::Cluster { lanes, devices_per_lane: 1 };
+        cfg.gbu.clock_ghz = calibrated_clock_ghz(&sessions, lanes, f64::from(util_pct) / 100.0);
+        cfg.fleet = FleetConfig {
+            plan: FleetPlan::new(
+                plan_raw
+                    .iter()
+                    .map(|&(at, lane, kill)| FleetEvent {
+                        at,
+                        action: if kill {
+                            FleetAction::Kill(lane % lanes)
+                        } else {
+                            FleetAction::Restore(lane % lanes)
+                        },
+                    })
+                    .collect(),
+            ),
+            autoscale: autoscale.then(|| AutoscaleConfig {
+                interval: 120_000,
+                cooldown_ticks: 1,
+                ..AutoscaleConfig::default()
+            }),
+            migration: migration.then_some(MigrationConfig { rebalance }),
+            lane_reservation,
+        };
+        let interventions: Vec<(u64, Intervention)> = interventions_raw
+            .iter()
+            .map(|&(at, k)| {
+                let kind = if k < n_sessions {
+                    Intervention::Detach(k)
+                } else {
+                    Intervention::Attach
+                };
+                (at, kind)
+            })
+            .collect();
+
+        let (coarse_events, coarse) = run_churny(cfg.clone(), &sessions, &interventions, &[]);
+        let (fine_events, fine) = run_churny(cfg, &sessions, &interventions, &slices);
+        prop_assert_eq!(&fine_events, &coarse_events, "event streams diverged under slicing");
+        prop_assert_eq!(&fine, &coarse, "reports diverged under slicing");
+
+        // Conservation with requeues explicitly non-terminal.
+        prop_assert_eq!(
+            coarse.generated,
+            coarse.completed + coarse.rejected + coarse.dropped,
+            "completed + rejected + dropped == generated under churn"
+        );
+        let requeues = coarse_events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::Requeued { .. }))
+            .count();
+        prop_assert_eq!(requeues, coarse.requeued, "report agrees with the event stream");
+        let churn = coarse_events
+            .iter()
+            .filter(|e| matches!(e, ServeEvent::LaneDown { .. } | ServeEvent::LaneUp { .. }))
+            .count();
+        prop_assert_eq!(churn, coarse.lane_churn);
+
+        // Per-frame lifecycle grammar, requeue cycles included.
+        let max_frame = coarse_events.iter().filter_map(|e| e.frame()).map(|f| f.index()).max();
+        if let Some(max_frame) = max_frame {
+            for f in 0..=max_frame {
+                let of_frame: Vec<&ServeEvent> = coarse_events
+                    .iter()
+                    .filter(|e| e.frame().is_some_and(|id| id.index() == f))
+                    .collect();
+                assert_frame_grammar(&of_frame);
+            }
         }
     }
 }

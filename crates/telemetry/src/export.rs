@@ -59,6 +59,9 @@ fn args_json(labels: &Labels, extra: &[(&str, u64)]) -> String {
     if let Some(v) = labels.lane {
         push("lane", v as u64);
     }
+    if let Some(v) = labels.lane_generation {
+        push("lane_generation", v as u64);
+    }
     if let Some(v) = labels.device {
         push("device", v as u64);
     }

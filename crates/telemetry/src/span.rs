@@ -38,6 +38,10 @@ impl Domain {
 pub struct Labels {
     /// Cluster lane index.
     pub lane: Option<u32>,
+    /// Lane restart generation: 0 for a lane's first lifetime, bumped on
+    /// every fleet restore, so a trace distinguishes spans recorded
+    /// before and after a lane restart.
+    pub lane_generation: Option<u32>,
     /// Device index within a pool/lane.
     pub device: Option<u32>,
     /// Serving session id.

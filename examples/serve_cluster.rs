@@ -144,7 +144,7 @@ fn main() {
 
 fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
     let ms = e.at() / cycles_per_ms;
-    let name = &names[e.session().index()];
+    let name = e.session().map_or("-", |s| names[s.index()].as_str());
     match e {
         ServeEvent::Admitted { frame, .. } => println!("[{ms:>3} ms] admitted  {frame} ({name})"),
         ServeEvent::Rejected { frame, reason, .. } => {
@@ -169,6 +169,16 @@ fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
         }
         ServeEvent::Dropped { frame, reason, .. } => {
             println!("[{ms:>3} ms] dropped   {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::Requeued { frame, reason, .. } => {
+            println!("[{ms:>3} ms] requeued  {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::SessionMigrated { from, to, .. } => {
+            println!("[{ms:>3} ms] migrated  {name}: lane {from} -> lane {to}");
+        }
+        ServeEvent::LaneDown { lane, .. } => println!("[{ms:>3} ms] lane {lane} DOWN"),
+        ServeEvent::LaneUp { lane, generation, .. } => {
+            println!("[{ms:>3} ms] lane {lane} UP (generation {generation})");
         }
     }
 }

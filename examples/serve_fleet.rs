@@ -1,0 +1,156 @@
+//! serve_fleet: fault-injected fleet control on the cluster backend.
+//!
+//! A 4-lane cluster serves 8 mixed AR/VR sessions while a `FleetPlan`
+//! kills lane 0 mid-run and restores it two frame periods later. The
+//! fleet controller is fully on: in-flight frames on the dying lane are
+//! requeued (never lost), sessions homed there are live-migrated to the
+//! coldest surviving lane, the miss-rate autoscaler parks and restores
+//! lanes as windowed pressure moves, and lane reservation keeps wide
+//! sharded frames from being starved by unsharded backfill during
+//! scale-down.
+//!
+//! The typed event trace shows the whole story: `LaneDown`/`LaneUp`
+//! transitions, `Requeued` detours, `SessionMigrated` moves — and the
+//! final report proves frame conservation (completed + rejected +
+//! dropped == generated) held through the churn.
+//!
+//! Run with: `cargo run --release --example serve_fleet`
+
+use gbu_core::reports::{fmt_f, fmt_pct, table};
+use gbu_hw::GbuConfig;
+use gbu_serve::{
+    calibrated_clock_ghz, workload, AutoscaleConfig, BackendKind, FleetAction, FleetConfig,
+    FleetEvent, FleetPlan, MigrationConfig, Policy, QosTarget, ServeConfig, ServeEngine,
+    ServeEvent,
+};
+
+const LANES: usize = 4;
+const SESSIONS: usize = 8;
+const FRAMES: u32 = 8;
+/// Offered load vs full-fleet capacity — high enough that losing a lane
+/// visibly hurts and the controller has something to do.
+const UTILIZATION: f64 = 1.1;
+
+fn main() {
+    println!("preparing {SESSIONS} sessions ...");
+    let sessions =
+        workload::prepare_all(workload::synthetic_mix(SESSIONS, FRAMES), &GbuConfig::paper());
+
+    let clock_ghz = calibrated_clock_ghz(&sessions, LANES, UTILIZATION);
+    let period = QosTarget::VR_72.period_cycles(clock_ghz);
+    // Lane 0 dies one period in and comes back two periods later.
+    let plan = FleetPlan::new(vec![
+        FleetEvent { at: period, action: FleetAction::Kill(0) },
+        FleetEvent { at: 3 * period, action: FleetAction::Restore(0) },
+    ]);
+    let mut cfg = ServeConfig {
+        backend: BackendKind::Cluster { lanes: LANES, devices_per_lane: 1 },
+        policy: Policy::Edf,
+        drop_unmeetable: true,
+        fleet: FleetConfig {
+            plan,
+            autoscale: Some(AutoscaleConfig { min_lanes: 2, ..AutoscaleConfig::default() }),
+            migration: Some(MigrationConfig { rebalance: true }),
+            lane_reservation: true,
+        },
+        ..ServeConfig::default()
+    };
+    cfg.gbu.clock_ghz = clock_ghz;
+    let cycles_per_ms = (clock_ghz * 1e6).max(1.0) as u64;
+    println!(
+        "clock {clock_ghz:.4} GHz; {LANES}-lane cluster at {UTILIZATION}x load, \
+         lane 0 down [{}, {}) cycles\n",
+        period,
+        3 * period
+    );
+
+    let mut engine = ServeEngine::new(cfg);
+    let ids: Vec<_> = sessions.into_iter().map(|s| engine.attach_session(s)).collect();
+    let names: Vec<String> =
+        ids.iter().map(|&id| engine.session_name(id).expect("just attached").to_string()).collect();
+
+    let mut ms = 0u64;
+    while !engine.is_drained() {
+        ms += 1;
+        for e in engine.step_until(ms * cycles_per_ms) {
+            print_event(&e, &names, cycles_per_ms);
+        }
+    }
+    engine.finish();
+
+    let report = engine.report();
+    let life = report.lifetime;
+    println!("\ndrained after {ms} ms of 1 ms host-loop slices");
+    println!(
+        "conservation: {} generated == {} completed + {} rejected + {} dropped \
+         (plus {} requeue detours, {} migrations, {} lane transitions)",
+        life.generated,
+        life.completed,
+        life.rejected,
+        life.dropped,
+        life.requeued,
+        report.migrated,
+        report.lane_churn,
+    );
+    assert_eq!(
+        life.generated,
+        life.completed + life.rejected + life.dropped,
+        "lane churn must not create or destroy frames"
+    );
+    let mut rows = Vec::new();
+    for s in &report.sessions {
+        rows.push(vec![
+            s.name.clone(),
+            s.generated.to_string(),
+            s.completed.to_string(),
+            s.dropped.to_string(),
+            s.missed.to_string(),
+            fmt_f(s.p95_latency_ms, 2),
+        ]);
+    }
+    println!("{}", table(&["session", "gen", "done", "drop", "missed", "p95 ms"], &rows));
+    println!(
+        "throughput {} fps, p99 {} ms, miss rate {}, lane utilization {}",
+        fmt_f(report.throughput_fps, 0),
+        fmt_f(report.p99_latency_ms, 2),
+        fmt_pct(report.deadline_miss_rate),
+        fmt_pct(report.device_utilization),
+    );
+}
+
+fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
+    let ms = e.at() / cycles_per_ms;
+    let name = e.session().map_or("-", |s| names[s.index()].as_str());
+    match e {
+        ServeEvent::Admitted { frame, .. } => println!("[{ms:>3} ms] admitted  {frame} ({name})"),
+        ServeEvent::Rejected { frame, reason, .. } => {
+            println!("[{ms:>3} ms] rejected  {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::Started { frame, device, .. } => {
+            println!("[{ms:>3} ms] started   {frame} ({name}) from device {device}");
+        }
+        ServeEvent::ShardCompleted { frame, shard, lane, .. } => {
+            println!("[{ms:>3} ms] shard     {frame}#{shard} ({name}) landed on lane {lane}");
+        }
+        ServeEvent::Completed { frame, latency_cycles, missed, .. } => {
+            let verdict = if *missed { "MISSED" } else { "on time" };
+            println!(
+                "[{ms:>3} ms] completed {frame} ({name}) in {:.2} ms, {verdict}",
+                *latency_cycles as f64 / cycles_per_ms as f64
+            );
+        }
+        ServeEvent::Dropped { frame, reason, .. } => {
+            println!("[{ms:>3} ms] dropped   {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::Requeued { frame, reason, .. } => {
+            println!("[{ms:>3} ms] requeued  {frame} ({name}): {}", reason.label());
+        }
+        ServeEvent::SessionMigrated { from, to, .. } => {
+            println!("[{ms:>3} ms] migrated  {name}: lane {from} -> lane {to}");
+        }
+        ServeEvent::LaneDown { lane, .. } => println!("[{ms:>3} ms] lane {lane} DOWN"),
+        ServeEvent::LaneUp { lane, generation, .. } => {
+            println!("[{ms:>3} ms] lane {lane} UP (generation {generation})");
+        }
+    }
+}

@@ -16,7 +16,11 @@
 //! `gbu_telemetry` recorder, self-validated against `ServeMetrics`),
 //! which writes `BENCH_trace.json`, and `fleet` — the fault-injected
 //! fleet resilience sweep (lane churn, session migration, miss-rate
-//! autoscaling), which writes `BENCH_fleet.json`.
+//! autoscaling), which writes `BENCH_fleet.json`, and `share` — the
+//! scene-store / preprocessing-reuse / bin-cache sweep (cached binning
+//! validated bit-identical against cold, shared Step-❶/❷ charging
+//! validated strictly better than per-frame charging), which writes
+//! `BENCH_share.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -76,7 +80,8 @@ fn print_help() {
          shard   (multi-pool scene-sharding sweep; writes BENCH_shard.json)\n  \
          cluster (cluster-mode serving sweep; writes BENCH_cluster.json)\n  \
          trace   (per-stage/per-lane telemetry profile; writes BENCH_trace.json)\n  \
-         fleet   (fault-injected fleet churn/migration/autoscale sweep; writes BENCH_fleet.json)"
+         fleet   (fault-injected fleet churn/migration/autoscale sweep; writes BENCH_fleet.json)\n  \
+         share   (scene store + prep reuse + bin cache sweep; writes BENCH_share.json)"
     );
 }
 
@@ -109,6 +114,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "cluster" => experiments::cluster(ctx),
         "trace" => experiments::trace(ctx),
         "fleet" => experiments::fleet(ctx),
+        "share" => experiments::share(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -140,6 +146,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "cluster",
                 "trace",
                 "fleet",
+                "share",
             ] {
                 run(ctx, c);
             }

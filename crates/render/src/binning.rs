@@ -87,6 +87,20 @@ impl TileBins {
     }
 }
 
+/// Inclusive tile rectangle `(x0, y0, x1, y1)` a splat's truncated
+/// ellipse overlaps, or `None` when it misses the grid entirely — the
+/// exact footprint [`bin_splats`] duplicates the splat into. Exposed so
+/// the incremental [`crate::bincache::BinCache`] can diff footprints
+/// between frames.
+pub fn splat_tile_range(
+    s: &Splat2D,
+    tile_size: u32,
+    tiles_x: u32,
+    tiles_y: u32,
+) -> Option<(u32, u32, u32, u32)> {
+    EllipseBounds::from_conic(s.mean, s.conic, s.threshold)?.tile_range(tile_size, tiles_x, tiles_y)
+}
+
 /// Bins splats into tiles and depth-sorts each tile's instance list.
 pub fn bin_splats(splats: &[Splat2D], camera: &Camera, tile_size: u32) -> (TileBins, BinningStats) {
     assert!(tile_size > 0, "tile size must be positive");
@@ -96,10 +110,7 @@ pub fn bin_splats(splats: &[Splat2D], camera: &Camera, tile_size: u32) -> (TileB
     // Emit (key, splat index) pairs for every overlapped tile.
     let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(splats.len() * 2);
     for (i, s) in splats.iter().enumerate() {
-        let Some(bounds) = EllipseBounds::from_conic(s.mean, s.conic, s.threshold) else {
-            continue;
-        };
-        let Some((x0, y0, x1, y1)) = bounds.tile_range(tile_size, tiles_x, tiles_y) else {
+        let Some((x0, y0, x1, y1)) = splat_tile_range(s, tile_size, tiles_x, tiles_y) else {
             continue;
         };
         for ty in y0..=y1 {

@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bincache;
 pub mod binning;
 mod framebuffer;
 pub mod irss;
@@ -61,6 +62,7 @@ pub mod shard;
 mod splat;
 pub mod stats;
 
+pub use bincache::{BinCache, BinCacheConfig, BinCacheCounters};
 pub use framebuffer::FrameBuffer;
 pub use pipeline::{BinnedFrame, Dataflow, ProjectedFrame};
 pub use scratch::BlendScratch;

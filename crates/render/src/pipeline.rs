@@ -94,6 +94,20 @@ pub fn bin(frame: &ProjectedFrame, tile_size: u32) -> BinnedFrame {
     BinnedFrame { bins, stats }
 }
 
+/// Step ❷ through a [`crate::bincache::BinCache`]: bit-identical to
+/// [`bin`], but frames whose camera moved only slightly since the
+/// cache's last frame are re-binned incrementally.
+pub fn bin_cached(
+    cache: &mut crate::bincache::BinCache,
+    frame: &ProjectedFrame,
+    tile_size: u32,
+) -> BinnedFrame {
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("bin", gbu_telemetry::Labels::default());
+    let (bins, stats) = cache.bin(&frame.splats, &frame.camera, tile_size);
+    BinnedFrame { bins, stats }
+}
+
 /// Step ❸ on the global pool: blends the binned frame with the chosen
 /// dataflow into a freshly allocated frame buffer.
 pub fn blend(

@@ -182,6 +182,26 @@ pub trait ExecBackend: std::fmt::Debug {
     /// probe, or with a mode the backend does not support.
     fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize;
 
+    /// [`ExecBackend::submit`] with an up-front host-preprocessing
+    /// charge: the frame additionally occupies its device(s) for
+    /// `prep_cycles` device-cycles of Step-❶/❷ work before GBU progress
+    /// starts — how the engine models host-GPU preprocessing when
+    /// [`crate::engine::PrepConfig`] is enabled (and the lever the
+    /// cross-session reuse discount pulls by passing 0 for shared
+    /// epochs). The default ignores the charge and delegates to
+    /// [`ExecBackend::submit`], so hand-rolled test backends keep
+    /// working unchanged.
+    fn submit_with_prep(
+        &mut self,
+        view: &PreparedView,
+        ticket: FrameTicket,
+        mode: ExecMode,
+        prep_cycles: u64,
+    ) -> usize {
+        let _ = prep_cycles;
+        self.submit(view, ticket, mode)
+    }
+
     /// Cancels every in-flight frame belonging to `session` (all shards
     /// of sharded frames), freeing their devices immediately. Returns the
     /// cancelled tickets, one entry per frame.
@@ -294,9 +314,21 @@ impl ExecBackend for DevicePool {
     }
 
     fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize {
+        // Qualified: the pool's inherent `submit_with_prep` takes a
+        // device index and would shadow the trait method here.
+        ExecBackend::submit_with_prep(self, view, ticket, mode, 0)
+    }
+
+    fn submit_with_prep(
+        &mut self,
+        view: &PreparedView,
+        ticket: FrameTicket,
+        mode: ExecMode,
+        prep_cycles: u64,
+    ) -> usize {
         assert_eq!(mode, ExecMode::Unsharded, "a single pool cannot execute sharded frames");
         let device = self.idle_device().expect("submit requires an idle device");
-        DevicePool::submit(self, device, view, ticket);
+        DevicePool::submit_with_prep(self, device, view, ticket, prep_cycles);
         device
     }
 

@@ -370,6 +370,16 @@ impl ExecBackend for ClusterBackend {
     }
 
     fn submit(&mut self, view: &PreparedView, ticket: FrameTicket, mode: ExecMode) -> usize {
+        self.submit_with_prep(view, ticket, mode, 0)
+    }
+
+    fn submit_with_prep(
+        &mut self,
+        view: &PreparedView,
+        ticket: FrameTicket,
+        mode: ExecMode,
+        prep_cycles: u64,
+    ) -> usize {
         match mode {
             ExecMode::Unsharded => {
                 let home = self
@@ -386,7 +396,7 @@ impl ExecBackend for ClusterBackend {
                 });
                 let device =
                     self.lanes[lane].idle_device().expect("placement order holds open lanes");
-                self.lanes[lane].submit(device, view, ticket);
+                self.lanes[lane].submit_with_prep(device, view, ticket, prep_cycles);
                 lane * self.devices_per_lane + device
             }
             ExecMode::Sharded { shards, strategy } => {
@@ -422,12 +432,15 @@ impl ExecBackend for ClusterBackend {
                     let device =
                         self.lanes[lane].idle_device().expect("placement order holds open lanes");
                     let shard_bins = plan.shard_bins(&view.bins, s);
-                    self.lanes[lane].submit_scoped(
+                    // Every shard waits for the host's full Step-❶/❷
+                    // pass — prep is not divisible across shards.
+                    self.lanes[lane].submit_scoped_with_prep(
                         device,
                         &view.splats,
                         &shard_bins,
                         &view.camera,
                         ticket,
+                        prep_cycles,
                     );
                     occupancy_of_shard.push(
                         self.lanes[lane]

@@ -38,7 +38,8 @@ use crate::fleet::{AutoscaleConfig, FleetAction, FleetConfig};
 use crate::metrics::{RunInfo, ServeMetrics, ServeReport};
 use crate::pool::DevicePool;
 use crate::scheduler::{AdmissionControl, FrameTicket, Policy, Scheduler};
-use crate::session::{Session, SessionSpec};
+use crate::session::{PreparedView, Session, SessionSpec};
+use crate::store::SceneStore;
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
 use gbu_render::FrameBuffer;
@@ -106,6 +107,48 @@ pub struct ServeConfig {
     /// entirely inactive and costs nothing; anything active requires a
     /// [`BackendKind::Cluster`] backend.
     pub fleet: FleetConfig,
+    /// When set, [`ServeEngine::attach_spec`] resolves sessions through
+    /// this shared [`SceneStore`]
+    /// ([`Session::prepare_shared`](crate::session::Session::prepare_shared)):
+    /// scenes and prepared viewpoints are interned across sessions, and
+    /// view preparation is lazy (only viewpoints the session's frame
+    /// count can reach). `None` (default) keeps the classic per-session
+    /// preparation, byte-identical to pre-store behaviour.
+    pub scene_store: Option<SceneStore>,
+    /// When set, every dispatched frame is charged the host GPU's
+    /// Step-❶/❷ preprocessing time (projection + binning, from the
+    /// `gbu_gpu` cost model) as up-front device occupancy — and, with
+    /// [`PrepConfig::share`], co-scheduled frames over the same shared
+    /// view handle pay it once per camera epoch instead of once per
+    /// frame. `None` (default) charges nothing: byte-identical to
+    /// pre-prep behaviour.
+    pub prep: Option<PrepConfig>,
+}
+
+/// Host-GPU preprocessing charge model (see [`ServeConfig::prep`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrepConfig {
+    /// Spherical-harmonics degree Step ❶ evaluates per Gaussian (the
+    /// paper's scenes use 3).
+    pub sh_degree: u8,
+    /// Cross-session preprocessing reuse: frames dispatched over the
+    /// same shared view handle (same `Arc`, i.e. sessions resolved
+    /// through one [`SceneStore`]) within one camera epoch pay the
+    /// Step-❶/❷ charge once; the rest ride free, with the saved cycles
+    /// attributed in the report's `preprocessing` block. Off = every
+    /// frame pays.
+    pub share: bool,
+    /// Length of a camera epoch in wall cycles: how long a paid
+    /// preprocessing pass stays fresh for other frames of the same view
+    /// handle. `None` (default) uses the dispatched session's frame
+    /// period — the natural "co-scheduled this frame interval" window.
+    pub share_window_cycles: Option<u64>,
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        Self { sh_degree: 3, share: false, share_window_cycles: None }
+    }
 }
 
 impl ServeConfig {
@@ -136,6 +179,8 @@ impl Default for ServeConfig {
             metrics_window: None,
             telemetry: gbu_telemetry::Recorder::from_env(),
             fleet: FleetConfig::default(),
+            scene_store: None,
+            prep: None,
         }
     }
 }
@@ -259,6 +304,12 @@ pub struct ServeEngine {
     /// takes `&self` on the hot submit path and must not allocate a
     /// fresh `Vec<Vec<u64>>` per probe.
     backlog_scratch: std::cell::RefCell<Vec<Vec<u64>>>,
+    /// Cross-session preprocessing-reuse ledger
+    /// ([`PrepConfig::share`]): per shared view handle (keyed by `Arc`
+    /// pointer identity), the wall cycle its Step-❶/❷ charge was last
+    /// paid. A dispatch within the camera-epoch window of a paid entry
+    /// rides free.
+    prep_paid: std::collections::HashMap<usize, u64>,
 }
 
 impl ServeEngine {
@@ -330,6 +381,7 @@ impl ServeEngine {
             shard_trace: Vec::new(),
             fleet,
             backlog_scratch: std::cell::RefCell::new(Vec::new()),
+            prep_paid: std::collections::HashMap::new(),
         }
     }
 
@@ -413,9 +465,14 @@ impl ServeEngine {
     }
 
     /// Convenience: prepares `spec` against this engine's GBU
-    /// configuration and attaches it.
+    /// configuration and attaches it — through the shared
+    /// [`SceneStore`] when [`ServeConfig::scene_store`] is set, with
+    /// classic private preparation otherwise.
     pub fn attach_spec(&mut self, spec: SessionSpec) -> SessionId {
-        let session = Session::prepare(spec, &self.cfg.gbu);
+        let session = match &self.cfg.scene_store {
+            Some(store) => Session::prepare_shared(spec, &self.cfg.gbu, store),
+            None => Session::prepare(spec, &self.cfg.gbu),
+        };
         self.attach_session(session)
     }
 
@@ -1274,6 +1331,53 @@ impl ServeEngine {
     /// unsharded backfill can no longer starve a wide frame forever
     /// (this matters most during scale-down, when the lane supply is
     /// shrinking under the wide frame).
+    /// Host-GPU preprocessing (Step ❶ project + Step ❷ bin) cycles to
+    /// charge this dispatch, per [`ServeConfig::prep`].
+    ///
+    /// With sharing on, the charge is per *view handle* per epoch
+    /// window: the first frame over a shared [`PreparedView`] within
+    /// the window pays the full Step-❶/❷ cost, co-scheduled frames
+    /// over the same `Arc` ride for free. Classic (non-store) sessions
+    /// hold distinct `Arc`s even for identical content, so they can
+    /// never falsely share — pointer identity is the key.
+    fn prep_charge_cycles(
+        &mut self,
+        view: &std::sync::Arc<PreparedView>,
+        period: u64,
+        now: u64,
+    ) -> u64 {
+        let Some(prep) = self.cfg.prep else { return 0 };
+        let w = gbu_gpu::FrameWorkload {
+            gaussians: view.prep.gaussians as f64,
+            instances: view.prep.instances as f64,
+            sort_passes: f64::from(view.prep.sort_passes),
+            ..gbu_gpu::FrameWorkload::default()
+        };
+        let seconds = gbu_gpu::timing::step1_time(&w, &self.cfg.gpu, prep.sh_degree)
+            + gbu_gpu::timing::step2_time(&w, &self.cfg.gpu);
+        let full = (seconds * self.cfg.gbu.clock_ghz * 1e9).round().max(1.0) as u64;
+        if prep.share {
+            let key = std::sync::Arc::as_ptr(view) as usize;
+            let window = prep.share_window_cycles.unwrap_or(period).max(1);
+            if let Some(&paid) = self.prep_paid.get(&key) {
+                if now.saturating_sub(paid) < window {
+                    self.metrics.prep_shared(full);
+                    if self.recorder.is_enabled() {
+                        self.recorder.counter("serve.prep.shared").add(1);
+                        self.recorder.counter("serve.prep.saved_cycles").add(full);
+                    }
+                    return 0;
+                }
+            }
+            self.prep_paid.insert(key, now);
+        }
+        self.metrics.prep_charged(full);
+        if self.recorder.is_enabled() {
+            self.recorder.counter("serve.prep.charged").add(1);
+        }
+        full
+    }
+
     fn dispatch(&mut self, now: u64) {
         loop {
             if self.queue.is_empty() {
@@ -1336,8 +1440,10 @@ impl ServeEngine {
             let slot = self.slots[ticket.session.index()]
                 .as_ref()
                 .expect("queued frames of detached sessions are dropped at detach");
-            let (mode, view) = (slot.mode, slot.session.view(ticket.frame));
-            let device = self.backend.submit(view, ticket, mode);
+            let (mode, period) = (slot.mode, slot.period);
+            let view = slot.session.view_handle(ticket.frame).clone();
+            let prep_cycles = self.prep_charge_cycles(&view, period, now);
+            let device = self.backend.submit_with_prep(&view, ticket, mode, prep_cycles);
             self.metrics.start(ticket, now);
             if self.recorder.is_enabled() {
                 self.recorder.mark(
@@ -2064,5 +2170,101 @@ mod tests {
             matches!(engine.poll(f), FrameStatus::Completed { .. }),
             "the frame runs once the lane is restored"
         );
+    }
+
+    #[test]
+    fn scene_store_without_prep_reports_byte_identically() {
+        // Same specs, same clock: classic private preparation vs the
+        // shared store with prep modelling off must be indistinguishable
+        // down to the serialized report.
+        let specs: Vec<SessionSpec> = (0..4).map(|i| tiny_spec(i % 2, 3)).collect();
+        let classic = {
+            let sessions: Vec<Session> =
+                specs.iter().map(|s| Session::prepare(s.clone(), &GbuConfig::paper())).collect();
+            run_workload(ServeConfig::default(), &sessions, 0.5)
+        };
+        let stored = {
+            let store = crate::store::SceneStore::new();
+            let cfg = ServeConfig { scene_store: Some(store), ..ServeConfig::default() };
+            let sessions: Vec<Session> = specs
+                .iter()
+                .map(|s| {
+                    Session::prepare_shared(
+                        s.clone(),
+                        &GbuConfig::paper(),
+                        &cfg.scene_store.clone().unwrap(),
+                    )
+                })
+                .collect();
+            run_workload(cfg, &sessions, 0.5)
+        };
+        assert_eq!(classic.to_json(), stored.to_json());
+    }
+
+    #[test]
+    fn prep_charging_counts_and_slows_frames() {
+        let sessions = tiny_workload(3, 4);
+        let base = run_workload(ServeConfig::default(), &sessions, 0.5);
+        assert_eq!(base.preprocessing, crate::metrics::PrepCounts::default());
+        let cfg = ServeConfig { prep: Some(PrepConfig::default()), ..ServeConfig::default() };
+        let charged = run_workload(cfg, &sessions, 0.5);
+        assert_eq!(charged.preprocessing.frames_charged, charged.completed);
+        assert_eq!(charged.preprocessing.frames_shared, 0);
+        assert!(charged.preprocessing.cycles_charged > 0);
+        assert!(
+            charged.p50_latency_ms > base.p50_latency_ms,
+            "the host Step-❶/❷ charge must show up in latency: {} vs {}",
+            charged.p50_latency_ms,
+            base.p50_latency_ms
+        );
+    }
+
+    #[test]
+    fn sharing_discounts_co_scheduled_frames_over_one_handle() {
+        // Four sessions over ONE scene through a shared store: with the
+        // share window open, only the first frame over each (view, epoch)
+        // pays; classic private sessions can never share (distinct Arcs).
+        let store = crate::store::SceneStore::new();
+        let specs: Vec<SessionSpec> =
+            (0..4).map(|i| SessionSpec { name: format!("c{i}"), ..tiny_spec(0, 3) }).collect();
+        let sessions: Vec<Session> = specs
+            .iter()
+            .map(|s| Session::prepare_shared(s.clone(), &GbuConfig::paper(), &store))
+            .collect();
+        let run = |share: bool, sessions: &[Session]| {
+            let cfg = ServeConfig {
+                scene_store: Some(store.clone()),
+                prep: Some(PrepConfig { share, ..PrepConfig::default() }),
+                ..ServeConfig::default()
+            };
+            run_workload(cfg, sessions, 0.5)
+        };
+        let unshared = run(false, &sessions);
+        assert_eq!(unshared.preprocessing.frames_shared, 0);
+        assert_eq!(unshared.preprocessing.frames_charged, unshared.completed);
+
+        let shared = run(true, &sessions);
+        assert!(shared.preprocessing.frames_shared > 0, "co-scheduled frames must share");
+        assert_eq!(
+            shared.preprocessing.frames_shared + shared.preprocessing.frames_charged,
+            shared.completed
+        );
+        assert!(shared.preprocessing.cycles_saved > 0);
+        assert!(
+            shared.p50_latency_ms < unshared.p50_latency_ms,
+            "sharing the Step-❶/❷ charge must recover latency: {} vs {}",
+            shared.p50_latency_ms,
+            unshared.p50_latency_ms
+        );
+
+        // Classic sessions under share=true: distinct Arcs, no discount.
+        let classic: Vec<Session> =
+            specs.iter().map(|s| Session::prepare(s.clone(), &GbuConfig::paper())).collect();
+        let cfg = ServeConfig {
+            prep: Some(PrepConfig { share: true, ..PrepConfig::default() }),
+            ..ServeConfig::default()
+        };
+        let private = run_workload(cfg, &classic, 0.5);
+        assert_eq!(private.preprocessing.frames_shared, 0, "private views never falsely share");
     }
 }

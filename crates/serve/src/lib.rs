@@ -175,12 +175,14 @@ pub mod metrics;
 pub mod pool;
 pub mod scheduler;
 pub mod session;
+pub mod store;
 pub mod workload;
 
 pub use backend::{BackendKind, ExecBackend, ExecCompletion, ExecMode, FrameDone};
 pub use cluster::{ClusterBackend, ShardedCompletion, ShardedPool};
 pub use engine::{
-    calibrated_clock_ghz, run_sessions, run_workload, ServeConfig, ServeEngine, ServeHandle,
+    calibrated_clock_ghz, run_sessions, run_workload, PrepConfig, ServeConfig, ServeEngine,
+    ServeHandle,
 };
 pub use event::{
     DropReason, FrameId, FrameStatus, RejectReason, RequeueReason, ServeEvent, SessionId,
@@ -189,9 +191,10 @@ pub use fleet::{
     AutoscaleConfig, FleetAction, FleetConfig, FleetEvent, FleetPlan, MigrationConfig,
 };
 pub use metrics::{
-    DropBreakdown, FrameRecord, LifetimeCounts, RejectBreakdown, RequeueBreakdown, RunInfo,
-    ServeMetrics, ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
+    DropBreakdown, FrameRecord, LifetimeCounts, PrepCounts, RejectBreakdown, RequeueBreakdown,
+    RunInfo, ServeMetrics, ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
 };
 pub use pool::{DevicePool, PoolCompletion};
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};
-pub use session::{PreparedView, QosTarget, Session, SessionContent, SessionSpec};
+pub use session::{PreparedView, QosTarget, Session, SessionContent, SessionSpec, ViewPrepStats};
+pub use store::{SceneStore, SceneStoreCounters};

@@ -58,6 +58,25 @@ pub struct LifetimeCounts {
     pub requeued: usize,
 }
 
+/// Host-GPU preprocessing (Step ❶ project + Step ❷ bin) accounting
+/// under [`crate::ServeConfig::prep`]: how many dispatches paid the
+/// full per-frame charge versus rode a co-scheduled frame's shared
+/// epoch charge, and the cycle totals on each side. All zero when prep
+/// modelling is off, so the block is additive to existing reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepCounts {
+    /// Dispatches that paid the full Step-❶/❷ charge.
+    pub frames_charged: usize,
+    /// Dispatches that reused a shared view's in-window charge.
+    pub frames_shared: usize,
+    /// Total host-GPU cycles charged to dispatched frames.
+    pub cycles_charged: u64,
+    /// Total host-GPU cycles avoided through sharing — the cycles the
+    /// shared frames would have paid without
+    /// [`crate::PrepConfig::share`].
+    pub cycles_saved: u64,
+}
+
 /// Collects events during a serving run.
 ///
 /// Retention: by default every per-frame record is kept so
@@ -85,6 +104,9 @@ pub struct ServeMetrics {
     /// Per-category record cap; `None` keeps everything.
     window: Option<usize>,
     lifetime: LifetimeCounts,
+    /// Host-GPU preprocessing charge/reuse totals (whole-run, unwindowed
+    /// — like [`LifetimeCounts`], these are conservation sums).
+    prep: PrepCounts,
 }
 
 /// Shard-level record of one completed sharded frame.
@@ -198,6 +220,24 @@ impl ServeMetrics {
     /// Records one fleet-controller session migration.
     pub fn migrate(&mut self) {
         self.migrated += 1;
+    }
+
+    /// Records a dispatch that paid the full host-GPU Step-❶/❷ charge.
+    pub fn prep_charged(&mut self, cycles: u64) {
+        self.prep.frames_charged += 1;
+        self.prep.cycles_charged += cycles;
+    }
+
+    /// Records a dispatch that reused a shared view's in-window charge,
+    /// saving `cycles` of host-GPU preprocessing.
+    pub fn prep_shared(&mut self, cycles: u64) {
+        self.prep.frames_shared += 1;
+        self.prep.cycles_saved += cycles;
+    }
+
+    /// Host-GPU preprocessing charge/reuse totals so far.
+    pub fn prep(&self) -> PrepCounts {
+        self.prep
     }
 
     /// Records one lane up/down transition (kill, restore, or autoscale
@@ -404,6 +444,7 @@ impl ServeMetrics {
             },
             device_utilization: utilization,
             wall_seconds,
+            preprocessing: self.prep,
             sharding,
             sessions,
         }
@@ -548,6 +589,9 @@ pub struct ServeReport {
     pub device_utilization: f64,
     /// Simulated run length in seconds.
     pub wall_seconds: f64,
+    /// Host-GPU preprocessing charge/reuse totals (whole-run). All
+    /// zeros when [`crate::ServeConfig::prep`] is `None`.
+    pub preprocessing: PrepCounts,
     /// Shard-level breakdown — `None` unless sharded frames completed
     /// within the retention window (unsharded runs keep their report,
     /// and its JSON, unchanged).
@@ -661,6 +705,14 @@ impl ServeReport {
             "{{\"lane_failed\":{},\"lane_retired\":{}}}",
             self.requeue_reasons.lane_failed, self.requeue_reasons.lane_retired,
         );
+        let preprocessing = format!(
+            "{{\"frames_charged\":{},\"frames_shared\":{},\"cycles_charged\":{},\
+             \"cycles_saved\":{}}}",
+            self.preprocessing.frames_charged,
+            self.preprocessing.frames_shared,
+            self.preprocessing.cycles_charged,
+            self.preprocessing.cycles_saved,
+        );
         let lifetime = format!(
             "{{\"generated\":{},\"completed\":{},\"rejected\":{},\"dropped\":{},\"missed\":{},\
              \"requeued\":{}}}",
@@ -677,7 +729,8 @@ impl ServeReport {
              \"drop_reasons\":{},\"requeued\":{},\"requeue_reasons\":{},\"migrated\":{},\
              \"lane_churn\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
-             \"device_utilization\":{},\"wall_seconds\":{}{sharding},\"sessions\":[{}]}}",
+             \"device_utilization\":{},\"wall_seconds\":{},\
+             \"preprocessing\":{preprocessing}{sharding},\"sessions\":[{}]}}",
             json_str(&self.policy),
             self.devices,
             self.generated,
@@ -854,6 +907,13 @@ mod tests {
         assert!(empty.contains("\"requeued\":0"));
         assert!(empty.contains("\"migrated\":0"));
         assert!(empty.contains("\"lane_churn\":0"));
+        // The preprocessing block is always present — all zero when prep
+        // modelling is off — so the report schema does not depend on
+        // configuration.
+        assert!(empty.contains(
+            "\"preprocessing\":{\"frames_charged\":0,\"frames_shared\":0,\"cycles_charged\":0,\
+             \"cycles_saved\":0}"
+        ));
         let keys = |json: &str| {
             let mut k: Vec<String> =
                 json.split('"').skip(1).step_by(2).map(str::to_string).collect();

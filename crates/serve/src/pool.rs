@@ -47,6 +47,12 @@ struct ActiveFrame {
     /// Wall cycle the frame was submitted at (start of the busy segment
     /// telemetry records on completion).
     started: u64,
+    /// Host-preprocessing device-cycles still to burn before the GBU
+    /// makes progress — the Step-❶/❷ charge of
+    /// [`DevicePool::submit_with_prep`]. The slot is occupied (and busy,
+    /// and subject to DRAM contention) while the host GPU produces the
+    /// frame's artifacts; 0 on the classic submit path.
+    prep: u64,
 }
 
 /// N GBU devices on one simulated clock with a shared DRAM budget.
@@ -168,10 +174,28 @@ impl DevicePool {
     /// Panics if the device still has a frame in flight — the engine only
     /// dispatches to [`DevicePool::idle_device`] slots.
     pub fn submit(&mut self, device: usize, view: &PreparedView, ticket: FrameTicket) {
+        self.submit_with_prep(device, view, ticket, 0);
+    }
+
+    /// [`DevicePool::submit`] plus an up-front host-preprocessing charge:
+    /// the frame occupies `device` for `prep_cycles` additional
+    /// device-cycles (the host GPU's Step-❶/❷ time, converted to device
+    /// cycles by the engine) before GBU progress starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device still has a frame in flight.
+    pub fn submit_with_prep(
+        &mut self,
+        device: usize,
+        view: &PreparedView,
+        ticket: FrameTicket,
+        prep_cycles: u64,
+    ) {
         self.devices[device]
             .render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO)
             .expect("engine dispatches only to idle devices");
-        self.track(device, ticket);
+        self.track(device, ticket, prep_cycles);
     }
 
     /// Submits one *shard* of a frame to device `device` (must be idle):
@@ -191,21 +215,42 @@ impl DevicePool {
         camera: &Camera,
         ticket: FrameTicket,
     ) {
+        self.submit_scoped_with_prep(device, splats, bins, camera, ticket, 0);
+    }
+
+    /// [`DevicePool::submit_scoped`] plus an up-front host-preprocessing
+    /// charge, mirroring [`DevicePool::submit_with_prep`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device still has a frame in flight.
+    #[allow(clippy::too_many_arguments)]
+    pub fn submit_scoped_with_prep(
+        &mut self,
+        device: usize,
+        splats: &[Splat2D],
+        bins: &TileBins,
+        camera: &Camera,
+        ticket: FrameTicket,
+        prep_cycles: u64,
+    ) {
         self.devices[device]
             .render_scoped(splats, bins, camera, Vec3::ZERO)
             .expect("cluster dispatches only to idle devices");
-        self.track(device, ticket);
+        self.track(device, ticket, prep_cycles);
     }
 
     /// Registers the just-submitted frame on `device` as active, with its
-    /// feature traffic streamed over its whole duration.
-    fn track(&mut self, device: usize, ticket: FrameTicket) {
+    /// feature traffic streamed over its whole duration (prep included:
+    /// the host writes the frame's artifacts over the same window it
+    /// occupies the slot).
+    fn track(&mut self, device: usize, ticket: FrameTicket, prep: u64) {
         let gbu = &self.devices[device];
         let duration = gbu.in_flight_remaining().expect("frame was just submitted");
         let bytes = gbu.in_flight_dram_bytes().expect("frame was just submitted");
-        let demand = bytes as f64 / duration.max(1) as f64;
+        let demand = bytes as f64 / (duration + prep).max(1) as f64;
         self.active[device] =
-            Some(ActiveFrame { ticket, demand, residue: 0.0, started: self.clock });
+            Some(ActiveFrame { ticket, demand, residue: 0.0, started: self.clock, prep });
     }
 
     /// Device-cycles of work still executing on each device (zero for
@@ -225,12 +270,9 @@ impl DevicePool {
     /// probes.
     pub fn in_flight_backlog_into(&self, out: &mut Vec<u64>) {
         out.clear();
-        out.extend(self.devices.iter().zip(&self.active).map(|(gbu, slot)| {
-            if slot.is_some() {
-                gbu.in_flight_remaining().unwrap_or(0)
-            } else {
-                0
-            }
+        out.extend(self.devices.iter().zip(&self.active).map(|(gbu, slot)| match slot {
+            Some(a) => a.prep + gbu.in_flight_remaining().unwrap_or(0),
+            None => 0,
         }));
     }
 
@@ -283,7 +325,8 @@ impl DevicePool {
             .enumerate()
             .filter_map(|(i, slot)| {
                 let a = slot.as_ref()?;
-                let remaining = self.devices[i].in_flight_remaining()? as f64 - a.residue;
+                let remaining =
+                    (a.prep + self.devices[i].in_flight_remaining()?) as f64 - a.residue;
                 Some((remaining / rate).ceil().max(1.0) as u64)
             })
             .min()
@@ -335,13 +378,18 @@ impl DevicePool {
             job.started = a.started;
             // Busy credit stops when the frame finishes, even if the
             // caller overshoots the completion event.
-            let remaining = job.gbu.in_flight_remaining().unwrap_or(0) as f64 - a.residue;
+            let remaining =
+                (a.prep + job.gbu.in_flight_remaining().unwrap_or(0)) as f64 - a.residue;
             let needed_wall = (remaining / rate).ceil().max(0.0) as u64;
             job.busy = wall_dt.min(needed_wall);
             let progress = wall_dt as f64 * rate + a.residue;
             let whole = progress.floor();
             a.residue = progress - whole;
-            job.gbu.advance(whole as u64);
+            // Host-prep cycles burn first; only the surplus progresses
+            // the GBU.
+            let prep_burn = (whole as u64).min(a.prep);
+            a.prep -= prep_burn;
+            job.gbu.advance(whole as u64 - prep_burn);
             if let Some(frame) = job.gbu.try_collect() {
                 let ticket = a.ticket;
                 *job.slot = None;
@@ -447,6 +495,41 @@ mod tests {
         assert_eq!(completions, 2);
         let u = pool.utilization();
         assert!(u > 0.0 && u <= 1.0, "utilization {u}");
+    }
+
+    #[test]
+    fn prep_cycles_extend_completion_exactly() {
+        let session = prepared();
+        let mut plain = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        plain.submit(0, session.view(0), ticket(0));
+        let base_dt = plain.next_completion_dt().expect("one frame in flight");
+
+        // The same frame with an up-front host-preprocessing charge
+        // completes exactly `prep` wall cycles later (uncontended pool:
+        // one wall cycle burns one device cycle).
+        let prep = 12_345u64;
+        let mut charged = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        charged.submit_with_prep(0, session.view(0), ticket(0), prep);
+        let charged_dt = charged.next_completion_dt().expect("one frame in flight");
+        assert_eq!(charged_dt, base_dt + prep);
+
+        // Advancing by only the prep burns the charge without touching
+        // the GBU frame: the remaining time is the uncharged duration.
+        let none = charged.advance(prep);
+        assert!(none.is_empty());
+        assert_eq!(charged.next_completion_dt().expect("still in flight"), base_dt);
+        let done = charged.advance(base_dt);
+        assert_eq!(done.len(), 1);
+    }
+
+    #[test]
+    fn zero_prep_is_the_plain_submit_path() {
+        let session = prepared();
+        let mut a = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        a.submit(0, session.view(0), ticket(0));
+        let mut b = DevicePool::new(1, &GbuConfig::paper(), &GpuConfig::orin_nx(), 0.5);
+        b.submit_with_prep(0, session.view(0), ticket(0), 0);
+        assert_eq!(a.next_completion_dt(), b.next_completion_dt());
     }
 
     #[test]

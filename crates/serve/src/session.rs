@@ -12,6 +12,7 @@
 //! per-frame work the scheduler sees is the paper's Step ❸.
 
 use crate::backend::ExecMode;
+use crate::store::SceneStore;
 use gbu_core::apps::FrameScenario;
 use gbu_hw::GbuConfig;
 use gbu_math::Vec3;
@@ -19,6 +20,7 @@ use gbu_render::binning::TileBins;
 use gbu_render::{pipeline, Splat2D};
 use gbu_scene::synth::SceneBuilder;
 use gbu_scene::{Camera, DatasetScene, GaussianScene, ScaleProfile};
+use std::sync::Arc;
 
 /// A frame-rate / deadline class (the refresh rates AR/VR runtimes pin).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +108,19 @@ pub struct SessionSpec {
     pub exec: ExecMode,
 }
 
+/// Size of the Step-❶/❷ preprocessing work that produced a
+/// [`PreparedView`] — what the host-GPU cost model
+/// ([`crate::engine::PrepConfig`]) charges per dispatched frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ViewPrepStats {
+    /// Gaussians projected in Step ❶ (the full scene, pre-culling).
+    pub gaussians: u64,
+    /// (splat, tile) instances emitted and sorted in Step ❷.
+    pub instances: u64,
+    /// Radix-sort passes Step ❷ executed.
+    pub sort_passes: u32,
+}
+
 /// A preprocessed viewpoint: the outputs of Rendering Steps ❶/❷ that the
 /// host GPU hands to `GBU_render_image`.
 #[derive(Debug, Clone)]
@@ -116,6 +131,8 @@ pub struct PreparedView {
     pub bins: TileBins,
     /// The camera of this viewpoint.
     pub camera: Camera,
+    /// Size of the preprocessing work that built this view.
+    pub prep: ViewPrepStats,
 }
 
 /// A prepared session, ready to be served.
@@ -128,8 +145,12 @@ pub struct PreparedView {
 pub struct Session {
     /// The spec this session was built from.
     pub spec: SessionSpec,
-    /// Preprocessed viewpoints, replayed round-robin as the camera stream.
-    views: Vec<PreparedView>,
+    /// Preprocessed viewpoints, replayed round-robin as the camera
+    /// stream. Behind `Arc` so sessions resolved through a
+    /// [`SceneStore`] share one copy of each prepared view (classic
+    /// preparation still builds private views — the handles just make
+    /// sharing free when a store is in play).
+    views: Vec<Arc<PreparedView>>,
     /// Device-occupancy cycles of each view — max(D&B, Tile PE), exactly
     /// what `GBU_render_image` schedules — measured once at preparation
     /// time on a scratch device (used for load calibration, not serving).
@@ -139,23 +160,99 @@ pub struct Session {
 /// Number of orbit viewpoints prepared per session.
 const VIEWS_PER_SESSION: usize = 3;
 
-fn orbit_views(scene: &GaussianScene, width: u32, height: u32, seed: u64) -> Vec<PreparedView> {
+/// Resolves a spec's scene content into the scene and frame resolution.
+pub(crate) fn resolve_scene(content: &SessionContent) -> (GaussianScene, u32, u32) {
+    let synth = |seed: u64, gaussians: usize| {
+        SceneBuilder::new(seed)
+            .ellipsoid_cloud(
+                Vec3::ZERO,
+                Vec3::splat(0.8),
+                gaussians,
+                Vec3::new(0.6, 0.5, 0.4),
+                0.15,
+            )
+            .build()
+    };
+    match content {
+        SessionContent::Synthetic { seed, gaussians } => (synth(*seed, *gaussians), 64, 64),
+        SessionContent::SyntheticHd { seed, gaussians, width, height } => {
+            (synth(*seed, *gaussians), *width, *height)
+        }
+        SessionContent::Dataset { name, profile } => {
+            let ds = DatasetScene::by_name(name)
+                .unwrap_or_else(|| panic!("unknown dataset scene {name}"));
+            let scenario = FrameScenario::from_dataset(&ds, *profile);
+            let cam = &scenario.camera;
+            (scenario.scene, cam.width, cam.height)
+        }
+    }
+}
+
+/// The seed that picks a spec's orbit: the scene seed for synthetic
+/// content; a hash of the (unique) session name for dataset content so
+/// sessions sharing a dataset scene still get distinct orbits.
+pub(crate) fn orbit_seed(spec: &SessionSpec) -> u64 {
+    match &spec.content {
+        SessionContent::Synthetic { seed, .. } | SessionContent::SyntheticHd { seed, .. } => *seed,
+        SessionContent::Dataset { .. } => {
+            spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+            })
+        }
+    }
+}
+
+/// Deterministic orbit camera of viewpoint `v`: spread yaw, nod pitch.
+pub(crate) fn orbit_camera(
+    scene: &GaussianScene,
+    width: u32,
+    height: u32,
+    seed: u64,
+    v: usize,
+) -> Camera {
     let (center, radius) = match (scene.centroid(), scene.bounds()) {
         (Some(c), Some((min, max))) => (c, ((max - min).length() * 0.9).max(1.0)),
         _ => (Vec3::ZERO, 3.0),
     };
+    let yaw = (seed % 7) as f32 * 0.9 + v as f32 * 0.35;
+    let pitch = 0.15 + 0.1 * (v as f32 - 1.0);
+    Camera::orbit(width, height, 0.9, center, radius, yaw, pitch)
+}
+
+/// Steps ❶/❷ through the staged pipeline — the exact artifacts the host
+/// GPU hands to `GBU_render_image` each frame.
+pub(crate) fn prepare_view(scene: &GaussianScene, camera: Camera) -> PreparedView {
+    let projected = pipeline::project(scene, &camera);
+    let binned = pipeline::bin(&projected, 16);
+    let prep = ViewPrepStats {
+        gaussians: scene.gaussians.len() as u64,
+        instances: binned.stats.instances,
+        sort_passes: binned.stats.sort_passes,
+    };
+    PreparedView { splats: projected.splats, bins: binned.bins, camera, prep }
+}
+
+/// Measures one view's device occupancy on a scratch device: the frame
+/// occupies the device for max(D&B, Tile PE) cycles — what
+/// `render_image` scheduled, not just the tile-engine share.
+pub(crate) fn probe_view_cycles(view: &PreparedView, gbu: &GbuConfig) -> u64 {
+    let mut probe = gbu_core::Gbu::new(gbu.clone());
+    probe
+        .render_image(&view.splats, &view.bins, &view.camera, Vec3::ZERO)
+        .expect("probe device is idle");
+    let occupancy = probe.in_flight_remaining().expect("frame in flight");
+    probe.wait().expect("frame in flight");
+    occupancy
+}
+
+fn orbit_views(
+    scene: &GaussianScene,
+    width: u32,
+    height: u32,
+    seed: u64,
+) -> Vec<Arc<PreparedView>> {
     (0..VIEWS_PER_SESSION)
-        .map(|v| {
-            // Deterministic per-session orbit: spread yaw, nod pitch.
-            let yaw = (seed % 7) as f32 * 0.9 + v as f32 * 0.35;
-            let pitch = 0.15 + 0.1 * (v as f32 - 1.0);
-            let camera = Camera::orbit(width, height, 0.9, center, radius, yaw, pitch);
-            // Steps ❶/❷ through the staged pipeline — the exact artifacts
-            // the host GPU hands to `GBU_render_image` each frame.
-            let projected = pipeline::project(scene, &camera);
-            let binned = pipeline::bin(&projected, 16);
-            PreparedView { splats: projected.splats, bins: binned.bins, camera }
-        })
+        .map(|v| Arc::new(prepare_view(scene, orbit_camera(scene, width, height, seed, v))))
         .collect()
 }
 
@@ -164,63 +261,41 @@ impl Session {
     /// `VIEWS_PER_SESSION` viewpoints and measures each view once on a
     /// scratch device for load calibration.
     pub fn prepare(spec: SessionSpec, gbu: &GbuConfig) -> Self {
-        let synth = |seed: u64, gaussians: usize| {
-            SceneBuilder::new(seed)
-                .ellipsoid_cloud(
-                    Vec3::ZERO,
-                    Vec3::splat(0.8),
-                    gaussians,
-                    Vec3::new(0.6, 0.5, 0.4),
-                    0.15,
-                )
-                .build()
-        };
-        let (scene, width, height) = match &spec.content {
-            SessionContent::Synthetic { seed, gaussians } => (synth(*seed, *gaussians), 64, 64),
-            SessionContent::SyntheticHd { seed, gaussians, width, height } => {
-                (synth(*seed, *gaussians), *width, *height)
-            }
-            SessionContent::Dataset { name, profile } => {
-                let ds = DatasetScene::by_name(name)
-                    .unwrap_or_else(|| panic!("unknown dataset scene {name}"));
-                let scenario = FrameScenario::from_dataset(&ds, *profile);
-                let cam = &scenario.camera;
-                (scenario.scene, cam.width, cam.height)
-            }
-        };
-        let seed = match &spec.content {
-            SessionContent::Synthetic { seed, .. } | SessionContent::SyntheticHd { seed, .. } => {
-                *seed
-            }
-            // Hash the (unique) session name so sessions sharing a dataset
-            // scene still get distinct orbits.
-            SessionContent::Dataset { .. } => {
-                spec.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-                    (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-                })
-            }
-        };
+        let (scene, width, height) = resolve_scene(&spec.content);
+        let seed = orbit_seed(&spec);
         let views = orbit_views(&scene, width, height, seed);
-        let view_cycles = views
-            .iter()
-            .map(|v| {
-                let mut probe = gbu_core::Gbu::new(gbu.clone());
-                probe
-                    .render_image(&v.splats, &v.bins, &v.camera, Vec3::ZERO)
-                    .expect("probe device is idle");
-                // The frame occupies the device for max(D&B, Tile PE)
-                // cycles — what `render_image` scheduled, not just the
-                // tile-engine share.
-                let occupancy = probe.in_flight_remaining().expect("frame in flight");
-                probe.wait().expect("frame in flight");
-                occupancy
-            })
-            .collect();
+        let view_cycles = views.iter().map(|v| probe_view_cycles(v, gbu)).collect();
+        Self { spec, views, view_cycles }
+    }
+
+    /// [`Session::prepare`] through a shared [`SceneStore`]: the scene
+    /// and every prepared viewpoint (including its calibration probe)
+    /// are interned, so N sessions over the same content share one copy
+    /// and pay Steps ❶/❷ once. Also lazy: only viewpoints the session's
+    /// frame count can actually reach are prepared, instead of eagerly
+    /// projecting all `VIEWS_PER_SESSION` orbits up front.
+    pub fn prepare_shared(spec: SessionSpec, gbu: &GbuConfig, store: &SceneStore) -> Self {
+        let needed = VIEWS_PER_SESSION.min(spec.frames.max(1) as usize);
+        let seed = orbit_seed(&spec);
+        let mut views = Vec::with_capacity(needed);
+        let mut view_cycles = Vec::with_capacity(needed);
+        for v in 0..needed {
+            let (view, cycles) = store.view(&spec.content, seed, v, gbu);
+            views.push(view);
+            view_cycles.push(cycles);
+        }
         Self { spec, views, view_cycles }
     }
 
     /// The viewpoint frame `index` renders (round-robin camera stream).
     pub fn view(&self, index: u32) -> &PreparedView {
+        &self.views[index as usize % self.views.len()]
+    }
+
+    /// The shared handle of the viewpoint frame `index` renders — scene
+    /// identity for the cross-session preprocessing-reuse discount
+    /// (frames over the same `Arc` share one Step-❶/❷ charge per epoch).
+    pub fn view_handle(&self, index: u32) -> &Arc<PreparedView> {
         &self.views[index as usize % self.views.len()]
     }
 
@@ -309,6 +384,51 @@ mod tests {
             &GbuConfig::paper(),
         );
         assert!(s.mean_frame_cycles() > 0.0);
+    }
+
+    #[test]
+    fn shared_preparation_is_bit_identical_to_classic() {
+        let store = SceneStore::new();
+        let gbu = GbuConfig::paper();
+        let classic = Session::prepare(spec(120), &gbu);
+        let shared = Session::prepare_shared(spec(120), &gbu, &store);
+        assert_eq!(classic.views.len(), shared.views.len());
+        for v in 0..classic.views.len() as u32 {
+            assert_eq!(classic.view(v).splats, shared.view(v).splats);
+            assert_eq!(classic.view(v).bins.entries, shared.view(v).bins.entries);
+            assert_eq!(classic.view(v).bins.offsets, shared.view(v).bins.offsets);
+            assert_eq!(classic.view(v).prep, shared.view(v).prep);
+        }
+        assert_eq!(classic.view_cycles, shared.view_cycles);
+    }
+
+    #[test]
+    fn shared_sessions_share_view_handles() {
+        let store = SceneStore::new();
+        let gbu = GbuConfig::paper();
+        let a = Session::prepare_shared(spec(80), &gbu, &store);
+        let b =
+            Session::prepare_shared(SessionSpec { name: "s1".into(), ..spec(80) }, &gbu, &store);
+        // Same content through the same store: the views are one Arc.
+        assert!(Arc::ptr_eq(a.view_handle(0), b.view_handle(0)));
+        // Classic sessions never share, even for identical content.
+        let c = Session::prepare(spec(80), &gbu);
+        assert!(!Arc::ptr_eq(a.view_handle(0), c.view_handle(0)));
+    }
+
+    #[test]
+    fn shared_preparation_is_lazy_in_frame_count() {
+        let store = SceneStore::new();
+        let gbu = GbuConfig::paper();
+        let one = Session::prepare_shared(SessionSpec { frames: 1, ..spec(60) }, &gbu, &store);
+        assert_eq!(one.views.len(), 1, "a 1-frame session prepares 1 view, not the full orbit");
+        // Push-only sessions (frames == 0) still need a viewpoint.
+        let push = Session::prepare_shared(
+            SessionSpec { name: "push".into(), frames: 0, ..spec(60) },
+            &gbu,
+            &store,
+        );
+        assert_eq!(push.views.len(), 1);
     }
 
     #[test]

@@ -64,6 +64,19 @@ pub fn prepare_all(specs: Vec<SessionSpec>, gbu: &GbuConfig) -> Vec<Session> {
     specs.into_iter().map(|spec| Session::prepare(spec, gbu)).collect()
 }
 
+/// Prepares every spec through a shared [`SceneStore`](crate::store::SceneStore): sessions over
+/// the same content intern one scene and share `Arc`-handled prepared
+/// views, so an N-sessions-over-K-scenes mix pays Step-❶/❷ preparation
+/// K-ish times instead of N times. Prepared views are bit-identical to
+/// [`prepare_all`]'s.
+pub fn prepare_all_shared(
+    specs: Vec<SessionSpec>,
+    gbu: &GbuConfig,
+    store: &crate::store::SceneStore,
+) -> Vec<Session> {
+    specs.into_iter().map(|spec| Session::prepare_shared(spec, gbu, store)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

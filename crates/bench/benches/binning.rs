@@ -1,10 +1,16 @@
 //! Criterion micro-bench: Rendering Step ❷ — tile binning and the
-//! (tile, depth) radix sort.
+//! (tile, depth) radix sort, serial vs. the parallel path.
+//!
+//! Covers the serial reference (`bin_splats`), the pooled fresh-allocation
+//! path (`bin_splats_pooled`, with and without Step ❶'s carried bounds),
+//! the allocation-lean `bin_into` reuse path on warm scratch, and the
+//! radix sort alone in its serial and chunk-parallel forms.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gbu_math::sort::radix_sort_pairs;
+use gbu_math::sort;
 use gbu_math::Vec3;
-use gbu_render::{binning, preprocess};
+use gbu_par::ThreadPool;
+use gbu_render::{binning, preprocess, BinScratch};
 use gbu_scene::synth::SceneBuilder;
 use gbu_scene::Camera;
 
@@ -13,18 +19,50 @@ fn bench_binning(c: &mut Criterion) {
         .ellipsoid_cloud(Vec3::ZERO, Vec3::splat(1.0), 5000, Vec3::splat(0.5), 0.1)
         .build();
     let camera = Camera::orbit(320, 240, 0.9, Vec3::ZERO, 4.0, 0.0, 0.2);
-    let (splats, _) = preprocess::project_scene(&scene, &camera);
+    let pool = ThreadPool::new(4);
+    let (splats, bounds, _) = preprocess::project_scene_bounded(&pool, &scene, &camera);
 
     let mut g = c.benchmark_group("binning");
-    g.bench_function("bin_splats_5k", |b| {
+    g.bench_function("bin_splats_5k_serial", |b| {
         b.iter(|| binning::bin_splats(&splats, &camera, 16));
     });
+    g.bench_function("bin_splats_pooled_5k_4t", |b| {
+        b.iter(|| binning::bin_splats_pooled(&pool, &splats, None, &camera, 16));
+    });
+    g.bench_function("bin_splats_pooled_5k_4t_bounded", |b| {
+        b.iter(|| binning::bin_splats_pooled(&pool, &splats, Some(&bounds), &camera, 16));
+    });
+    g.bench_function("bin_into_5k_4t_reuse", |b| {
+        let mut scratch = BinScratch::new();
+        let mut bins = binning::bin_splats(&splats, &camera, 16).0;
+        b.iter(|| {
+            binning::bin_into(&pool, &splats, Some(&bounds), &camera, 16, &mut scratch, &mut bins)
+        });
+    });
+
     let pairs: Vec<(u64, u32)> =
         (0..100_000u64).map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15), i as u32)).collect();
-    g.bench_function("radix_sort_100k", |b| {
+    g.bench_function("radix_sort_100k_serial", |b| {
         b.iter_batched(
             || pairs.clone(),
-            |mut p| radix_sort_pairs(&mut p),
+            |mut p| sort::radix_sort_pairs(&mut p),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("radix_sort_100k_chunked_4t", |b| {
+        let mut scratch = Vec::new();
+        let mut hists = Vec::new();
+        let mut units = vec![(); pool.threads().max(1)];
+        let mut slots: Vec<()> = Vec::new();
+        b.iter_batched(
+            || pairs.clone(),
+            |mut p| {
+                let mut run = |_stage: &'static str, jobs: usize, job: &(dyn Fn(usize) + Sync)| {
+                    slots.resize(jobs, ());
+                    pool.for_each_mut_with(&mut units, &mut slots[..jobs], |_, i, _| job(i));
+                };
+                sort::radix_sort_pairs_chunked(&mut p, &mut scratch, &mut hists, 4096, &mut run)
+            },
             criterion::BatchSize::LargeInput,
         );
     });

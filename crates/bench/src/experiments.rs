@@ -817,7 +817,41 @@ pub fn debug(ctx: &Ctx) {
     }
 }
 
-/// Render-performance trajectory: host wall-clock of the Step-❶/❸ hot
+/// List-schedule measured per-job costs onto `workers` (jobs claimed in
+/// order by the first free worker — exactly the pool's stealing
+/// discipline) and return the makespan in ms. Shared by the blending and
+/// binning critical-path models of `render` and the host-frontend block
+/// of `shard`.
+fn critical_path_ms(job_nanos: &[u64], workers: usize) -> f64 {
+    let mut free = vec![0u64; workers.max(1)];
+    for &n in job_nanos {
+        let w = (0..free.len()).min_by_key(|&w| free[w]).expect("non-empty");
+        free[w] += n;
+    }
+    free.into_iter().max().unwrap_or(0) as f64 / 1e6
+}
+
+/// Modeled parallel wall of one `bin_into` call at `workers` workers:
+/// the serial residue plus the list-scheduled makespan of every recorded
+/// parallel stage (expansion, concatenation, histogram + scatter per
+/// executed radix pass). The snapshot must come from a 1-thread run,
+/// where the residue is exact and job costs are contention-free.
+fn bin_critical_path_ms(
+    serial_nanos: u64,
+    stages: &[(&'static str, Vec<u64>)],
+    workers: usize,
+) -> f64 {
+    serial_nanos as f64 / 1e6
+        + stages.iter().map(|(_, jobs)| critical_path_ms(jobs, workers)).sum::<f64>()
+}
+
+/// Snapshots a [`gbu_render::BinTimings`] record so the 1-thread stage
+/// costs survive later (re-timed) `bin_into` calls on the same scratch.
+fn snapshot_bin_timings(t: &gbu_render::BinTimings) -> (u64, Vec<(&'static str, Vec<u64>)>) {
+    (t.serial_nanos(), t.stages().map(|(name, jobs)| (name, jobs.to_vec())).collect())
+}
+
+/// Render-performance trajectory: host wall-clock of the Step-❶/❷/❸ hot
 /// path, serial vs. parallel at 1/2/4/8 threads on small and large
 /// synthetic scenes, emitting `BENCH_render.json` — the render-side
 /// counterpart of `BENCH_serve.json`, so every future PR can be checked
@@ -826,20 +860,26 @@ pub fn debug(ctx: &Ctx) {
 /// Two numbers are reported per (stage, thread count):
 ///
 /// - `wall_ms` — measured wall-clock on this host (best of the reps);
-/// - `critical_path_ms` — the per-tile-row costs measured on the serial
-///   run, list-scheduled onto N workers exactly the way the pool's
+/// - `critical_path_ms` — the per-job costs measured on the serial run
+///   (per tile row for blending; per batch/chunk stage for binning),
+///   list-scheduled onto N workers exactly the way the pool's
 ///   work-stealing claims jobs. On an unloaded N-core host the two
 ///   agree; on a single-core CI container `wall_ms` cannot drop below
 ///   serial (there is one core) while `critical_path_ms` still tracks
 ///   the parallel structure, which is what the regression trajectory
 ///   needs to be deterministic.
 ///
+/// The `binning` block additionally gates the parallel Step ❷
+/// byte-identical to the serial `bin_splats` and requires its 4-thread
+/// critical-path speedup to beat 1x (1.5x on the large scene at bench
+/// scale) — the stage this trajectory exists to keep parallel.
+///
 /// The experiment validates its own output (finite, non-zero times and
 /// throughputs) and exits non-zero otherwise — CI runs it as a smoke
 /// test in the `test` profile.
 pub fn render(ctx: &Ctx) {
     use gbu_par::ThreadPool;
-    use gbu_render::{irss, pfs, BlendScratch, FrameBuffer, RenderConfig};
+    use gbu_render::{irss, pfs, BinScratch, BlendScratch, FrameBuffer, RenderConfig};
     use gbu_scene::synth::SceneBuilder;
     use gbu_scene::{Camera, ScaleProfile};
     use std::time::Instant;
@@ -878,28 +918,16 @@ pub fn render(ctx: &Ctx) {
         best
     }
 
-    /// List-schedule the measured per-tile-row costs onto `workers`
-    /// (jobs claimed in order by the first free worker — exactly the
-    /// pool's stealing discipline) and return the makespan in ms.
-    fn critical_path_ms(job_nanos: &[u64], workers: usize) -> f64 {
-        let mut free = vec![0u64; workers.max(1)];
-        for &n in job_nanos {
-            let w = (0..free.len()).min_by_key(|&w| free[w]).expect("non-empty");
-            free[w] += n;
-        }
-        free.into_iter().max().unwrap_or(0) as f64 / 1e6
-    }
-
     fn per_thread_json(pairs: &[(usize, f64)]) -> String {
         let fields: Vec<String> = pairs.iter().map(|(t, ms)| format!("\"{t}\":{ms:.4}")).collect();
         format!("{{{}}}", fields.join(","))
     }
 
-    let mut invalid = false;
-    let mut check = |label: &str, v: f64| {
+    let invalid = std::cell::Cell::new(false);
+    let check = |label: &str, v: f64| {
         if !v.is_finite() || v <= 0.0 {
             eprintln!("INVALID: {label} = {v}");
-            invalid = true;
+            invalid.set(true);
         }
     };
 
@@ -925,7 +953,8 @@ pub fn render(ctx: &Ctx) {
         let cfg = RenderConfig::default();
 
         let serial = &pools[0].1;
-        let (splats, _) = gbu_render::preprocess::project_scene_pooled(serial, &scene, &camera);
+        let (splats, bounds, _) =
+            gbu_render::preprocess::project_scene_bounded(serial, &scene, &camera);
         let (bins, bin_stats) = gbu_render::binning::bin_splats(&splats, &camera, cfg.tile_size);
         let isplats = irss::precompute_pooled(serial, &splats);
 
@@ -944,6 +973,120 @@ pub fn render(ctx: &Ctx) {
             check(&format!("{scene_name}/precompute@{t}"), ms);
             xform_ms.push((*t, ms));
         }
+
+        // Step ❷: the historically serial stage, now parallel. Serial
+        // reference is `bin_splats` (the exact pre-parallel path);
+        // per-thread walls run `bin_into` on warm scratch with Step ❶'s
+        // carried bounds; the critical path is modeled from the 1-thread
+        // stage record. Every parallel run is gated byte-identical to
+        // the serial reference.
+        let bin_serial_ms = best_ms(reps, || {
+            let _ = gbu_render::binning::bin_splats(&splats, &camera, cfg.tile_size);
+        });
+        check(&format!("{scene_name}/binning/serial"), bin_serial_ms);
+        let mut bin_scratch = BinScratch::new();
+        let mut bin_out = bins.clone();
+        let mut bin_wall = Vec::new();
+        let mut bin_cp = Vec::new();
+        let mut bin_record = (0u64, Vec::new());
+        let mut bin_4t = [0.0f64; 2]; // [wall, critical path] at 4 threads
+        for (t, pool) in &pools {
+            let mut par_stats = gbu_render::stats::BinningStats::default();
+            let ms = best_ms(reps, || {
+                par_stats = gbu_render::binning::bin_into(
+                    pool,
+                    &splats,
+                    Some(&bounds),
+                    &camera,
+                    cfg.tile_size,
+                    &mut bin_scratch,
+                    &mut bin_out,
+                );
+            });
+            check(&format!("{scene_name}/binning@{t}"), ms);
+            if bin_out.offsets != bins.offsets || bin_out.entries != bins.entries {
+                eprintln!("INVALID: {scene_name}/binning@{t}: parallel bins diverge from serial");
+                invalid.set(true);
+            }
+            if par_stats != bin_stats {
+                eprintln!("INVALID: {scene_name}/binning@{t}: stats diverge from serial");
+                invalid.set(true);
+            }
+            if *t == 1 {
+                // The 1-thread record feeds every thread count's model
+                // and binning stages are microseconds long, so a single
+                // scheduler stall can poison the serial residue — keep
+                // the cleanest (minimal-total) record of several runs.
+                let mut best_total = u64::MAX;
+                for _ in 0..reps.max(5) {
+                    let _ = gbu_render::binning::bin_into(
+                        pool,
+                        &splats,
+                        Some(&bounds),
+                        &camera,
+                        cfg.tile_size,
+                        &mut bin_scratch,
+                        &mut bin_out,
+                    );
+                    let (serial, stages) = snapshot_bin_timings(bin_scratch.timings());
+                    let total =
+                        serial + stages.iter().map(|(_, j)| j.iter().sum::<u64>()).sum::<u64>();
+                    if total < best_total {
+                        best_total = total;
+                        bin_record = (serial, stages);
+                    }
+                }
+            }
+            let cp = bin_critical_path_ms(bin_record.0, &bin_record.1, *t);
+            check(&format!("{scene_name}/binning/critical_path@{t}"), cp);
+            bin_wall.push((*t, ms));
+            bin_cp.push((*t, cp));
+            if *t == 4 {
+                bin_4t = [ms, cp];
+            }
+        }
+        let bin_speedup_wall = bin_serial_ms / bin_4t[0];
+        let bin_speedup_cp = bin_serial_ms / bin_4t[1];
+        // The gate: parallel binning must beat the old serial stage on
+        // the critical path at 4 threads — decisively (>1.5x) on the
+        // large scene at the tracked trajectory scale. The test-profile
+        // small scene bins in tens of microseconds, timer-noise order,
+        // so only finiteness is pinned there.
+        let cp_floor = match (scene_name, ctx.profile == ScaleProfile::Test) {
+            ("large", false) => 1.5,
+            (_, false) | ("large", true) => 1.0,
+            _ => 0.0,
+        };
+        if bin_speedup_cp <= cp_floor {
+            eprintln!(
+                "INVALID: {scene_name}/binning: critical-path speedup at 4 threads \
+                 {bin_speedup_cp:.3}x <= {cp_floor}x"
+            );
+            invalid.set(true);
+        }
+        let bin_mpairs = bin_stats.instances as f64 / (bin_serial_ms / 1e3) / 1e6;
+        check(&format!("{scene_name}/binning/pairs"), bin_stats.instances as f64);
+        check(&format!("{scene_name}/binning/mpairs_per_s"), bin_mpairs);
+        rows.push(vec![
+            scene_name.to_string(),
+            "binning".to_string(),
+            fmt_f(bin_serial_ms, 2),
+            fmt_f(bin_4t[0], 2),
+            fmt_f(bin_4t[1], 2),
+            fmt_x(bin_speedup_cp),
+            fmt_f(bin_mpairs, 1),
+        ]);
+        let binning_json = format!(
+            "\"binning\":{{\"serial_ms\":{bin_serial_ms:.4},\"wall_ms\":{},\
+             \"critical_path_ms\":{},\"pairs\":{},\"sort_passes\":{},\
+             \"mpairs_per_s_serial\":{bin_mpairs:.2},\
+             \"speedup_4t\":{{\"wall\":{bin_speedup_wall:.3},\
+             \"critical_path\":{bin_speedup_cp:.3}}}}}",
+            per_thread_json(&bin_wall),
+            per_thread_json(&bin_cp),
+            bin_stats.instances,
+            bin_stats.sort_passes,
+        );
 
         // Step ❸, both dataflows, through the allocation-free reuse path.
         let mut image = FrameBuffer::new(camera.width, camera.height, cfg.background);
@@ -1028,7 +1171,7 @@ pub fn render(ctx: &Ctx) {
         scene_jsons.push(format!(
             "{{\"name\":\"{scene_name}\",\"gaussians\":{},\"splats\":{},\"width\":{width},\
              \"height\":{height},\"occupied_tiles\":{},\"preprocess_wall_ms\":{},\
-             \"irss_precompute_wall_ms\":{},{},{},\
+             \"irss_precompute_wall_ms\":{},{binning_json},{},{},\
              \"blend_speedup_4t\":{{\"wall\":{speedup_wall:.3},\"critical_path\":{speedup_cp:.3}}}}}",
             scene.len(),
             splats.len(),
@@ -1050,13 +1193,13 @@ pub fn render(ctx: &Ctx) {
                 "4T wall ms",
                 "4T crit-path ms",
                 "4T speedup (cp)",
-                "Mfrag/s (serial)"
+                "Mfrag|pair/s (serial)"
             ],
             &rows
         )
     );
 
-    if invalid {
+    if invalid.get() {
         eprintln!("render bench produced invalid output; failing");
         std::process::exit(1);
     }
@@ -1189,6 +1332,11 @@ pub fn serve(ctx: &Ctx) {
 /// - `dram_overhead` — summed shard traffic over the unsharded frame's
 ///   (boundary Gaussians are fetched by every shard that touches them).
 ///
+/// A `host_frontend` block reports the host-side Step-❷ cost the
+/// sharding host pays once per frame before fan-out (wall at 1 and 4
+/// threads, modeled 4-thread critical path), now that binning runs on
+/// the pool.
+///
 /// The experiment validates itself: every merged image must be
 /// bit-identical to the unsharded device render and every figure finite,
 /// else it exits non-zero — CI runs it in the `test` profile as the
@@ -1225,6 +1373,63 @@ pub fn shard(ctx: &Ctx) {
     let camera = Camera::orbit(width, height, 0.9, gbu_math::Vec3::ZERO, 3.4, 0.4, 0.2);
     let projected = pipeline::project(&scene, &camera);
     let binned = pipeline::bin(&projected, 16);
+    let mut invalid = false;
+
+    // Host frontend: the sharding host runs Step ❷ once per frame before
+    // fanning shards out, so its cost now rides the parallel binning
+    // path. Wall at 1 and 4 threads, plus the 4-thread critical path
+    // modeled from the 1-thread stage record; gated byte-identical to
+    // the frame's own bins.
+    let mut bin_scratch = gbu_render::BinScratch::new();
+    let mut bin_out = binned.bins.clone();
+    let mut host_bin = [0.0f64; 2]; // wall ms at [1, 4] threads
+    let mut bin_record = (0u64, Vec::new());
+    for (i, threads) in [1usize, 4].into_iter().enumerate() {
+        let pool = gbu_par::ThreadPool::new(threads);
+        let mut run = || {
+            gbu_render::binning::bin_into(
+                &pool,
+                &projected.splats,
+                Some(&projected.bounds),
+                &camera,
+                16,
+                &mut bin_scratch,
+                &mut bin_out,
+            )
+        };
+        run();
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            run();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        host_bin[i] = best;
+        if i == 0 {
+            bin_record = snapshot_bin_timings(bin_scratch.timings());
+        }
+    }
+    if bin_out.offsets != binned.bins.offsets || bin_out.entries != binned.bins.entries {
+        eprintln!("INVALID: host-frontend parallel bins diverge from the frame's bins");
+        invalid = true;
+    }
+    let host_bin_cp4 = bin_critical_path_ms(bin_record.0, &bin_record.1, 4);
+    for (label, v) in
+        [("bin_wall_1t", host_bin[0]), ("bin_wall_4t", host_bin[1]), ("bin_cp_4t", host_bin_cp4)]
+    {
+        if !v.is_finite() || v <= 0.0 {
+            eprintln!("INVALID: host_frontend/{label} = {v}");
+            invalid = true;
+        }
+    }
+    println!(
+        "   host frontend (Step \u{2777}): {:.2} ms serial-pool, {:.2} ms at 4 threads \
+         ({:.2} ms critical path, {:.2}x)",
+        host_bin[0],
+        host_bin[1],
+        host_bin_cp4,
+        host_bin[0] / host_bin_cp4
+    );
 
     // Unsharded baseline: one frame on one uncontended device.
     let gbu_cfg = GbuConfig::paper();
@@ -1257,7 +1462,6 @@ pub fn shard(ctx: &Ctx) {
         deadline: u64::MAX,
     };
 
-    let mut invalid = false;
     let mut rows = Vec::new();
     let mut runs = Vec::new();
     for strategy in ShardStrategy::all() {
@@ -1342,6 +1546,8 @@ pub fn shard(ctx: &Ctx) {
          \"scene\":{{\"gaussians\":{},\"splats\":{},\"width\":{width},\"height\":{height},\
          \"tile_rows\":{},\"occupied_tiles\":{}}},\
          \"unsharded\":{{\"occupancy_cycles\":{base_cycles},\"dram_bytes\":{}}},\
+         \"host_frontend\":{{\"bin_wall_ms_1t\":{:.4},\"bin_wall_ms_4t\":{:.4},\
+         \"bin_critical_path_ms_4t\":{host_bin_cp4:.4}}},\
          \"runs\":[{}]}}\n",
         ctx.profile,
         run_info(),
@@ -1350,6 +1556,8 @@ pub fn shard(ctx: &Ctx) {
         binned.bins.tiles_y,
         binned.stats.occupied_tiles,
         base.run.dram_bytes,
+        host_bin[0],
+        host_bin[1],
         runs.join(",")
     );
     let path = smoke_path(ctx.profile, "BENCH_shard");

@@ -12,7 +12,9 @@
 //! - a software half-precision float ([`F16`]) used to model the GBU Row PE's
 //!   FP-16 datapath (Sec. VI-B),
 //! - truncated-ellipse geometry helpers ([`ellipse`]),
-//! - an LSD radix sort for (tile, depth) keys ([`sort`]).
+//! - an LSD radix sort for (tile, depth) keys, both serial and
+//!   chunk-parallel through a caller-supplied executor so this crate stays
+//!   dependency-free ([`sort`]).
 //!
 //! # Example
 //!

@@ -88,6 +88,148 @@ pub fn radix_sort_pairs(pairs: &mut Vec<(u64, u32)>) -> u32 {
     passes
 }
 
+/// Executes `job(i)` exactly once for every `i < jobs`, returning only
+/// after all jobs have completed. Implementations may run jobs
+/// concurrently and in any order; the serial runner is
+/// `|_, jobs, job| (0..jobs).for_each(|i| job(i))`.
+///
+/// The first argument names the stage being dispatched (currently
+/// `"radix_histogram"` or `"radix_scatter"`) so callers can label
+/// telemetry spans or per-stage timing records without this crate taking
+/// a dependency on an executor or tracer.
+pub type JobRunner<'a> = dyn FnMut(&'static str, usize, &(dyn Fn(usize) + Sync)) + 'a;
+
+/// Raw-pointer wrapper that lets [`radix_sort_pairs_chunked`]'s jobs write
+/// disjoint slots of a shared buffer from whatever threads the caller's
+/// [`JobRunner`] uses. Soundness rests on the runner's contract (each job
+/// index runs exactly once) plus the per-call disjointness arguments at
+/// the two `unsafe` sites below.
+struct SendMut<T>(*mut T);
+unsafe impl<T: Send> Send for SendMut<T> {}
+unsafe impl<T: Send> Sync for SendMut<T> {}
+
+impl<T> SendMut<T> {
+    /// Writes `v` to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i` must be in bounds of the wrapped allocation and no other
+    /// thread may concurrently access slot `i`.
+    unsafe fn write(&self, i: usize, v: T) {
+        *self.0.add(i) = v;
+    }
+}
+
+/// [`radix_sort_pairs`] restructured into chunk-parallel barrier stages:
+/// per-chunk digit histograms, a serial digit-major exclusive scan, and a
+/// stable per-chunk scatter, per executed pass. `run` dispatches each
+/// stage's jobs (one per chunk) and may execute them concurrently.
+///
+/// The output is **byte-identical to [`radix_sort_pairs`] for every
+/// `chunk_len` and any job execution order**: a stable LSD scatter places
+/// each element at `(elements with a smaller digit) + (equal-digit
+/// elements earlier in the input)`, and the digit-major/chunk-major scan
+/// hands chunk `c` exactly that rank for its first equal-digit element —
+/// chunk boundaries never move an element. Pass skipping tests the
+/// aggregated histogram with the same all-keys-share-a-digit rule, so the
+/// returned executed-pass count (consumed by the GPU timing model as
+/// `sort_passes`) is unchanged too.
+///
+/// `scratch` and `hists` are caller-owned so steady-state callers reuse
+/// them across frames; both are cleared and resized here.
+pub fn radix_sort_pairs_chunked(
+    pairs: &mut Vec<(u64, u32)>,
+    scratch: &mut Vec<(u64, u32)>,
+    hists: &mut Vec<[usize; 256]>,
+    chunk_len: usize,
+    run: &mut JobRunner<'_>,
+) -> u32 {
+    let n = pairs.len();
+    if n <= 1 {
+        return 0;
+    }
+    let chunk_len = chunk_len.max(1);
+    let chunks = n.div_ceil(chunk_len);
+    hists.clear();
+    hists.resize(chunks, [0usize; 256]);
+    scratch.clear();
+    scratch.resize(n, (0, 0));
+
+    let mut passes = 0u32;
+    for pass in 0..8 {
+        let shift = pass * 8;
+        {
+            let src = &pairs[..];
+            let hist_out = SendMut(hists.as_mut_ptr());
+            run("radix_histogram", chunks, &|c| {
+                let lo = c * chunk_len;
+                let hi = (lo + chunk_len).min(n);
+                let mut local = [0usize; 256];
+                for &(k, _) in &src[lo..hi] {
+                    local[((k >> shift) & 0xFF) as usize] += 1;
+                }
+                // SAFETY: job `c` runs exactly once and is the only writer
+                // of `hists[c]`; `c < chunks == hists.len()`.
+                unsafe { hist_out.write(c, local) };
+            });
+        }
+
+        // Skip passes where every key shares the same digit — the
+        // aggregate histogram applies the serial sort's exact rule.
+        let mut digit_totals = [0usize; 256];
+        for h in hists.iter() {
+            for (t, v) in digit_totals.iter_mut().zip(h.iter()) {
+                *t += v;
+            }
+        }
+        if digit_totals.contains(&n) {
+            continue;
+        }
+        passes += 1;
+
+        // Exclusive scan, digit-major then chunk-major: chunk `c`'s run of
+        // digit `d` starts after every smaller digit anywhere and after
+        // digit `d` in every earlier chunk — the global stable rank.
+        let mut running = 0usize;
+        for d in 0..256 {
+            for h in hists.iter_mut() {
+                let count = h[d];
+                h[d] = running;
+                running += count;
+            }
+        }
+
+        {
+            let src = &pairs[..];
+            let starts = &hists[..];
+            let dst = SendMut(scratch.as_mut_ptr());
+            run("radix_scatter", chunks, &|c| {
+                let lo = c * chunk_len;
+                let hi = (lo + chunk_len).min(n);
+                let mut offs = starts[c];
+                for &(k, p) in &src[lo..hi] {
+                    let d = ((k >> shift) & 0xFF) as usize;
+                    // SAFETY: the scan hands every (chunk, digit) run a
+                    // start offset such that the runs partition `0..n`;
+                    // each job advances only its own runs' cursors, so all
+                    // writes across jobs hit disjoint slots.
+                    unsafe { dst.write(offs[d], (k, p)) };
+                    offs[d] += 1;
+                }
+            });
+        }
+        std::mem::swap(pairs, scratch);
+    }
+    passes
+}
+
+/// The [`JobRunner`] that executes jobs inline on the calling thread —
+/// [`radix_sort_pairs_chunked`] with this runner is a drop-in
+/// (byte-identical) replacement for [`radix_sort_pairs`].
+pub fn serial_runner() -> impl FnMut(&'static str, usize, &(dyn Fn(usize) + Sync)) {
+    |_stage, jobs, job| (0..jobs).for_each(job)
+}
+
 /// Convenience wrapper: sorts instances of `(tile, depth, payload)` and
 /// returns them grouped by tile in depth order.
 pub fn sort_instances(instances: &mut Vec<(u32, f32, u32)>) -> u32 {
@@ -183,6 +325,78 @@ mod tests {
         // Within tile 2: depth 0.25 before 0.5.
         assert_eq!(inst[3].2, 4);
         assert_eq!(inst[4].2, 0);
+    }
+
+    fn pseudo_random_pairs(n: usize, seed: u64) -> Vec<(u64, u32)> {
+        (0..n)
+            .map(|i| {
+                let k = (i as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+                // Mask to 40 bits so some high-digit passes skip.
+                (k & 0xFF_FFFF_FFFF, i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunked_sort_matches_serial_for_any_chunk_len() {
+        for &n in &[0usize, 1, 2, 100, 1000, 4097] {
+            for &chunk_len in &[1usize, 3, 7, 64, 1000, 1 << 20] {
+                let mut serial = pseudo_random_pairs(n, 0xDEAD_BEEF);
+                let mut chunked = serial.clone();
+                let serial_passes = radix_sort_pairs(&mut serial);
+                let (mut scratch, mut hists) = (Vec::new(), Vec::new());
+                let chunked_passes = radix_sort_pairs_chunked(
+                    &mut chunked,
+                    &mut scratch,
+                    &mut hists,
+                    chunk_len,
+                    &mut serial_runner(),
+                );
+                assert_eq!(chunked, serial, "n={n} chunk_len={chunk_len}");
+                assert_eq!(chunked_passes, serial_passes, "n={n} chunk_len={chunk_len}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_sort_is_stable() {
+        let mut pairs = vec![(5u64, 0u32), (1, 1), (5, 2), (1, 3), (5, 4)];
+        let (mut scratch, mut hists) = (Vec::new(), Vec::new());
+        radix_sort_pairs_chunked(&mut pairs, &mut scratch, &mut hists, 2, &mut serial_runner());
+        assert_eq!(pairs, vec![(1, 1), (1, 3), (5, 0), (5, 2), (5, 4)]);
+    }
+
+    #[test]
+    fn chunked_sort_matches_under_out_of_order_execution() {
+        // The runner contract allows any execution order; run every stage's
+        // jobs back-to-front to prove order independence.
+        let mut reversed = |_stage: &'static str, jobs: usize, job: &(dyn Fn(usize) + Sync)| {
+            (0..jobs).rev().for_each(job)
+        };
+        let mut serial = pseudo_random_pairs(2000, 42);
+        let mut chunked = serial.clone();
+        radix_sort_pairs(&mut serial);
+        let (mut scratch, mut hists) = (Vec::new(), Vec::new());
+        radix_sort_pairs_chunked(&mut chunked, &mut scratch, &mut hists, 64, &mut reversed);
+        assert_eq!(chunked, serial);
+    }
+
+    #[test]
+    fn chunked_sort_reports_stage_names() {
+        let mut stages: Vec<&'static str> = Vec::new();
+        let mut pairs = pseudo_random_pairs(100, 7);
+        let (mut scratch, mut hists) = (Vec::new(), Vec::new());
+        let passes = {
+            let mut run = |stage: &'static str, jobs: usize, job: &(dyn Fn(usize) + Sync)| {
+                stages.push(stage);
+                (0..jobs).for_each(job);
+            };
+            radix_sort_pairs_chunked(&mut pairs, &mut scratch, &mut hists, 32, &mut run)
+        };
+        // One histogram stage per *inspected* pass, one scatter per
+        // *executed* pass.
+        assert_eq!(stages.iter().filter(|s| **s == "radix_scatter").count(), passes as usize);
+        assert!(stages.iter().filter(|s| **s == "radix_histogram").count() >= passes as usize);
     }
 
     #[test]

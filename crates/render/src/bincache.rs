@@ -28,9 +28,11 @@
 //! [`BinCache::invalidate`], both of which fall back to cold binning.
 
 use crate::binning::{self, TileBins};
+use crate::preprocess::ProjectedBounds;
 use crate::splat::Splat2D;
 use crate::stats::BinningStats;
 use gbu_math::sort;
+use gbu_par::ThreadPool;
 use gbu_scene::Camera;
 
 /// Inclusive tile rectangle of one splat, `None` if off-grid.
@@ -132,12 +134,37 @@ impl BinCache {
 
     /// Bins `splats` exactly like [`binning::bin_splats`], incrementally
     /// when the cached previous frame is close enough to diff against.
+    /// Runs on the global thread pool without carried bounds.
     pub fn bin(
         &mut self,
         splats: &[Splat2D],
         camera: &Camera,
         tile_size: u32,
     ) -> (TileBins, BinningStats) {
+        self.bin_pooled(gbu_par::global(), splats, None, camera, tile_size)
+    }
+
+    /// [`Self::bin`] on an explicit pool, optionally reusing Step ❶'s
+    /// carried [`ProjectedBounds`]: cold frames run the parallel
+    /// bounds-aware binning, incremental frames diff footprints from the
+    /// carried per-splat bounds and re-sort violated tiles across the
+    /// pool. All four combinations (pool size × bounds presence) are
+    /// bit-identical (pinned by `tests/binning_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is present but does not match `splats`.
+    pub fn bin_pooled(
+        &mut self,
+        pool: &ThreadPool,
+        splats: &[Splat2D],
+        bounds: Option<&ProjectedBounds>,
+        camera: &Camera,
+        tile_size: u32,
+    ) -> (TileBins, BinningStats) {
+        if let Some(pb) = bounds {
+            assert_eq!(pb.splats.len(), splats.len(), "bounds/splat list length mismatch");
+        }
         let recorder = gbu_telemetry::global();
         let incremental = self.state.as_ref().is_some_and(|s| {
             s.tile_size == tile_size
@@ -150,13 +177,13 @@ impl BinCache {
                 recorder.counter("bin_cache.hits").add(1);
             }
             let _span = recorder.wall_span("rebin_incremental", gbu_telemetry::Labels::default());
-            self.rebin(splats, camera, tile_size)
+            self.rebin(pool, splats, bounds, camera, tile_size)
         } else {
             self.counters.misses += 1;
             if recorder.is_enabled() {
                 recorder.counter("bin_cache.misses").add(1);
             }
-            self.cold(splats, camera, tile_size)
+            self.cold(pool, splats, bounds, camera, tile_size)
         };
         if recorder.is_enabled() {
             let total = (self.counters.hits + self.counters.misses).max(1);
@@ -190,15 +217,26 @@ impl BinCache {
 
     fn cold(
         &mut self,
+        pool: &ThreadPool,
         splats: &[Splat2D],
+        bounds: Option<&ProjectedBounds>,
         camera: &Camera,
         tile_size: u32,
     ) -> (TileBins, BinningStats) {
-        let (bins, stats) = binning::bin_splats(splats, camera, tile_size);
-        let ranges = splats
-            .iter()
-            .map(|s| binning::splat_tile_range(s, tile_size, bins.tiles_x, bins.tiles_y))
-            .collect();
+        let (bins, stats) = binning::bin_splats_pooled(pool, splats, bounds, camera, tile_size);
+        // Carried bounds give the same ranges the conic re-derivation
+        // would (`from_conic` is pure), just without the per-splat math.
+        let ranges = match bounds {
+            Some(pb) => pb
+                .splats
+                .iter()
+                .map(|b| b.tile_range(tile_size, bins.tiles_x, bins.tiles_y))
+                .collect(),
+            None => splats
+                .iter()
+                .map(|s| binning::splat_tile_range(s, tile_size, bins.tiles_x, bins.tiles_y))
+                .collect(),
+        };
         let tiles = (0..bins.tile_count()).map(|t| bins.entries_of(t).to_vec()).collect();
         self.state = Some(CacheState {
             camera: camera.clone(),
@@ -213,7 +251,9 @@ impl BinCache {
 
     fn rebin(
         &mut self,
+        pool: &ThreadPool,
         splats: &[Splat2D],
+        bounds: Option<&ProjectedBounds>,
         camera: &Camera,
         tile_size: u32,
     ) -> (TileBins, BinningStats) {
@@ -225,7 +265,10 @@ impl BinCache {
         // only across the symmetric difference of old and new rects.
         let mut retiled = 0u64;
         for (i, s) in splats.iter().enumerate() {
-            let next = binning::splat_tile_range(s, tile_size, tiles_x, tiles_y);
+            let next = match bounds {
+                Some(pb) => pb.splats[i].tile_range(tile_size, tiles_x, tiles_y),
+                None => binning::splat_tile_range(s, tile_size, tiles_x, tiles_y),
+            };
             let prev = state.ranges[i];
             if next == prev {
                 continue;
@@ -257,19 +300,25 @@ impl BinCache {
 
         // Phase 2: depths changed for every splat, so verify each tile's
         // (depth_bits, index) order and re-sort only the violated ones —
-        // under small motion relative order rarely flips.
-        let mut resorted = 0u64;
-        let mut total_entries = 0usize;
-        let mut occupied = 0u64;
-        for list in &mut state.tiles {
+        // under small motion relative order rarely flips. Tiles are
+        // independent, so the checks/re-sorts fan out over the pool
+        // (each tile's sort is deterministic: the keys are unique), with
+        // per-worker violation counts summed after the barrier.
+        let mut resort_counts = vec![0u64; pool.threads().max(1)];
+        pool.for_each_mut_with(&mut resort_counts, &mut state.tiles, |count, _t, list| {
             let sorted = list
                 .iter()
                 .zip(list.iter().skip(1))
                 .all(|(a, b)| entry_key(splats, *a) <= entry_key(splats, *b));
             if !sorted {
                 list.sort_unstable_by_key(|&e| entry_key(splats, e));
-                resorted += 1;
+                *count += 1;
             }
+        });
+        let resorted: u64 = resort_counts.iter().sum();
+        let mut total_entries = 0usize;
+        let mut occupied = 0u64;
+        for list in &state.tiles {
             total_entries += list.len();
             occupied += u64::from(!list.is_empty());
         }

@@ -6,12 +6,28 @@
 //! rasteriser. The result groups instances by tile in near-to-far order,
 //! which is the exact stream both blending dataflows (and the GBU's D&B
 //! engine) consume.
+//!
+//! [`bin_splats`] is the serial reference. [`bin_into`] /
+//! [`bin_splats_pooled`] produce **byte-identical** `TileBins` on a
+//! thread pool (pinned by `tests/binning_equivalence.rs`) by decomposing
+//! every phase into jobs whose concatenation equals the serial order:
+//! fixed batches of [`BATCH_SPLATS`] consecutive splats emit pairs into
+//! per-batch buffers (concatenated in batch order = the serial emission
+//! order), the chunk-parallel stable radix sort of `gbu_math::sort`
+//! preserves every element's global stable rank (and the executed
+//! `sort_passes`), and the CSR offsets are recovered by binary search on
+//! the sorted keys — the same counts a serial prefix sum produces.
 
+use crate::preprocess::{ProjectedBounds, BATCH_SPLATS};
+use crate::scratch::BinScratch;
 use crate::splat::Splat2D;
 use crate::stats::BinningStats;
 use gbu_math::ellipse::EllipseBounds;
 use gbu_math::sort;
+use gbu_par::ThreadPool;
 use gbu_scene::Camera;
+use gbu_telemetry::Labels;
+use std::time::Instant;
 
 /// Sorted per-tile instance lists.
 #[derive(Debug, Clone)]
@@ -141,6 +157,191 @@ pub fn bin_splats(splats: &[Splat2D], camera: &Camera, tile_size: u32) -> (TileB
         total_tiles: tile_count as u64,
     };
     (TileBins { tile_size, tiles_x, tiles_y, offsets, entries }, stats)
+}
+
+/// Pairs per job in the chunk-parallel radix-sort stages. Fixed (never
+/// derived from the thread count) so the chunk decomposition — and with
+/// it every recorded timing shape — is identical at any `GBU_THREADS`;
+/// output bytes don't depend on it at all (see `gbu_math::sort`). Small
+/// enough that even a test-profile scene yields plenty of jobs per stage.
+const SORT_CHUNK_PAIRS: usize = 4096;
+
+/// [`bin_splats`] on an explicit thread pool (freshly allocated outputs).
+/// `bounds` optionally carries Step ❶'s per-splat/per-batch screen bounds
+/// (see [`crate::preprocess::project_scene_bounded`]) so expansion skips
+/// the per-splat conic-to-AABB derivation; with or without them the
+/// result is byte-identical to the serial path at every thread count.
+pub fn bin_splats_pooled(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    bounds: Option<&ProjectedBounds>,
+    camera: &Camera,
+    tile_size: u32,
+) -> (TileBins, BinningStats) {
+    let mut scratch = BinScratch::new();
+    let mut bins =
+        TileBins { tile_size, tiles_x: 0, tiles_y: 0, offsets: Vec::new(), entries: Vec::new() };
+    let stats = bin_into(pool, splats, bounds, camera, tile_size, &mut scratch, &mut bins);
+    (bins, stats)
+}
+
+/// The allocation-lean parallel Step ❷: bins into caller-owned bins and
+/// scratch, reused across frames. Every phase is decomposed so that its
+/// parallel result equals the serial one:
+///
+/// 1. **Batch expansion** — fixed batches of [`BATCH_SPLATS`] consecutive
+///    splats emit `(key, splat)` pairs into per-batch buffers; carried
+///    [`ProjectedBounds`] let a batch skip the grid-miss case wholesale
+///    and each splat reuse its projection-time ellipse bounds.
+///    Concatenating the buffers in batch order reproduces the serial
+///    emission order exactly.
+/// 2. **Chunk-parallel stable radix sort** —
+///    `gbu_math::sort::radix_sort_pairs_chunked` on the pool; stable LSD
+///    scatter output is invariant to chunking, and pass skipping uses the
+///    aggregated histogram, so both the bytes and the executed
+///    `sort_passes` match the serial sort.
+/// 3. **CSR recovery** — offsets by binary search over the sorted keys
+///    (`offsets[t+1]` = pairs with tile ≤ `t`, the exact prefix-sum
+///    counts) and a payload copy.
+///
+/// Emits `bin_expand` / `bin_sort` wall spans (children of the caller's
+/// span, e.g. `pipeline::bin`'s `bin`); at `GBU_TRACE=2` each batch and
+/// sort chunk additionally records a worker-labelled span. Per-stage job
+/// wall times land in [`BinScratch::timings`] for the bench's
+/// critical-path model.
+///
+/// # Panics
+///
+/// Panics if `tile_size` is zero or `bounds` does not match `splats`.
+pub fn bin_into(
+    pool: &ThreadPool,
+    splats: &[Splat2D],
+    bounds: Option<&ProjectedBounds>,
+    camera: &Camera,
+    tile_size: u32,
+    scratch: &mut BinScratch,
+    bins: &mut TileBins,
+) -> BinningStats {
+    assert!(tile_size > 0, "tile size must be positive");
+    let batch_count = splats.len().div_ceil(BATCH_SPLATS);
+    if let Some(pb) = bounds {
+        assert_eq!(pb.splats.len(), splats.len(), "bounds/splat list length mismatch");
+        assert_eq!(pb.batches.len(), batch_count, "bounds batch count mismatch");
+    }
+    let t_start = Instant::now();
+    let (tiles_x, tiles_y) = camera.tile_grid(tile_size);
+    let tile_count = (tiles_x * tiles_y) as usize;
+    bins.tile_size = tile_size;
+    bins.tiles_x = tiles_x;
+    bins.tiles_y = tiles_y;
+
+    scratch.prepare(batch_count, pool.threads());
+    let recorder = gbu_telemetry::global();
+    let detailed = recorder.detailed();
+    let crate::scratch::BinScratch { batches, pairs, sort_scratch, hists, workers, timings } =
+        scratch;
+    let batches = &mut batches[..batch_count];
+
+    // Phase 1: per-batch pair emission, then concatenation in batch order
+    // (= the serial splat-index emission order).
+    {
+        let _expand_span = recorder.wall_span("bin_expand", Labels::default());
+        pool.for_each_mut_with(workers, batches, |worker, b, buf| {
+            let _batch_span =
+                detailed.then(|| recorder.wall_span("bin_expand_batch", Labels::worker(worker.id)));
+            let t0 = Instant::now();
+            buf.pairs.clear();
+            let lo = b * BATCH_SPLATS;
+            let hi = (lo + BATCH_SPLATS).min(splats.len());
+            let batch_plausible = match bounds {
+                Some(pb) => pb.batches[b].tile_range(tile_size, tiles_x, tiles_y).is_some(),
+                None => true,
+            };
+            if batch_plausible {
+                for (i, splat) in splats.iter().enumerate().take(hi).skip(lo) {
+                    let range = match bounds {
+                        Some(pb) => pb.splats[i].tile_range(tile_size, tiles_x, tiles_y),
+                        None => splat_tile_range(splat, tile_size, tiles_x, tiles_y),
+                    };
+                    let Some((x0, y0, x1, y1)) = range else { continue };
+                    let key_depth = splat.depth;
+                    for ty in y0..=y1 {
+                        for tx in x0..=x1 {
+                            buf.pairs
+                                .push((sort::pack_key(ty * tiles_x + tx, key_depth), i as u32));
+                        }
+                    }
+                }
+            }
+            buf.nanos = t0.elapsed().as_nanos() as u64;
+        });
+        let expand_stage = timings.stage("bin_expand", batch_count);
+        for (slot, buf) in expand_stage.iter_mut().zip(batches.iter()) {
+            *slot = buf.nanos;
+        }
+
+        let total: usize = batches.iter().map(|b| b.pairs.len()).sum();
+        pairs.clear();
+        pairs.resize(total, (0, 0));
+        struct CopyJob<'a> {
+            src: &'a [(u64, u32)],
+            dst: &'a mut [(u64, u32)],
+            nanos: u64,
+        }
+        let mut rest: &mut [(u64, u32)] = pairs.as_mut_slice();
+        let mut jobs: Vec<CopyJob> = Vec::with_capacity(batch_count);
+        for buf in batches.iter() {
+            let (dst, tail) = rest.split_at_mut(buf.pairs.len());
+            jobs.push(CopyJob { src: &buf.pairs, dst, nanos: 0 });
+            rest = tail;
+        }
+        pool.for_each_mut_with(workers, &mut jobs, |_, _, job| {
+            let t0 = Instant::now();
+            job.dst.copy_from_slice(job.src);
+            job.nanos = t0.elapsed().as_nanos() as u64;
+        });
+        let concat_stage = timings.stage("bin_concat", jobs.len());
+        for (slot, job) in concat_stage.iter_mut().zip(jobs.iter()) {
+            *slot = job.nanos;
+        }
+    }
+
+    // Phase 2: chunk-parallel stable radix sort. The runner times each
+    // chunk job so the bench can list-schedule the recorded stages.
+    let sort_passes = {
+        let _sort_span = recorder.wall_span("bin_sort", Labels::default());
+        let mut run = |stage: &'static str, jobs: usize, job: &(dyn Fn(usize) + Sync)| {
+            let nanos = timings.stage(stage, jobs);
+            pool.for_each_mut_with(workers, nanos, |worker, i, slot| {
+                let _chunk_span = detailed
+                    .then(|| recorder.wall_span("bin_sort_chunk", Labels::worker(worker.id)));
+                let t0 = Instant::now();
+                job(i);
+                *slot = t0.elapsed().as_nanos() as u64;
+            });
+        };
+        sort::radix_sort_pairs_chunked(pairs, sort_scratch, hists, SORT_CHUNK_PAIRS, &mut run)
+    };
+
+    // Phase 3: CSR recovery. `offsets[t+1]` = number of sorted pairs with
+    // tile ≤ t — identical to the serial counting prefix sum.
+    bins.offsets.clear();
+    bins.offsets.resize(tile_count + 1, 0);
+    for t in 0..tile_count {
+        bins.offsets[t + 1] = pairs.partition_point(|&(k, _)| sort::key_tile(k) <= t as u32);
+    }
+    bins.entries.clear();
+    bins.entries.extend(pairs.iter().map(|&(_, p)| p));
+
+    let occupied =
+        (0..tile_count).filter(|&t| bins.offsets[t + 1] > bins.offsets[t]).count() as u64;
+    timings.record_serial(t_start.elapsed().as_nanos() as u64);
+    BinningStats {
+        instances: bins.entries.len() as u64,
+        sort_passes,
+        occupied_tiles: occupied,
+        total_tiles: tile_count as u64,
+    }
 }
 
 #[cfg(test)]

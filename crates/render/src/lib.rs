@@ -39,12 +39,19 @@
 //! dispatch tile rows across the `gbu_par` thread pool and merge the
 //! per-row results in tile order — output is **bit-identical** to a
 //! serial run at every thread count (`tests/parallel_equivalence.rs`
-//! pins this). The public entry points use the global pool (`GBU_THREADS`
-//! env override, defaulting to the machine's parallelism); `*_pooled`
-//! variants take an explicit pool, and the `*_into` variants
-//! ([`pfs::blend_into`], [`irss::blend_precomputed_into`]) additionally
-//! reuse caller-owned buffers ([`BlendScratch`], [`FrameBuffer`],
-//! [`stats::BlendStats`]) so repeated-render loops are allocation-free.
+//! pins this). Step ❷ parallelizes the same way: batch-structured pair
+//! emission plus a chunk-parallel stable radix sort produce `TileBins`
+//! byte-identical to serial at every thread count
+//! (`tests/binning_equivalence.rs`), with Step ❶ carrying each splat's
+//! ellipse bounds forward ([`preprocess::ProjectedBounds`]) so binning
+//! never re-derives footprints. The public entry points use the global
+//! pool (`GBU_THREADS` env override, defaulting to the machine's
+//! parallelism); `*_pooled` variants take an explicit pool, and the
+//! `*_into` variants ([`pfs::blend_into`],
+//! [`irss::blend_precomputed_into`], [`binning::bin_into`]) additionally
+//! reuse caller-owned buffers ([`BlendScratch`], [`BinScratch`],
+//! [`FrameBuffer`], [`stats::BlendStats`]) so repeated-render loops are
+//! allocation-lean.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -65,7 +72,8 @@ pub mod stats;
 pub use bincache::{BinCache, BinCacheConfig, BinCacheCounters};
 pub use framebuffer::FrameBuffer;
 pub use pipeline::{BinnedFrame, Dataflow, ProjectedFrame};
-pub use scratch::BlendScratch;
+pub use preprocess::{BatchBounds, ProjectedBounds};
+pub use scratch::{BinScratch, BinTimings, BlendScratch};
 pub use shard::{ShardFrame, ShardPlan, ShardStrategy};
 pub use splat::{alpha_from_q, Splat2D, GBU_FEATURE_BYTES, SPLAT_FEATURE_BYTES};
 

@@ -19,7 +19,7 @@
 //! them.
 
 use crate::binning::{self, TileBins};
-use crate::preprocess;
+use crate::preprocess::{self, ProjectedBounds};
 use crate::stats::{BinningStats, BlendStats, PreprocessStats};
 use crate::{irss, pfs, FrameBuffer, RenderConfig, RenderOutput, Splat2D};
 use gbu_par::ThreadPool;
@@ -33,6 +33,9 @@ pub struct ProjectedFrame {
     pub camera: Camera,
     /// Projected 2D splats (depth-unsorted; Step ❷ orders them).
     pub splats: Vec<Splat2D>,
+    /// Per-splat and per-batch screen bounds carried forward so Step ❷
+    /// visits only plausible tiles without re-deriving ellipse AABBs.
+    pub bounds: ProjectedBounds,
     /// Preprocessing statistics.
     pub stats: PreprocessStats,
 }
@@ -81,22 +84,36 @@ pub fn project(scene: &GaussianScene, camera: &Camera) -> ProjectedFrame {
 pub fn project_pooled(pool: &ThreadPool, scene: &GaussianScene, camera: &Camera) -> ProjectedFrame {
     let recorder = gbu_telemetry::global();
     let _span = recorder.wall_span("project", gbu_telemetry::Labels::default());
-    let (splats, stats) = preprocess::project_scene_pooled(pool, scene, camera);
-    ProjectedFrame { camera: camera.clone(), splats, stats }
+    let (splats, bounds, stats) = preprocess::project_scene_bounded(pool, scene, camera);
+    ProjectedFrame { camera: camera.clone(), splats, bounds, stats }
 }
 
-/// Step ❷: duplicates splats per overlapped tile and radix-sorts by
-/// `(tile, depth)`.
+/// Step ❷ on the global pool: duplicates splats per overlapped tile and
+/// radix-sorts by `(tile, depth)`, reusing the frame's carried bounds.
+/// Byte-identical to the serial [`binning::bin_splats`] at every thread
+/// count (pinned by `tests/binning_equivalence.rs`).
 pub fn bin(frame: &ProjectedFrame, tile_size: u32) -> BinnedFrame {
+    bin_pooled(gbu_par::global(), frame, tile_size)
+}
+
+/// [`bin`] on an explicit pool.
+pub fn bin_pooled(pool: &ThreadPool, frame: &ProjectedFrame, tile_size: u32) -> BinnedFrame {
     let recorder = gbu_telemetry::global();
     let _span = recorder.wall_span("bin", gbu_telemetry::Labels::default());
-    let (bins, stats) = binning::bin_splats(&frame.splats, &frame.camera, tile_size);
+    let (bins, stats) = binning::bin_splats_pooled(
+        pool,
+        &frame.splats,
+        Some(&frame.bounds),
+        &frame.camera,
+        tile_size,
+    );
     BinnedFrame { bins, stats }
 }
 
 /// Step ❷ through a [`crate::bincache::BinCache`]: bit-identical to
 /// [`bin`], but frames whose camera moved only slightly since the
-/// cache's last frame are re-binned incrementally.
+/// cache's last frame are re-binned incrementally. Cold frames and
+/// violated-tile re-sorts both run on the global pool.
 pub fn bin_cached(
     cache: &mut crate::bincache::BinCache,
     frame: &ProjectedFrame,
@@ -104,7 +121,13 @@ pub fn bin_cached(
 ) -> BinnedFrame {
     let recorder = gbu_telemetry::global();
     let _span = recorder.wall_span("bin", gbu_telemetry::Labels::default());
-    let (bins, stats) = cache.bin(&frame.splats, &frame.camera, tile_size);
+    let (bins, stats) = cache.bin_pooled(
+        gbu_par::global(),
+        &frame.splats,
+        Some(&frame.bounds),
+        &frame.camera,
+        tile_size,
+    );
     BinnedFrame { bins, stats }
 }
 

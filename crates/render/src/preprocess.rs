@@ -31,6 +31,21 @@ pub fn project_gaussian(
     camera: &Camera,
     source: u32,
 ) -> Result<Splat2D, CullReason> {
+    project_gaussian_bounded(g, camera, source).map(|(splat, _)| splat)
+}
+
+/// [`project_gaussian`] that also returns the truncated ellipse's exact
+/// screen bounds — already computed here for the off-screen cull, and
+/// carried forward so Step ❷ never re-derives them from the conic.
+///
+/// `EllipseBounds::from_conic` is a pure function of the stored splat
+/// fields, so the carried bounds are bit-equal to what binning would
+/// recompute; using either path yields byte-identical tile bins.
+pub fn project_gaussian_bounded(
+    g: &Gaussian3D,
+    camera: &Camera,
+    source: u32,
+) -> Result<(Splat2D, EllipseBounds), CullReason> {
     // View-space mean; near-plane cull.
     let t = camera.to_camera(g.position);
     if t.z <= camera.near {
@@ -84,7 +99,17 @@ pub fn project_gaussian(
     }
 
     let color = g.sh.eval(camera.view_dir(g.position));
-    Ok(Splat2D { mean, conic, cov: cov2, color, opacity: g.opacity, depth: t.z, threshold, source })
+    let splat = Splat2D {
+        mean,
+        conic,
+        cov: cov2,
+        color,
+        opacity: g.opacity,
+        depth: t.z,
+        threshold,
+        source,
+    };
+    Ok((splat, bounds))
 }
 
 /// Why a Gaussian was culled during preprocessing.
@@ -96,6 +121,84 @@ pub enum CullReason {
     Opacity,
     /// Degenerate projected covariance.
     Degenerate,
+}
+
+/// Aggregate screen-space bounds of one batch of [`BATCH_SPLATS`]
+/// consecutive surviving splats — the union AABB of their truncated
+/// ellipses. Step ❷'s batch-parallel expansion uses these to skip whole
+/// batches whose footprint misses the tile grid before touching any
+/// per-splat state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchBounds {
+    /// First splat index of the batch (inclusive).
+    pub start: u32,
+    /// One past the last splat index of the batch.
+    pub end: u32,
+    /// Minimum corner of the union AABB, in pixels.
+    pub min: Vec2,
+    /// Maximum corner of the union AABB, in pixels.
+    pub max: Vec2,
+}
+
+impl BatchBounds {
+    /// Inclusive tile rectangle the batch AABB overlaps, clamped to the
+    /// grid, or `None` when the whole batch misses it — the same clipping
+    /// rule as [`EllipseBounds::tile_range`], so a `None` here proves every
+    /// member splat's own range is `None` (each member AABB is contained in
+    /// the union).
+    pub fn tile_range(
+        &self,
+        tile: u32,
+        tiles_x: u32,
+        tiles_y: u32,
+    ) -> Option<(u32, u32, u32, u32)> {
+        let t = tile as f32;
+        if self.max.x < 0.0 || self.max.y < 0.0 {
+            return None;
+        }
+        let x0 = (self.min.x / t).floor().max(0.0) as u32;
+        let y0 = (self.min.y / t).floor().max(0.0) as u32;
+        if x0 >= tiles_x || y0 >= tiles_y {
+            return None;
+        }
+        let x1 = ((self.max.x / t).floor() as u32).min(tiles_x - 1);
+        let y1 = ((self.max.y / t).floor() as u32).min(tiles_y - 1);
+        Some((x0, y0, x1, y1))
+    }
+}
+
+/// Number of consecutive splats per expansion batch. Projection aggregates
+/// one [`BatchBounds`] per this many survivors, and Step ❷ emits `(key,
+/// splat)` pairs in units of the same batches — fixed (independent of the
+/// thread count) so the batch decomposition, and therefore the
+/// concatenated emission order, never changes with `GBU_THREADS`.
+pub const BATCH_SPLATS: usize = 256;
+
+/// Per-splat and per-batch screen bounds carried out of Step ❶ for the
+/// binning frontend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProjectedBounds {
+    /// Exact truncated-ellipse bounds of each surviving splat, parallel to
+    /// the splat list.
+    pub splats: Vec<EllipseBounds>,
+    /// Union AABB per batch of [`BATCH_SPLATS`] consecutive splats.
+    pub batches: Vec<BatchBounds>,
+}
+
+impl ProjectedBounds {
+    fn push(&mut self, bounds: EllipseBounds) {
+        let i = self.splats.len() as u32;
+        self.splats.push(bounds);
+        let (bmin, bmax) = (bounds.min(), bounds.max());
+        match self.batches.last_mut() {
+            Some(batch) if (batch.end - batch.start) < BATCH_SPLATS as u32 => {
+                batch.end = i + 1;
+                batch.min = Vec2::new(batch.min.x.min(bmin.x), batch.min.y.min(bmin.y));
+                batch.max = Vec2::new(batch.max.x.max(bmax.x), batch.max.y.max(bmax.y));
+            }
+            _ => self.batches.push(BatchBounds { start: i, end: i + 1, min: bmin, max: bmax }),
+        }
+    }
 }
 
 /// Projects an entire scene, producing splats and Step-❶ statistics, on
@@ -112,16 +215,32 @@ pub fn project_scene_pooled(
     scene: &GaussianScene,
     camera: &Camera,
 ) -> (Vec<Splat2D>, PreprocessStats) {
+    let (splats, _, stats) = project_scene_bounded(pool, scene, camera);
+    (splats, stats)
+}
+
+/// [`project_scene_pooled`] that also carries the per-splat and per-batch
+/// screen bounds forward for the bounds-aware binning frontend
+/// ([`crate::binning::bin_into`]). The splat list and statistics are
+/// identical to [`project_scene_pooled`] — the bounds are a pure
+/// by-product of the off-screen cull each projection already performs.
+pub fn project_scene_bounded(
+    pool: &gbu_par::ThreadPool,
+    scene: &GaussianScene,
+    camera: &Camera,
+) -> (Vec<Splat2D>, ProjectedBounds, PreprocessStats) {
     let projected = pool.map_indexed(&scene.gaussians, |i, g| {
-        (project_gaussian(g, camera, i as u32), PROJECT_FLOPS + g.sh.eval_flops())
+        (project_gaussian_bounded(g, camera, i as u32), PROJECT_FLOPS + g.sh.eval_flops())
     });
     let mut splats = Vec::with_capacity(scene.len());
+    let mut bounds = ProjectedBounds::default();
     let mut stats = PreprocessStats { input_gaussians: scene.len() as u64, ..Default::default() };
     for (result, flops) in projected {
         stats.flops += flops;
         match result {
-            Ok(splat) => {
+            Ok((splat, splat_bounds)) => {
                 splats.push(splat);
+                bounds.push(splat_bounds);
             }
             Err(CullReason::Frustum) => stats.culled_frustum += 1,
             Err(CullReason::Opacity) => stats.culled_opacity += 1,
@@ -129,7 +248,7 @@ pub fn project_scene_pooled(
         }
     }
     stats.output_splats = splats.len() as u64;
-    (splats, stats)
+    (splats, bounds, stats)
 }
 
 /// The screen-space mean of a pixel's centre (both dataflows sample

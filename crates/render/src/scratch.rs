@@ -1,4 +1,4 @@
-//! Reusable working memory for the blending hot path.
+//! Reusable working memory for the rendering hot path.
 //!
 //! Both dataflows walk a tile with two tile-local arrays (accumulated
 //! color and transmittance per pixel). The original implementation
@@ -8,7 +8,9 @@
 //! simulation, serving, benchmarks) make no per-tile or per-pixel
 //! allocations once warm — the only per-frame heap touch left in a
 //! `blend_into` call is the tile-row job list, which borrows the frame
-//! buffer and so cannot be cached here.
+//! buffer and so cannot be cached here. [`BinScratch`] plays the same
+//! role for Step ❷'s `bin_into`: per-batch pair buffers, sort scratch
+//! and histograms survive across frames.
 
 use gbu_math::Vec3;
 
@@ -72,5 +74,116 @@ impl BlendScratch {
     /// benchmark itself runs on a single-core CI container).
     pub fn job_nanos(&self) -> &[u64] {
         &self.job_nanos
+    }
+}
+
+/// One batch's pair buffer for the parallel Step-❷ expansion, plus the
+/// wall-clock nanoseconds its expansion job took.
+#[derive(Debug, Default)]
+pub(crate) struct BinBatchBuf {
+    pub(crate) pairs: Vec<(u64, u32)>,
+    pub(crate) nanos: u64,
+}
+
+/// Per-worker identity handed to binning's parallel regions so detailed
+/// telemetry spans can carry worker labels.
+#[derive(Debug, Default)]
+pub(crate) struct BinWorker {
+    pub(crate) id: u32,
+}
+
+/// Per-barrier-stage wall-clock samples of the most recent `bin_into`
+/// call: one `(stage name, per-job nanos)` record per parallel dispatch
+/// (batch expansion, pair concatenation, then a histogram and scatter
+/// stage per executed radix pass), plus the serial residue between them.
+///
+/// Recorded from a 1-thread run, these feed the same list-scheduling
+/// critical-path model `repro render` applies to blending: the modelled
+/// parallel wall is `serial residue + Σ schedule(stage jobs, workers)`.
+#[derive(Debug, Default)]
+pub struct BinTimings {
+    stages: Vec<(&'static str, Vec<u64>)>,
+    used: usize,
+    serial_nanos: u64,
+}
+
+impl BinTimings {
+    /// Forgets the previous frame's record (buffers are retained).
+    pub(crate) fn reset(&mut self) {
+        self.used = 0;
+        self.serial_nanos = 0;
+    }
+
+    /// Opens a new stage record of `jobs` zeroed slots and returns it.
+    pub(crate) fn stage(&mut self, name: &'static str, jobs: usize) -> &mut [u64] {
+        if self.stages.len() == self.used {
+            self.stages.push((name, Vec::new()));
+        }
+        let (stage_name, nanos) = &mut self.stages[self.used];
+        *stage_name = name;
+        nanos.clear();
+        nanos.resize(jobs, 0);
+        self.used += 1;
+        nanos
+    }
+
+    /// Records the serial residue: total wall minus the sum of all
+    /// parallel-stage job nanos (exact when the pool ran 1-threaded).
+    pub(crate) fn record_serial(&mut self, total_nanos: u64) {
+        let parallel: u64 = self.stages().map(|(_, jobs)| jobs.iter().sum::<u64>()).sum();
+        self.serial_nanos = total_nanos.saturating_sub(parallel);
+    }
+
+    /// The recorded `(stage name, per-job nanos)` sequence, in dispatch
+    /// order.
+    pub fn stages(&self) -> impl Iterator<Item = (&'static str, &[u64])> + '_ {
+        self.stages.iter().take(self.used).map(|(name, nanos)| (*name, nanos.as_slice()))
+    }
+
+    /// Wall-clock nanoseconds spent outside the parallel stages (scan,
+    /// CSR bookkeeping, dispatch overhead).
+    pub fn serial_nanos(&self) -> u64 {
+        self.serial_nanos
+    }
+}
+
+/// Reusable scratch for the `bin_into` entry point: per-batch pair
+/// buffers, the concatenated pair list, radix-sort scratch and per-chunk
+/// histograms, per-worker telemetry identities, and the stage timing
+/// record of the most recent call. Once warm, a `bin_into` call's only
+/// per-frame heap touches are the small job lists that borrow frame-local
+/// slices (the same exception `blend_into` documents).
+#[derive(Debug, Default)]
+pub struct BinScratch {
+    pub(crate) batches: Vec<BinBatchBuf>,
+    pub(crate) pairs: Vec<(u64, u32)>,
+    pub(crate) sort_scratch: Vec<(u64, u32)>,
+    pub(crate) hists: Vec<[usize; 256]>,
+    pub(crate) workers: Vec<BinWorker>,
+    pub(crate) timings: BinTimings,
+}
+
+impl BinScratch {
+    /// An empty scratch; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns at least `batches` batch buffers and per-worker identities
+    /// for `workers` workers, growing both sets as needed.
+    pub(crate) fn prepare(&mut self, batches: usize, workers: usize) {
+        if self.batches.len() < batches {
+            self.batches.resize_with(batches, BinBatchBuf::default);
+        }
+        if self.workers.len() < workers {
+            let start = self.workers.len();
+            self.workers.extend((start..workers).map(|id| BinWorker { id: id as u32 }));
+        }
+        self.timings.reset();
+    }
+
+    /// The per-stage timing record of the most recent `bin_into` call.
+    pub fn timings(&self) -> &BinTimings {
+        &self.timings
     }
 }

@@ -39,6 +39,12 @@ pub struct PreprocessStats {
 }
 
 /// Statistics from Rendering Step ❷ (binning + sort).
+///
+/// Invariant under the parallel binning path: every field — including
+/// `sort_passes`, which the GPU timing model converts into sorting-kernel
+/// cost — is identical whether Step ❷ ran serially or on a pool of any
+/// size (the chunk-parallel sort skips passes by the same aggregate-
+/// histogram rule the serial sort applies).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BinningStats {
     /// (splat, tile) instances emitted.

@@ -2608,6 +2608,283 @@ pub fn share(ctx: &Ctx) {
     println!("wrote {path}\n");
 }
 
+/// Contribution-aware quality sweep, emitting `BENCH_quality.json`.
+///
+/// Two self-validating sections (any failed gate exits non-zero — CI
+/// runs the `test` profile as the quality smoke gate):
+///
+/// - **A — degradation ladder**: one synthetic scene rendered Exact and
+///   at every rung of the governor's default ladder, both dataflows.
+///   Gates: `QualityLevel::Exact` byte-identical to the plain blend;
+///   every rung strictly cheaper than the one above it in modeled
+///   device-occupancy cycles (max of D&B and tile-PE time of the
+///   compacted frame — the same probe serving load calibration uses);
+///   per-rung PSNR against the exact render at or above a pinned floor.
+/// - **B — governed overload sweep**: the same overloaded session mix
+///   served three ways at one calibrated clock — reject-only admission,
+///   deadline-drop, and the quality governor (degraded counter-offers +
+///   pressure shedding on top of both). Gates: frame conservation in
+///   every run; the governed run actually degrades (and saves modeled
+///   cycles); it delivers **strictly more on-time frames** than both
+///   baselines, with every degraded dispatch drawn from the rung ladder
+///   section A just validated.
+pub fn quality(ctx: &Ctx) {
+    use gbu_render::{contrib, pipeline, QualityLevel, RenderConfig};
+    use gbu_scene::synth::SceneBuilder;
+    use gbu_scene::{Camera, ScaleProfile};
+    use gbu_serve::{
+        calibrated_clock_ghz, run_sessions, workload, AdmissionControl, Policy, QosTarget,
+        QualityGovernor, ServeConfig,
+    };
+
+    /// Offered load vs pool capacity in section B: enough pressure that
+    /// exact-only serving must miss, not so much that nothing helps.
+    const OVERLOAD: f64 = 1.8;
+    /// Pinned PSNR floors (dB) for the governor's default ladder — the
+    /// worse dataflow must clear these on the section-A scene.
+    const PSNR_FLOORS: [f64; 3] = [30.0, 24.0, 18.0];
+
+    let (gaussians, width, height, n_sessions, frames) = match ctx.profile {
+        ScaleProfile::Test => (1_500usize, 256u32, 160u32, 6usize, 6u32),
+        _ => (10_000, 640, 384, 12, 8),
+    };
+    let mut invalid = false;
+
+    // --- Section A: the degradation ladder on one projected frame ---
+    println!("== Contribution-aware quality: ladder validation, governed serving ==");
+    println!("   A: {gaussians} Gaussians at {width}x{height}, ladder vs exact render");
+    let scene = SceneBuilder::new(73)
+        .ellipsoid_cloud(
+            Vec3::ZERO,
+            Vec3::new(0.9, 0.7, 0.9),
+            gaussians * 3 / 4,
+            Vec3::new(0.6, 0.5, 0.4),
+            0.2,
+        )
+        .sphere_shell(Vec3::ZERO, 1.2, gaussians / 4, Vec3::new(0.3, 0.4, 0.6))
+        .build();
+    let cam = Camera::orbit(width, height, 1.0, Vec3::ZERO, 3.0, 0.35, 0.25);
+    let rcfg = RenderConfig::default();
+    let frame = pipeline::project(&scene, &cam);
+    let binned = pipeline::bin(&frame, rcfg.tile_size);
+    let gbu_cfg = gbu_hw::GbuConfig::paper();
+    let probe_cycles = |splats: &[Splat2D], bins: &gbu_render::binning::TileBins| -> u64 {
+        let mut probe = gbu_core::Gbu::new(gbu_cfg.clone());
+        probe.render_image(splats, bins, &cam, Vec3::ZERO).expect("probe device is idle");
+        let occupancy = probe.in_flight_remaining().expect("frame in flight");
+        probe.wait().expect("frame in flight");
+        occupancy
+    };
+
+    // Gate 1: Exact is a true no-op for both dataflows.
+    let dataflows = [pipeline::Dataflow::Pfs, pipeline::Dataflow::Irss];
+    let exact_images: Vec<_> = dataflows
+        .iter()
+        .map(|&df| {
+            let (plain, _) = pipeline::blend(&frame, &binned, df, &rcfg);
+            let (exact, _) =
+                pipeline::blend_with_quality(&frame, &binned, df, &rcfg, QualityLevel::Exact);
+            if exact.pixels() != plain.pixels() {
+                eprintln!("INVALID: Exact {df:?} diverges from the plain blend");
+                invalid = true;
+            }
+            plain
+        })
+        .collect();
+    let exact_cycles = probe_cycles(&frame.splats, &binned.bins);
+
+    let ladder = QualityGovernor::default_ladder();
+    let scores = contrib::contribution_scores(&frame.splats, Some(&frame.bounds), &frame.camera);
+    let mut rows = vec![vec![
+        "exact".to_string(),
+        frame.splats.len().to_string(),
+        exact_cycles.to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+    ]];
+    let mut ladder_json = Vec::new();
+    let mut prev_cycles = exact_cycles;
+    for (i, &level) in ladder.iter().enumerate() {
+        let keep = contrib::select(&scores, level).expect("ladder rungs are degraded");
+        let (splats, bins) = contrib::compact(&frame.splats, &binned.bins, &keep);
+        let cycles = probe_cycles(&splats, &bins);
+        // Gate 2: every rung strictly cheaper than the one above it.
+        if cycles >= prev_cycles {
+            eprintln!(
+                "INVALID: {} costs {cycles} cycles, not below the previous {prev_cycles}",
+                level.label()
+            );
+            invalid = true;
+        }
+        prev_cycles = cycles;
+        // Gate 3: PSNR floor on the worse dataflow.
+        let psnrs: Vec<f64> = dataflows
+            .iter()
+            .zip(&exact_images)
+            .map(|(&df, exact)| {
+                let (img, _) = pipeline::blend_with_quality(&frame, &binned, df, &rcfg, level);
+                contrib::psnr(&img, exact)
+            })
+            .collect();
+        let worst = psnrs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let floor = PSNR_FLOORS[i];
+        if worst < floor {
+            eprintln!("INVALID: {} PSNR {worst:.2} dB below the {floor} dB floor", level.label());
+            invalid = true;
+        }
+        rows.push(vec![
+            level.label(),
+            splats.len().to_string(),
+            cycles.to_string(),
+            fmt_f(psnrs[0], 2),
+            fmt_f(psnrs[1], 2),
+            fmt_f(floor, 1),
+        ]);
+        let jf = |v: f64| if v.is_finite() { format!("{v:.4}") } else { "null".to_string() };
+        ladder_json.push(format!(
+            "{{\"level\":\"{}\",\"splats\":{},\"cycles\":{cycles},\"psnr_pfs\":{},\
+             \"psnr_irss\":{},\"psnr_floor\":{floor}}}",
+            level.label(),
+            splats.len(),
+            jf(psnrs[0]),
+            jf(psnrs[1]),
+        ));
+    }
+    println!(
+        "{}",
+        table(&["level", "splats", "device cycles", "PSNR pfs", "PSNR irss", "floor dB"], &rows)
+    );
+
+    // --- Section B: overloaded serving, three shedding disciplines ---
+    println!(
+        "   B: {n_sessions} sessions x {frames} frames at {OVERLOAD}x load, \
+         reject vs drop vs governed"
+    );
+    let specs = workload::synthetic_mix(n_sessions, frames);
+    let sessions = workload::prepare_all(specs, &gbu_cfg);
+    let base = ServeConfig { policy: Policy::Edf, ..ServeConfig::default() };
+    let clock = calibrated_clock_ghz(&sessions, base.total_devices(), OVERLOAD);
+    // Pressure ticks scale with the calibrated clock, not a wall
+    // constant: an eighth of the fastest session's frame period.
+    let interval = (QosTarget::VR_90.period_cycles(clock) / 8).max(1);
+    let governor = QualityGovernor {
+        ladder: ladder.clone(),
+        counter_offer: true,
+        shed_on_pressure: true,
+        interval,
+        ..QualityGovernor::default()
+    };
+    let reject_admission = AdmissionControl { reject_unmeetable: true, ..base.admission };
+    let scenarios = [
+        ("reject", reject_admission, false, QualityGovernor::default()),
+        ("drop", base.admission, true, QualityGovernor::default()),
+        ("governed", reject_admission, true, governor),
+    ];
+    let mut sweep_rows = Vec::new();
+    let mut sweep_json = Vec::new();
+    let mut on_time = std::collections::BTreeMap::new();
+    for (label, admission, drop_unmeetable, quality) in scenarios {
+        let mut cfg = ServeConfig { admission, drop_unmeetable, quality, ..base.clone() };
+        cfg.gbu.clock_ghz = clock;
+        let r = run_sessions(cfg, &sessions);
+        // Gate 4: frame conservation in every discipline.
+        if r.generated != r.completed + r.rejected + r.dropped {
+            eprintln!(
+                "INVALID: {label}: {} generated != {} + {} + {}",
+                r.generated, r.completed, r.rejected, r.dropped
+            );
+            invalid = true;
+        }
+        let delivered = r.completed - r.missed;
+        on_time.insert(label, delivered);
+        let q = r.quality;
+        if label == "governed" {
+            // Gate 5: the governor actually governs, and degraded
+            // dispatches are genuinely cheaper in modeled cycles.
+            if q.frames_degraded == 0 || q.cycles_saved == 0 {
+                eprintln!(
+                    "INVALID: governed run degraded {} frames saving {} cycles",
+                    q.frames_degraded, q.cycles_saved
+                );
+                invalid = true;
+            }
+        } else if q != gbu_serve::QualityCounts::default() {
+            eprintln!("INVALID: {label}: inactive governor reported quality activity");
+            invalid = true;
+        }
+        sweep_rows.push(vec![
+            label.to_string(),
+            r.generated.to_string(),
+            delivered.to_string(),
+            r.missed.to_string(),
+            r.rejected.to_string(),
+            r.dropped.to_string(),
+            q.frames_degraded.to_string(),
+            q.cycles_saved.to_string(),
+            fmt_f(r.p95_latency_ms, 2),
+        ]);
+        sweep_json.push(format!(
+            "{{\"scenario\":\"{label}\",\"on_time\":{delivered},\"report\":{}}}",
+            r.to_json()
+        ));
+    }
+    // Gate 6: shedding quality beats shedding frames — strictly more
+    // on-time deliveries than both baselines.
+    let governed = on_time["governed"];
+    for baseline in ["reject", "drop"] {
+        if governed <= on_time[baseline] {
+            eprintln!(
+                "INVALID: governed delivered {governed} on-time frames, not above \
+                 {baseline}'s {}",
+                on_time[baseline]
+            );
+            invalid = true;
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario",
+                "gen",
+                "on-time",
+                "missed",
+                "rejected",
+                "dropped",
+                "degraded",
+                "cyc saved",
+                "p95 ms",
+            ],
+            &sweep_rows
+        )
+    );
+
+    if invalid {
+        eprintln!("quality sweep produced invalid output; failing");
+        std::process::exit(1);
+    }
+
+    let json = format!(
+        "{{\"experiment\":\"quality\",\"profile\":\"{:?}\",\"run_info\":{},\
+         \"scene\":{{\"gaussians\":{gaussians},\"width\":{width},\"height\":{height}}},\
+         \"exact\":{{\"splats\":{},\"cycles\":{exact_cycles}}},\"ladder\":[{}],\
+         \"serving\":{{\"sessions\":{n_sessions},\"frames\":{frames},\
+         \"overload\":{OVERLOAD},\"clock_ghz\":{clock:.6},\"governor_interval\":{interval},\
+         \"sweep\":[{}]}},\
+         \"gates\":{{\"exact_bit_identical\":true,\"cycles_strictly_decreasing\":true,\
+         \"psnr_floors_met\":true,\"governed_beats_baselines\":true}}}}\n",
+        ctx.profile,
+        run_info(),
+        frame.splats.len(),
+        ladder_json.join(","),
+        sweep_json.join(","),
+    );
+    let path = smoke_path(ctx.profile, "BENCH_quality");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}\n");
+}
+
 /// Wall-clock run metadata embedded in every bench JSON (ISO-8601 start
 /// time, host thread count, `GBU_THREADS` in effect).
 fn run_info() -> String {

@@ -20,7 +20,10 @@
 //! scene-store / preprocessing-reuse / bin-cache sweep (cached binning
 //! validated bit-identical against cold, shared Step-❶/❷ charging
 //! validated strictly better than per-frame charging), which writes
-//! `BENCH_share.json`.
+//! `BENCH_share.json`, and `quality` — the contribution-aware quality
+//! sweep (degradation-ladder PSNR/cycle validation plus the governed
+//! overload sweep where shedding quality must beat shedding frames),
+//! which writes `BENCH_quality.json`.
 //! Run with `--release`; the default `bench` profile renders
 //! half-resolution scenes with ~25k Gaussians and extrapolates workloads
 //! to paper scale (see EXPERIMENTS.md).
@@ -81,7 +84,8 @@ fn print_help() {
          cluster (cluster-mode serving sweep; writes BENCH_cluster.json)\n  \
          trace   (per-stage/per-lane telemetry profile; writes BENCH_trace.json)\n  \
          fleet   (fault-injected fleet churn/migration/autoscale sweep; writes BENCH_fleet.json)\n  \
-         share   (scene store + prep reuse + bin cache sweep; writes BENCH_share.json)"
+         share   (scene store + prep reuse + bin cache sweep; writes BENCH_share.json)\n  \
+         quality (degradation ladder + governed overload sweep; writes BENCH_quality.json)"
     );
 }
 
@@ -115,6 +119,7 @@ fn run(ctx: &Ctx, cmd: &str) {
         "trace" => experiments::trace(ctx),
         "fleet" => experiments::fleet(ctx),
         "share" => experiments::share(ctx),
+        "quality" => experiments::quality(ctx),
         "calib" => experiments::calib(ctx),
         "debug" => experiments::debug(ctx),
         "all" => {
@@ -147,6 +152,7 @@ fn run(ctx: &Ctx, cmd: &str) {
                 "trace",
                 "fleet",
                 "share",
+                "quality",
             ] {
                 run(ctx, c);
             }

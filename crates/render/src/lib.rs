@@ -29,6 +29,14 @@
 //! disjoint partial-framebuffer region, and [`shard::merge_shards`]
 //! reassembles the full frame bit-identically to the unsharded render.
 //!
+//! [`contrib`] adds a quality/latency dial on top of the staged
+//! pipeline: per-Gaussian contribution scoring (reusing Step ❶'s carried
+//! bounds), a [`QualityLevel`] degradation ladder
+//! (`Exact`/`TopK`/`Culled`), and
+//! [`pipeline::blend_with_quality`], which blends a compacted frame so
+//! degraded renders are cheaper in both blend statistics and modeled
+//! device cycles.
+//!
 //! [`stats`] instruments everything the architecture simulators need:
 //! fragment counts, FLOP counts at the paper's accounting granularity,
 //! per-row workloads (Fig. 9) and per-tile instance lists.
@@ -58,6 +66,7 @@
 
 pub mod bincache;
 pub mod binning;
+pub mod contrib;
 mod framebuffer;
 pub mod irss;
 pub mod metrics;
@@ -70,6 +79,7 @@ mod splat;
 pub mod stats;
 
 pub use bincache::{BinCache, BinCacheConfig, BinCacheCounters};
+pub use contrib::QualityLevel;
 pub use framebuffer::FrameBuffer;
 pub use pipeline::{BinnedFrame, Dataflow, ProjectedFrame};
 pub use preprocess::{BatchBounds, ProjectedBounds};

@@ -19,6 +19,7 @@
 //! them.
 
 use crate::binning::{self, TileBins};
+use crate::contrib::{self, QualityLevel};
 use crate::preprocess::{self, ProjectedBounds};
 use crate::stats::{BinningStats, BlendStats, PreprocessStats};
 use crate::{irss, pfs, FrameBuffer, RenderConfig, RenderOutput, Splat2D};
@@ -167,6 +168,66 @@ pub fn blend_pooled(
                 &frame.splats,
                 &isplats,
                 &binned.bins,
+                &frame.camera,
+                config,
+                &mut scratch,
+                &mut image,
+                &mut stats,
+            );
+            (image, stats)
+        }
+    }
+}
+
+/// Step ❸ at a chosen [`QualityLevel`], on the global pool.
+///
+/// [`QualityLevel::Exact`] delegates verbatim to [`blend`] — bit-identical
+/// output, pinned by `tests/quality_equivalence.rs`. Degraded levels score
+/// the frame's splats ([`contrib::contribution_scores`], reusing the
+/// carried [`ProjectedBounds`]), compact the low-contribution ones away,
+/// and blend the smaller frame with the same dataflow; the returned
+/// [`BlendStats`] therefore count only the splats actually blended, which
+/// is what the GPU timing model charges.
+pub fn blend_with_quality(
+    frame: &ProjectedFrame,
+    binned: &BinnedFrame,
+    dataflow: Dataflow,
+    config: &RenderConfig,
+    level: QualityLevel,
+) -> (FrameBuffer, BlendStats) {
+    blend_with_quality_pooled(gbu_par::global(), frame, binned, dataflow, config, level)
+}
+
+/// [`blend_with_quality`] on an explicit pool.
+pub fn blend_with_quality_pooled(
+    pool: &ThreadPool,
+    frame: &ProjectedFrame,
+    binned: &BinnedFrame,
+    dataflow: Dataflow,
+    config: &RenderConfig,
+    level: QualityLevel,
+) -> (FrameBuffer, BlendStats) {
+    let scores = match level {
+        QualityLevel::Exact => return blend_pooled(pool, frame, binned, dataflow, config),
+        _ => contrib::contribution_scores(&frame.splats, Some(&frame.bounds), &frame.camera),
+    };
+    let keep = contrib::select(&scores, level).expect("non-Exact level always selects");
+    let (splats, bins) = contrib::compact(&frame.splats, &binned.bins, &keep);
+    let recorder = gbu_telemetry::global();
+    let _span = recorder.wall_span("blend", gbu_telemetry::Labels::default());
+    match dataflow {
+        Dataflow::Pfs => pfs::blend_pooled(pool, &splats, &bins, &frame.camera, config),
+        Dataflow::Irss => {
+            let isplats = irss::precompute_pooled(pool, &splats);
+            let mut image =
+                FrameBuffer::new(frame.camera.width, frame.camera.height, config.background);
+            let mut stats = BlendStats::default();
+            let mut scratch = crate::BlendScratch::new();
+            irss::blend_precomputed_into(
+                pool,
+                &splats,
+                &isplats,
+                &bins,
                 &frame.camera,
                 config,
                 &mut scratch,

@@ -37,8 +37,9 @@ use crate::event::{
 use crate::fleet::{AutoscaleConfig, FleetAction, FleetConfig};
 use crate::metrics::{RunInfo, ServeMetrics, ServeReport};
 use crate::pool::DevicePool;
+use crate::quality::QualityGovernor;
 use crate::scheduler::{AdmissionControl, FrameTicket, Policy, Scheduler};
-use crate::session::{PreparedView, Session, SessionSpec};
+use crate::session::{probe_view_cycles, PreparedView, Session, SessionSpec};
 use crate::store::SceneStore;
 use gbu_gpu::GpuConfig;
 use gbu_hw::GbuConfig;
@@ -115,6 +116,12 @@ pub struct ServeConfig {
     /// count can reach). `None` (default) keeps the classic per-session
     /// preparation, byte-identical to pre-store behaviour.
     pub scene_store: Option<SceneStore>,
+    /// Quality governor: degradation ladder plus the counter-offer and
+    /// pressure-shedding mechanisms ([`crate::QualityGovernor`]). The
+    /// default is entirely inactive and costs nothing — every frame
+    /// renders exact, byte-identical to a build without the quality
+    /// subsystem.
+    pub quality: QualityGovernor,
     /// When set, every dispatched frame is charged the host GPU's
     /// Step-❶/❷ preprocessing time (projection + binning, from the
     /// `gbu_gpu` cost model) as up-front device occupancy — and, with
@@ -180,6 +187,7 @@ impl Default for ServeConfig {
             telemetry: gbu_telemetry::Recorder::from_env(),
             fleet: FleetConfig::default(),
             scene_store: None,
+            quality: QualityGovernor::default(),
             prep: None,
         }
     }
@@ -247,6 +255,35 @@ struct FleetRuntime {
     lanes_active: gbu_telemetry::Gauge,
 }
 
+/// Engine-side state of an active [`QualityGovernor`] (see
+/// [`ServeConfig::quality`]); `None` on the engine when the config is
+/// inactive.
+#[derive(Debug)]
+struct QualityRuntime {
+    /// Current global ladder rung: 0 = exact, `1..=ladder.len()` indexes
+    /// [`QualityGovernor::ladder`] (1-based; deeper = cheaper).
+    level: usize,
+    /// Next pressure-tick cycle (`None` when shedding is off).
+    next_tick: Option<u64>,
+    /// Decision ticks to sit out after a shed/recover step.
+    cooldown: u32,
+    /// Degraded-view cache: `(exact view Arc pointer, rung)` → the
+    /// compacted [`PreparedView`] and its probed device occupancy.
+    /// Pointer identity keys work because sessions hold their prepared
+    /// views alive for the engine's lifetime (same ledger scheme as
+    /// `prep_paid`).
+    views: std::collections::HashMap<(usize, usize), (std::sync::Arc<PreparedView>, u64)>,
+    /// Exact-view occupancy cache (Arc pointer → probed cycles), for the
+    /// cycles-saved accounting.
+    exact_cycles: std::collections::HashMap<usize, u64>,
+    /// Frames admitted as degraded counter-offers: frame id → (pinned
+    /// rung, degraded min-service cycles). Entries retire at dispatch or
+    /// drop.
+    pinned: std::collections::HashMap<u64, (usize, u64)>,
+    /// Telemetry gauge tracking the global level through shed/recover.
+    level_gauge: gbu_telemetry::Gauge,
+}
+
 /// The reactive serving engine.
 ///
 /// Construct with [`ServeEngine::new`], populate with
@@ -299,6 +336,10 @@ pub struct ServeEngine {
     /// the config is inactive. Taken out (`Option::take`) for the
     /// duration of fleet passes so they can call `&mut self` methods.
     fleet: Option<FleetRuntime>,
+    /// Active quality governor ([`ServeConfig::quality`]); `None` when
+    /// the config is inactive. Taken out (`Option::take`) like `fleet`
+    /// for the duration of quality passes.
+    quality: Option<QualityRuntime>,
     /// Reused buffer for [`ExecBackend::lane_backlogs_into`] in the
     /// admission wait estimate — a `RefCell` because `wait_estimate`
     /// takes `&self` on the hot submit path and must not allocate a
@@ -365,6 +406,33 @@ impl ServeEngine {
                 lanes_active,
             }
         });
+        let quality = cfg.quality.is_active().then(|| {
+            for level in &cfg.quality.ladder {
+                assert!(
+                    !level.is_exact(),
+                    "ladder rungs must be degraded levels (Exact is the absence of degradation)",
+                );
+                level.validate();
+            }
+            if cfg.quality.shed_on_pressure {
+                assert!(cfg.quality.interval > 0, "quality tick interval must be positive");
+                assert!(
+                    cfg.quality.recover_pressure < cfg.quality.shed_pressure,
+                    "recover threshold must sit below shed threshold (hysteresis)",
+                );
+            }
+            let level_gauge = recorder.gauge("quality.level");
+            level_gauge.set(0);
+            QualityRuntime {
+                level: 0,
+                next_tick: cfg.quality.shed_on_pressure.then_some(cfg.quality.interval),
+                cooldown: 0,
+                views: std::collections::HashMap::new(),
+                exact_cycles: std::collections::HashMap::new(),
+                pinned: std::collections::HashMap::new(),
+                level_gauge,
+            }
+        });
         Self {
             cfg,
             backend,
@@ -380,6 +448,7 @@ impl ServeEngine {
             recorder,
             shard_trace: Vec::new(),
             fleet,
+            quality,
             backlog_scratch: std::cell::RefCell::new(Vec::new()),
             prep_paid: std::collections::HashMap::new(),
         }
@@ -619,6 +688,7 @@ impl ServeEngine {
         loop {
             let now = self.backend.clock();
             self.fleet_due(now);
+            self.quality_due(now);
             self.admit_due(now);
             if self.cfg.drop_unmeetable {
                 self.drop_pass(now);
@@ -635,8 +705,11 @@ impl ServeEngine {
             let next_completion =
                 self.backend.next_completion_dt().map(|dt| now.saturating_add(dt));
             let next_fleet = self.fleet_next_time();
-            let t =
-                [next_timer, next_push, next_completion, next_fleet].into_iter().flatten().min();
+            let next_quality = self.quality_next_time();
+            let t = [next_timer, next_push, next_completion, next_fleet, next_quality]
+                .into_iter()
+                .flatten()
+                .min();
             match t {
                 None => break,
                 Some(t) if t > cycle => break,
@@ -767,7 +840,10 @@ impl ServeEngine {
             // A requeued frame is back in the ready queue awaiting a
             // fresh dispatch.
             ServeEvent::Requeued { .. } => Some(FrameStatus::Queued),
-            ServeEvent::SessionMigrated { .. }
+            // A degradation decision is non-terminal and does not move
+            // the frame's lifecycle state.
+            ServeEvent::Degraded { .. }
+            | ServeEvent::SessionMigrated { .. }
             | ServeEvent::LaneDown { .. }
             | ServeEvent::LaneUp { .. } => None,
         };
@@ -794,6 +870,9 @@ impl ServeEngine {
     }
 
     fn drop_ticket(&mut self, ticket: FrameTicket, reason: DropReason, at: u64) {
+        if let Some(q) = self.quality.as_mut() {
+            q.pinned.remove(&ticket.id.index());
+        }
         if self.recorder.is_enabled() {
             let name = match reason {
                 DropReason::Deadline => "drop.deadline",
@@ -882,6 +961,164 @@ impl ServeEngine {
             }
         }
         t
+    }
+
+    // ------------------------------------------------------------------
+    // Quality governor
+    // ------------------------------------------------------------------
+
+    /// Applies at most one quality shed/recover decision due at or
+    /// before `now` (a tick that fell behind catches up with a single
+    /// decision, like the fleet autoscaler). No-op without an active
+    /// governor or with pressure shedding off.
+    fn quality_due(&mut self, now: u64) {
+        let Some(mut q) = self.quality.take() else { return };
+        if let Some(tick) = q.next_tick {
+            if tick <= now {
+                let g = &self.cfg.quality;
+                let pressure = self.metrics.window_pressure();
+                if q.cooldown > 0 {
+                    q.cooldown -= 1;
+                } else if pressure >= g.shed_pressure && q.level < g.ladder.len() {
+                    q.level += 1;
+                    q.cooldown = g.cooldown_ticks;
+                    q.level_gauge.set(q.level as u64);
+                    self.metrics.quality_shed();
+                    if self.recorder.is_enabled() {
+                        self.recorder.counter("serve.quality.sheds").add(1);
+                    }
+                } else if pressure <= g.recover_pressure && q.level > 0 {
+                    q.level -= 1;
+                    q.cooldown = g.cooldown_ticks;
+                    q.level_gauge.set(q.level as u64);
+                    self.metrics.quality_recovery();
+                    if self.recorder.is_enabled() {
+                        self.recorder.counter("serve.quality.recoveries").add(1);
+                    }
+                }
+                q.next_tick = Some(now.saturating_add(g.interval));
+            }
+        }
+        self.quality = Some(q);
+    }
+
+    /// The next cycle at which the governor wants the event loop to
+    /// stop: its next pressure tick, offered only while work is pending
+    /// — same drain-livelock guard as [`ServeEngine::fleet_next_time`].
+    fn quality_next_time(&self) -> Option<u64> {
+        let tick = self.quality.as_ref()?.next_tick?;
+        let work_pending = !self.queue.is_empty()
+            || self.backend.in_flight_frames() > 0
+            || self.slots.iter().flatten().any(|s| s.next_arrival.is_some());
+        work_pending.then_some(tick)
+    }
+
+    /// Builds the degraded sibling of a prepared view at `level`: scores
+    /// the view's splats ([`gbu_render::contrib`]), keeps the
+    /// high-contribution ones and compacts splats + bins, so the GBU
+    /// timing model prices exactly the surviving work.
+    fn degrade_view(view: &PreparedView, level: gbu_render::QualityLevel) -> PreparedView {
+        use gbu_render::contrib;
+        let scores = contrib::contribution_scores(&view.splats, None, &view.camera);
+        let keep = contrib::select(&scores, level).expect("ladder rungs are degraded levels");
+        let (splats, bins) = contrib::compact(&view.splats, &view.bins, &keep);
+        PreparedView { splats, bins, camera: view.camera.clone(), prep: view.prep }
+    }
+
+    /// Device-occupancy cycles of `view` degraded to ladder rung `rung`,
+    /// building and caching the degraded view on first use.
+    fn degraded_view_cycles(
+        q: &mut QualityRuntime,
+        cfg: &ServeConfig,
+        view: &std::sync::Arc<PreparedView>,
+        rung: usize,
+    ) -> u64 {
+        let key = (std::sync::Arc::as_ptr(view) as usize, rung);
+        if let Some(&(_, cycles)) = q.views.get(&key) {
+            return cycles;
+        }
+        let degraded = Self::degrade_view(view, cfg.quality.ladder[rung - 1]);
+        let cycles = probe_view_cycles(&degraded, &cfg.gbu);
+        q.views.insert(key, (std::sync::Arc::new(degraded), cycles));
+        cycles
+    }
+
+    /// Device-occupancy cycles of the exact `view`, cached per handle —
+    /// the baseline for the cycles-saved accounting.
+    fn exact_view_cycles(
+        q: &mut QualityRuntime,
+        cfg: &ServeConfig,
+        view: &std::sync::Arc<PreparedView>,
+    ) -> u64 {
+        let key = std::sync::Arc::as_ptr(view) as usize;
+        *q.exact_cycles.entry(key).or_insert_with(|| probe_view_cycles(view, &cfg.gbu))
+    }
+
+    /// The counter-offer admission probe: the deepest ladder rung and
+    /// the frame's min-service cycles at that rung (its own view,
+    /// degraded). `None` without an active governor.
+    fn degraded_min_service(&mut self, ticket: FrameTicket) -> Option<(usize, u64)> {
+        let mut q = self.quality.take()?;
+        let rung = self.cfg.quality.ladder.len();
+        let result = self.slots.get(ticket.session.index()).and_then(|s| s.as_ref()).map(|slot| {
+            let view = slot.session.view_handle(ticket.frame).clone();
+            let cycles = Self::degraded_view_cycles(&mut q, &self.cfg, &view, rung);
+            (rung, slot.mode.min_service(cycles))
+        });
+        self.quality = Some(q);
+        result
+    }
+
+    /// Substitutes the degraded prepared view for a dispatch when the
+    /// effective rung (the frame's counter-offer pin, or the global
+    /// pressure-shed level, whichever is deeper) is non-zero; counts the
+    /// dispatch on whichever quality side it served. Identity when the
+    /// governor is inactive.
+    fn quality_substitute(
+        &mut self,
+        view: std::sync::Arc<PreparedView>,
+        ticket: FrameTicket,
+        now: u64,
+    ) -> std::sync::Arc<PreparedView> {
+        let Some(mut q) = self.quality.take() else { return view };
+        let pinned = q.pinned.remove(&ticket.id.index());
+        let rung = pinned.map_or(q.level, |(r, _)| r.max(q.level));
+        let out = if rung == 0 {
+            self.metrics.quality_exact();
+            if self.recorder.is_enabled() {
+                self.recorder.counter("serve.quality.exact").add(1);
+            }
+            view
+        } else {
+            let exact = Self::exact_view_cycles(&mut q, &self.cfg, &view);
+            let cycles = Self::degraded_view_cycles(&mut q, &self.cfg, &view, rung);
+            let degraded = q.views[&(std::sync::Arc::as_ptr(&view) as usize, rung)].0.clone();
+            let saved = exact.saturating_sub(cycles);
+            self.metrics.quality_degraded(saved);
+            if self.recorder.is_enabled() {
+                self.recorder.mark(
+                    "dispatch.degraded",
+                    gbu_telemetry::Domain::Cycles,
+                    now,
+                    self.ticket_labels(ticket),
+                );
+                self.recorder.counter("serve.quality.degraded").add(1);
+                self.recorder.counter("serve.quality.saved_cycles").add(saved);
+            }
+            // Counter-offered frames already reported their Degraded
+            // event at admission; pressure-shed frames report here.
+            if pinned.is_none() {
+                self.emit(ServeEvent::Degraded {
+                    frame: ticket.id,
+                    session: ticket.session,
+                    level: rung,
+                    at: now,
+                });
+            }
+            degraded
+        };
+        self.quality = Some(q);
+        out
     }
 
     /// Reconciles one lane's desired state (up iff neither failed nor
@@ -1260,7 +1497,56 @@ impl ServeEngine {
                 self.queue.push(ticket);
                 self.emit(ServeEvent::Admitted { frame: ticket.id, session: ticket.session, at });
             }
-            Err(reason) => self.reject_ticket(ticket, reason, at),
+            Err(reason) => {
+                // Counter-offer: an unmeetable frame gets one more
+                // admission test at the deepest ladder rung's (cheaper)
+                // min service; passing admits it pinned to that rung
+                // instead of rejecting.
+                if reason == RejectReason::Unmeetable && self.cfg.quality.counter_offer {
+                    if let Some((rung, degraded_min)) = self.degraded_min_service(ticket) {
+                        let offer = self.cfg.admission.decide(
+                            self.queue.len(),
+                            session_depth,
+                            self.cfg.session_queue_quota,
+                            queued_wait,
+                            ticket.arrival,
+                            ticket.deadline,
+                            degraded_min,
+                        );
+                        if offer.is_ok() {
+                            self.quality
+                                .as_mut()
+                                .expect("degraded_min_service implies an active governor")
+                                .pinned
+                                .insert(ticket.id.index(), (rung, degraded_min));
+                            self.metrics.quality_counter_offer();
+                            if self.recorder.is_enabled() {
+                                self.recorder.mark(
+                                    "admit.degraded",
+                                    gbu_telemetry::Domain::Cycles,
+                                    at,
+                                    self.ticket_labels(ticket),
+                                );
+                                self.recorder.counter("serve.quality.counter_offers").add(1);
+                            }
+                            self.queue.push(ticket);
+                            self.emit(ServeEvent::Admitted {
+                                frame: ticket.id,
+                                session: ticket.session,
+                                at,
+                            });
+                            self.emit(ServeEvent::Degraded {
+                                frame: ticket.id,
+                                session: ticket.session,
+                                level: rung,
+                                at,
+                            });
+                            return;
+                        }
+                    }
+                }
+                self.reject_ticket(ticket, reason, at)
+            }
         }
     }
 
@@ -1291,20 +1577,45 @@ impl ServeEngine {
     }
 
     /// The deadline-drop pass: cancels queued frames that can no longer
-    /// meet their deadline even on an uncontended device.
+    /// meet their deadline even on an uncontended device. With an active
+    /// quality governor the bound sheds quality before it sheds the
+    /// frame: a frame pinned to a counter-offer rung — or caught by a
+    /// non-zero global shed level — is judged by its *degraded* view's
+    /// (cheaper) min service, so it survives as long as the degraded
+    /// render could still land in time.
     fn drop_pass(&mut self, now: u64) {
+        let mut q = self.quality.take();
         let mut i = 0;
         while i < self.queue.len() {
             let t = self.queue[i];
-            let min_service =
+            let slot_min =
                 self.slots[t.session.index()].as_ref().map_or(0, |slot| slot.min_service);
+            let min_service = match q.as_mut() {
+                Some(q) => {
+                    let rung =
+                        q.pinned.get(&t.id.index()).map_or(q.level, |&(r, _)| r.max(q.level));
+                    match (rung, self.slots[t.session.index()].as_ref()) {
+                        (0, _) | (_, None) => slot_min,
+                        (rung, Some(slot)) => {
+                            let view = slot.session.view_handle(t.frame).clone();
+                            let cycles = Self::degraded_view_cycles(q, &self.cfg, &view, rung);
+                            slot.mode.min_service(cycles).min(slot_min)
+                        }
+                    }
+                }
+                None => slot_min,
+            };
             if now.saturating_add(min_service) > t.deadline {
                 self.queue.remove(i);
+                if let Some(q) = q.as_mut() {
+                    q.pinned.remove(&t.id.index());
+                }
                 self.drop_ticket(t, DropReason::Deadline, now);
             } else {
                 i += 1;
             }
         }
+        self.quality = q;
     }
 
     /// Dispatches queued, already-arrived frames the backend can accept
@@ -1442,6 +1753,7 @@ impl ServeEngine {
                 .expect("queued frames of detached sessions are dropped at detach");
             let (mode, period) = (slot.mode, slot.period);
             let view = slot.session.view_handle(ticket.frame).clone();
+            let view = self.quality_substitute(view, ticket, now);
             let prep_cycles = self.prep_charge_cycles(&view, period, now);
             let device = self.backend.submit_with_prep(&view, ticket, mode, prep_cycles);
             self.metrics.start(ticket, now);

@@ -63,6 +63,14 @@
 //!   shrinks the live-lane set from windowed miss-rate pressure with
 //!   hysteresis, and [`FleetConfig::lane_reservation`] keeps wide
 //!   sharded frames from starving during scale-down;
+//! - [`quality`]: the quality governor — a [`QualityGovernor`]
+//!   degradation ladder over `gbu_render::contrib`'s contribution-aware
+//!   render modes lets the engine ship *cheaper* frames instead of
+//!   rejecting or dropping them: admission counter-offers a degraded
+//!   render for unmeetable frames ([`ServeEvent::Degraded`]), pressure
+//!   shedding steps the global quality level down under deadline
+//!   pressure and recovers to exact with hysteresis, and every degraded
+//!   dispatch is priced at its genuinely smaller modeled occupancy;
 //! - [`metrics`]: [`ServeMetrics`] → [`ServeReport`] — throughput,
 //!   per-session FPS, p50/p95/p99 latency, deadline-miss rate,
 //!   drop/reject-reason breakdowns and device utilization, with JSON
@@ -162,6 +170,48 @@
 //! // Per-frame shard imbalance lands in the report's sharding block.
 //! assert_eq!(engine.report().sharding.expect("sharded frames ran").frames.len(), 1);
 //! ```
+//!
+//! # Degraded-mode example: shed quality, not frames
+//!
+//! ```
+//! use gbu_hw::GbuConfig;
+//! use gbu_serve::{
+//!     run_workload, workload, AdmissionControl, Policy, QualityGovernor, ServeConfig,
+//! };
+//!
+//! // The default governor is inactive: zero config, byte-identical
+//! // serving behaviour.
+//! assert!(!QualityGovernor::default().is_active());
+//!
+//! let governor = QualityGovernor {
+//!     ladder: QualityGovernor::default_ladder(), // top 75% → 50% → 25%
+//!     counter_offer: true,    // admit unmeetable frames degraded
+//!     shed_on_pressure: true, // step the global level under pressure
+//!     interval: 2_000,        // pressure tick, in device cycles
+//!     ..QualityGovernor::default()
+//! };
+//! assert!(governor.is_active());
+//!
+//! let specs = workload::synthetic_mix(4, 6);
+//! let sessions = workload::prepare_all(specs, &GbuConfig::paper());
+//! let cfg = ServeConfig {
+//!     policy: Policy::Edf,
+//!     // Counter-offers replace *unmeetable-frame rejections*, so the
+//!     // admission check that produces them must be on.
+//!     admission: AdmissionControl { reject_unmeetable: true, ..AdmissionControl::default() },
+//!     quality: governor,
+//!     ..ServeConfig::default()
+//! };
+//! // Overload one device at 2x capacity: under deadline pressure the
+//! // governor serves cheaper frames instead of shipping nothing.
+//! let report = run_workload(cfg, &sessions, 2.0);
+//! let q = report.quality;
+//! assert!(q.frames_degraded > 0, "overload forces degraded dispatches");
+//! assert!(q.counter_offers > 0, "unmeetable frames are admitted degraded");
+//! assert!(q.sheds > 0, "sustained pressure steps the global level");
+//! assert!(q.cycles_saved > 0, "each degraded frame is genuinely cheaper");
+//! assert_eq!(q.frames_exact + q.frames_degraded, report.completed);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -173,6 +223,7 @@ pub mod event;
 pub mod fleet;
 pub mod metrics;
 pub mod pool;
+pub mod quality;
 pub mod scheduler;
 pub mod session;
 pub mod store;
@@ -191,10 +242,12 @@ pub use fleet::{
     AutoscaleConfig, FleetAction, FleetConfig, FleetEvent, FleetPlan, MigrationConfig,
 };
 pub use metrics::{
-    DropBreakdown, FrameRecord, LifetimeCounts, PrepCounts, RejectBreakdown, RequeueBreakdown,
-    RunInfo, ServeMetrics, ServeReport, SessionReport, ShardFrameRecord, ShardingReport,
+    DropBreakdown, FrameRecord, LifetimeCounts, PrepCounts, QualityCounts, RejectBreakdown,
+    RequeueBreakdown, RunInfo, ServeMetrics, ServeReport, SessionReport, ShardFrameRecord,
+    ShardingReport,
 };
 pub use pool::{DevicePool, PoolCompletion};
+pub use quality::QualityGovernor;
 pub use scheduler::{AdmissionControl, Edf, Fcfs, FrameTicket, Policy, RoundRobin, Scheduler};
 pub use session::{PreparedView, QosTarget, Session, SessionContent, SessionSpec, ViewPrepStats};
 pub use store::{SceneStore, SceneStoreCounters};

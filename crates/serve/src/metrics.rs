@@ -77,6 +77,30 @@ pub struct PrepCounts {
     pub cycles_saved: u64,
 }
 
+/// Quality-governor accounting under [`crate::ServeConfig::quality`]:
+/// how many dispatches served exact versus degraded frames, where the
+/// degradations came from (admission counter-offers versus pressure
+/// shedding), how often the governor stepped its global level, and the
+/// modeled device cycles the degraded frames saved. All zero when the
+/// governor is inactive, so the block is additive to existing reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityCounts {
+    /// Dispatches served at exact quality while the governor was active.
+    pub frames_exact: usize,
+    /// Dispatches served from a degraded ladder rung.
+    pub frames_degraded: usize,
+    /// Unmeetable frames admitted as a degraded counter-offer instead of
+    /// being rejected.
+    pub counter_offers: usize,
+    /// Pressure-tick steps away from exact (one rung deeper each).
+    pub sheds: usize,
+    /// Pressure-tick steps back toward exact (one rung shallower each).
+    pub recoveries: usize,
+    /// Modeled device cycles saved by degraded dispatches (exact view
+    /// occupancy minus degraded view occupancy, summed).
+    pub cycles_saved: u64,
+}
+
 /// Collects events during a serving run.
 ///
 /// Retention: by default every per-frame record is kept so
@@ -107,6 +131,9 @@ pub struct ServeMetrics {
     /// Host-GPU preprocessing charge/reuse totals (whole-run, unwindowed
     /// — like [`LifetimeCounts`], these are conservation sums).
     prep: PrepCounts,
+    /// Quality-governor totals (whole-run, unwindowed like
+    /// [`PrepCounts`]).
+    quality: QualityCounts,
 }
 
 /// Shard-level record of one completed sharded frame.
@@ -238,6 +265,39 @@ impl ServeMetrics {
     /// Host-GPU preprocessing charge/reuse totals so far.
     pub fn prep(&self) -> PrepCounts {
         self.prep
+    }
+
+    /// Records a dispatch served at exact quality under an active
+    /// governor.
+    pub fn quality_exact(&mut self) {
+        self.quality.frames_exact += 1;
+    }
+
+    /// Records a dispatch served from a degraded ladder rung, saving
+    /// `cycles_saved` modeled device cycles against the exact view.
+    pub fn quality_degraded(&mut self, cycles_saved: u64) {
+        self.quality.frames_degraded += 1;
+        self.quality.cycles_saved += cycles_saved;
+    }
+
+    /// Records an unmeetable frame admitted as a degraded counter-offer.
+    pub fn quality_counter_offer(&mut self) {
+        self.quality.counter_offers += 1;
+    }
+
+    /// Records a pressure-tick step one rung away from exact.
+    pub fn quality_shed(&mut self) {
+        self.quality.sheds += 1;
+    }
+
+    /// Records a pressure-tick step one rung back toward exact.
+    pub fn quality_recovery(&mut self) {
+        self.quality.recoveries += 1;
+    }
+
+    /// Quality-governor totals so far.
+    pub fn quality(&self) -> QualityCounts {
+        self.quality
     }
 
     /// Records one lane up/down transition (kill, restore, or autoscale
@@ -445,6 +505,7 @@ impl ServeMetrics {
             device_utilization: utilization,
             wall_seconds,
             preprocessing: self.prep,
+            quality: self.quality,
             sharding,
             sessions,
         }
@@ -592,6 +653,10 @@ pub struct ServeReport {
     /// Host-GPU preprocessing charge/reuse totals (whole-run). All
     /// zeros when [`crate::ServeConfig::prep`] is `None`.
     pub preprocessing: PrepCounts,
+    /// Quality-governor totals (whole-run): frames per quality side,
+    /// counter-offers, shed/recover steps and saved device cycles. All
+    /// zeros when [`crate::ServeConfig::quality`] is inactive.
+    pub quality: QualityCounts,
     /// Shard-level breakdown — `None` unless sharded frames completed
     /// within the retention window (unsharded runs keep their report,
     /// and its JSON, unchanged).
@@ -713,6 +778,16 @@ impl ServeReport {
             self.preprocessing.cycles_charged,
             self.preprocessing.cycles_saved,
         );
+        let quality = format!(
+            "{{\"frames_exact\":{},\"frames_degraded\":{},\"counter_offers\":{},\"sheds\":{},\
+             \"recoveries\":{},\"cycles_saved\":{}}}",
+            self.quality.frames_exact,
+            self.quality.frames_degraded,
+            self.quality.counter_offers,
+            self.quality.sheds,
+            self.quality.recoveries,
+            self.quality.cycles_saved,
+        );
         let lifetime = format!(
             "{{\"generated\":{},\"completed\":{},\"rejected\":{},\"dropped\":{},\"missed\":{},\
              \"requeued\":{}}}",
@@ -730,7 +805,8 @@ impl ServeReport {
              \"lane_churn\":{},\"throughput_fps\":{},\"p50_latency_ms\":{},\
              \"p95_latency_ms\":{},\"p99_latency_ms\":{},\"deadline_miss_rate\":{},\
              \"device_utilization\":{},\"wall_seconds\":{},\
-             \"preprocessing\":{preprocessing}{sharding},\"sessions\":[{}]}}",
+             \"preprocessing\":{preprocessing},\"quality\":{quality}{sharding},\
+             \"sessions\":[{}]}}",
             json_str(&self.policy),
             self.devices,
             self.generated,
@@ -913,6 +989,12 @@ mod tests {
         assert!(empty.contains(
             "\"preprocessing\":{\"frames_charged\":0,\"frames_shared\":0,\"cycles_charged\":0,\
              \"cycles_saved\":0}"
+        ));
+        // The quality block is always present too — all zero when the
+        // governor is inactive.
+        assert!(empty.contains(
+            "\"quality\":{\"frames_exact\":0,\"frames_degraded\":0,\"counter_offers\":0,\
+             \"sheds\":0,\"recoveries\":0,\"cycles_saved\":0}"
         ));
         let keys = |json: &str| {
             let mut k: Vec<String> =

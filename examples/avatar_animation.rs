@@ -33,9 +33,10 @@ fn main() {
             min.y, max.y, out.blend.fragments_evaluated
         );
         if frame == 2 {
-            std::fs::write("avatar_frame.ppm", out.image.to_ppm()).expect("write ppm");
+            std::fs::create_dir_all("bench_out").expect("create bench_out/");
+            std::fs::write("bench_out/avatar_frame.ppm", out.image.to_ppm()).expect("write ppm");
         }
     }
     let _ = Vec3::ZERO;
-    println!("wrote avatar_frame.ppm");
+    println!("wrote bench_out/avatar_frame.ppm");
 }

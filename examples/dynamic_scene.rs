@@ -26,8 +26,9 @@ fn main() {
             out.image.mean().y
         );
         if frame == 4 {
-            std::fs::write("dynamic_frame.ppm", out.image.to_ppm()).expect("write ppm");
+            std::fs::create_dir_all("bench_out").expect("create bench_out/");
+            std::fs::write("bench_out/dynamic_frame.ppm", out.image.to_ppm()).expect("write ppm");
         }
     }
-    println!("wrote dynamic_frame.ppm (t = 0.50)");
+    println!("wrote bench_out/dynamic_frame.ppm (t = 0.50)");
 }

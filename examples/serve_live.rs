@@ -151,6 +151,9 @@ fn print_event(e: &ServeEvent, names: &[String], cycles_per_ms: u64) {
         ServeEvent::SessionMigrated { from, to, .. } => {
             println!("[{ms:>3} ms] migrated  {name}: lane {from} -> lane {to}");
         }
+        ServeEvent::Degraded { frame, level, .. } => {
+            println!("[{ms:>3} ms] degraded  {frame} ({name}) to ladder rung {level}");
+        }
         ServeEvent::LaneDown { lane, .. } => println!("[{ms:>3} ms] lane {lane} DOWN"),
         ServeEvent::LaneUp { lane, generation, .. } => {
             println!("[{ms:>3} ms] lane {lane} UP (generation {generation})");
